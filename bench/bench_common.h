@@ -1,0 +1,28 @@
+// Shared scaffolding for the table/figure bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/eval/experiments.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace blurnet::bench {
+
+/// Print the standard bench banner with the active scale.
+inline void banner(const std::string& title, const eval::ExperimentScale& scale) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("scale: %d stop-sign images, %d targets, %d RP2 iterations "
+              "(set BLURNET_FAST=1 / BLURNET_PAPER=1 to change)\n\n",
+              scale.eval_images, scale.num_targets, scale.rp2_iterations);
+}
+
+/// Print a table and persist the CSV next to it.
+inline void emit(const util::Table& table, const std::string& csv_name) {
+  std::printf("%s\n", table.to_string().c_str());
+  eval::write_results_file(csv_name, table.to_csv());
+  std::printf("csv written to %s/%s\n", eval::results_dir().c_str(), csv_name.c_str());
+}
+
+}  // namespace blurnet::bench

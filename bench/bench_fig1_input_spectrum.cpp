@@ -1,0 +1,65 @@
+// Fig. 1 — FFT spectrum of an unperturbed vs perturbed stop sign (input
+// space). The paper's observation: the two spectra are visually
+// indistinguishable, so filtering the *input* is a questionable defense.
+// We quantify that with the relative spectral distance and high-frequency
+// energy ratios per image, and dump the log-magnitude spectra as PGM images.
+#include <filesystem>
+
+#include "bench/bench_common.h"
+#include "src/defense/blurnet.h"
+#include "src/signal/spectrum.h"
+#include "src/util/ppm.h"
+
+using namespace blurnet;
+
+int main() {
+  const auto scale = eval::ExperimentScale::from_env();
+  bench::banner("Fig. 1: input-space FFT spectra (clean vs stickered)", scale);
+
+  defense::ModelZoo zoo(defense::default_zoo_config());
+  nn::LisaCnn& baseline = zoo.get("baseline");
+  const int count = std::min(scale.eval_images, 6);
+  const auto stop_set = data::stop_sign_eval_set(count);
+  const auto sticker = attack::sticker_mask(stop_set.masks);
+
+  attack::Rp2Config rp2 = eval::paper_rp2_config(scale);
+  rp2.target_class = 6;
+  const auto attacked = attack::rp2_attack(baseline, stop_set.images, sticker, rp2);
+
+  const int h = static_cast<int>(stop_set.images.dim(2));
+  const int w = static_cast<int>(stop_set.images.dim(3));
+
+  util::Table table({"Image", "Spectral distance", "HF ratio clean", "HF ratio adv"});
+  double mean_distance = 0.0;
+  for (int i = 0; i < count; ++i) {
+    double distance = 0.0, hf_clean = 0.0, hf_adv = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      const auto clean_plane = signal::extract_plane(stop_set.images, i, c);
+      const auto adv_plane = signal::extract_plane(attacked.adversarial, i, c);
+      distance += signal::spectral_distance(clean_plane, adv_plane, h, w) / 3.0;
+      hf_clean += signal::high_frequency_energy_ratio(clean_plane, h, w) / 3.0;
+      hf_adv += signal::high_frequency_energy_ratio(adv_plane, h, w) / 3.0;
+    }
+    mean_distance += distance / count;
+    table.add_row({std::to_string(i), util::Table::num(distance, 4),
+                   util::Table::num(hf_clean, 4), util::Table::num(hf_adv, 4)});
+  }
+  bench::emit(table, "fig1_input_spectrum.csv");
+
+  // Dump the spectra of image 0 (the panels of Fig. 1).
+  const auto out_dir = std::filesystem::path(eval::results_dir()) / "fig1";
+  std::filesystem::create_directories(out_dir);
+  const auto clean_spec =
+      signal::log_magnitude_spectrum(signal::extract_plane(stop_set.images, 0, 0), h, w);
+  const auto adv_spec =
+      signal::log_magnitude_spectrum(signal::extract_plane(attacked.adversarial, 0, 0), h, w);
+  std::vector<float> buffer(clean_spec.begin(), clean_spec.end());
+  util::write_pnm_chw((out_dir / "clean_spectrum.pgm").string(), buffer.data(), 1, h, w);
+  buffer.assign(adv_spec.begin(), adv_spec.end());
+  util::write_pnm_chw((out_dir / "adv_spectrum.pgm").string(), buffer.data(), 1, h, w);
+
+  std::printf("\nmean spectral distance: %.4f — the sticker leaves the input spectrum\n"
+              "nearly unchanged (paper: 'no clear indication where the perturbations lie').\n",
+              mean_distance);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig. 2 — FFT spectra of first-layer feature maps: clean, adversarial,
+// their difference, and the blurred difference. The paper's motivation: the
+// sticker injects high-frequency artifacts into the L1 maps, and a 5x5 blur
+// removes most of them. We report per-channel high-frequency energy of the
+// four panels and dump the spectra of a few channels as PGM images.
+#include <filesystem>
+
+#include "bench/bench_common.h"
+#include "src/defense/blurnet.h"
+#include "src/signal/kernels.h"
+#include "src/signal/spectrum.h"
+#include "src/tensor/ops.h"
+#include "src/util/ppm.h"
+
+using namespace blurnet;
+
+int main() {
+  const auto scale = eval::ExperimentScale::from_env();
+  bench::banner("Fig. 2: first-layer feature-map spectra", scale);
+
+  defense::ModelZoo zoo(defense::default_zoo_config());
+  nn::LisaCnn& baseline = zoo.get("baseline");
+  const auto stop_set = data::stop_sign_eval_set(1);
+  const auto sticker = attack::sticker_mask(stop_set.masks);
+
+  attack::Rp2Config rp2 = eval::paper_rp2_config(scale);
+  rp2.target_class = 6;
+  const auto attacked = attack::rp2_attack(baseline, stop_set.images, sticker, rp2);
+
+  const auto clean_maps =
+      baseline.forward(autograd::Variable::constant(stop_set.images)).features_l1.value();
+  const auto adv_maps =
+      baseline.forward(autograd::Variable::constant(attacked.adversarial)).features_l1.value();
+  const auto diff = tensor::sub(adv_maps, clean_maps);
+  const auto blur = signal::make_blur_kernel(5);
+  const auto diff_blurred = signal::filter2d_depthwise(diff, blur);
+
+  const int fh = static_cast<int>(clean_maps.dim(2));
+  const int fw = static_cast<int>(clean_maps.dim(3));
+  const std::int64_t channels = clean_maps.dim(1);
+
+  util::Table table(
+      {"Channel", "HF clean", "HF adv", "HF diff", "HF blurred diff", "diff energy", "blurred diff energy"});
+  double mean_hf_diff = 0.0, mean_hf_blurred = 0.0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const auto plane_clean = signal::extract_plane(clean_maps, 0, c);
+    const auto plane_adv = signal::extract_plane(adv_maps, 0, c);
+    const auto plane_diff = signal::extract_plane(diff, 0, c);
+    const auto plane_blur = signal::extract_plane(diff_blurred, 0, c);
+    const double hf_clean = signal::high_frequency_energy_ratio(plane_clean, fh, fw);
+    const double hf_adv = signal::high_frequency_energy_ratio(plane_adv, fh, fw);
+    const double hf_diff = signal::high_frequency_energy_ratio(plane_diff, fh, fw);
+    const double hf_blur = signal::high_frequency_energy_ratio(plane_blur, fh, fw);
+    auto energy = [](const std::vector<double>& p) {
+      double acc = 0.0;
+      for (const double v : p) acc += v * v;
+      return acc;
+    };
+    mean_hf_diff += hf_diff / static_cast<double>(channels);
+    mean_hf_blurred += hf_blur / static_cast<double>(channels);
+    table.add_row({std::to_string(c), util::Table::num(hf_clean, 4),
+                   util::Table::num(hf_adv, 4), util::Table::num(hf_diff, 4),
+                   util::Table::num(hf_blur, 4), util::Table::num(energy(plane_diff), 3),
+                   util::Table::num(energy(plane_blur), 3)});
+  }
+  bench::emit(table, "fig2_feature_spectrum.csv");
+
+  // Spectra panels for the first few channels (the rows of Fig. 2).
+  const auto out_dir = std::filesystem::path(eval::results_dir()) / "fig2";
+  std::filesystem::create_directories(out_dir);
+  for (std::int64_t c = 0; c < std::min<std::int64_t>(channels, 4); ++c) {
+    auto dump = [&](const tensor::Tensor& maps, const std::string& tag) {
+      const auto spec = signal::log_magnitude_spectrum(signal::extract_plane(maps, 0, c), fh, fw);
+      std::vector<float> buffer(spec.begin(), spec.end());
+      util::write_pnm_chw((out_dir / ("ch" + std::to_string(c) + "_" + tag + ".pgm")).string(),
+                          buffer.data(), 1, fh, fw);
+    };
+    dump(clean_maps, "clean");
+    dump(adv_maps, "adv");
+    dump(diff, "diff");
+    dump(diff_blurred, "diff_blurred");
+  }
+
+  std::printf("\nmean HF ratio of the perturbation-induced difference: %.4f -> %.4f after a\n"
+              "5x5 blur — the filter strips the high-frequency artifacts the attack relies on\n"
+              "(the paper's justification for filtering feature maps).\n",
+              mean_hf_diff, mean_hf_blurred);
+  return 0;
+}

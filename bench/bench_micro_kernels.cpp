@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark) for the computational kernels the
+// experiments lean on: convolution forward/backward, FFT/DCT transforms,
+// depthwise blur, TV penalty, and a full RP2 attack iteration.
+#include <benchmark/benchmark.h>
+
+#include "src/autograd/ops.h"
+#include "src/nn/lisa_cnn.h"
+#include "src/signal/dct.h"
+#include "src/signal/fft.h"
+#include "src/signal/kernels.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+using namespace blurnet;
+
+namespace {
+
+tensor::Tensor random_nchw(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w,
+                           std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return tensor::Tensor::randn(tensor::Shape::nchw(n, c, h, w), rng);
+}
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto batch = state.range(0);
+  const auto x = autograd::Variable::constant(random_nchw(batch, 3, 32, 32));
+  util::Rng rng(2);
+  const auto w = autograd::Variable::constant(
+      tensor::Tensor::randn(tensor::Shape{8, 3, 5, 5}, rng, 0.0f, 0.1f));
+  const auto b = autograd::Variable::constant(tensor::Tensor::zeros(tensor::Shape::vec(8)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(autograd::conv2d(x, w, b, 1, 2).value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const auto batch = state.range(0);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    auto x = autograd::Variable::leaf(random_nchw(batch, 3, 32, 32), true);
+    auto w = autograd::Variable::leaf(
+        tensor::Tensor::randn(tensor::Shape{8, 3, 5, 5}, rng, 0.0f, 0.1f), true);
+    auto b = autograd::Variable::leaf(tensor::Tensor::zeros(tensor::Shape::vec(8)), true);
+    auto loss = autograd::mean(autograd::conv2d(x, w, b, 1, 2));
+    autograd::backward(loss);
+    benchmark::DoNotOptimize(x.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(1)->Arg(8);
+
+void BM_DepthwiseBlur(benchmark::State& state) {
+  const auto kernel_size = state.range(0);
+  const auto x = random_nchw(8, 8, 32, 32);
+  const auto kernel = signal::make_blur_kernel(static_cast<int>(kernel_size));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::filter2d_depthwise(x, kernel).data());
+  }
+}
+BENCHMARK(BM_DepthwiseBlur)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_Fft2d(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  std::vector<double> plane(static_cast<std::size_t>(side) * side);
+  util::Rng rng(4);
+  for (auto& v : plane) v = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::fft2d_real(plane, side, side));
+  }
+}
+BENCHMARK(BM_Fft2d)->Arg(16)->Arg(32)->Arg(33)->Arg(64);
+
+void BM_Dct2d(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  std::vector<double> plane(static_cast<std::size_t>(side) * side);
+  util::Rng rng(5);
+  for (auto& v : plane) v = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::dct2d(plane, side, side));
+  }
+}
+BENCHMARK(BM_Dct2d)->Arg(16)->Arg(32);
+
+void BM_TvLoss(benchmark::State& state) {
+  auto x = autograd::Variable::leaf(random_nchw(8, 8, 32, 32), true);
+  for (auto _ : state) {
+    auto loss = autograd::tv_loss(x);
+    autograd::backward(loss);
+    x.zero_grad();
+    benchmark::DoNotOptimize(loss.scalar_value());
+  }
+}
+BENCHMARK(BM_TvLoss);
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = state.range(0);
+  util::Rng rng(6);
+  const auto a = tensor::Tensor::randn(tensor::Shape::mat(n, n), rng);
+  const auto b = tensor::Tensor::randn(tensor::Shape::mat(n, n), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
+
+void BM_LisaCnnInference(benchmark::State& state) {
+  nn::LisaCnnConfig config;
+  config.conv1_filters = 8;
+  config.conv2_filters = 16;
+  config.conv3_filters = 32;
+  const nn::LisaCnn model(config);
+  const auto x = random_nchw(state.range(0), 3, 32, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.logits(x).data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LisaCnnInference)->Arg(1)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

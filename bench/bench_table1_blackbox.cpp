@@ -1,0 +1,57 @@
+// Table I — black-box transfer evaluation.
+//
+// RP2 adversarial examples are crafted on the vanilla classifier and
+// transferred to the same weights wrapped with (a) an input blur and (b) a
+// blur on the first-layer feature maps. The paper's finding: filtering the
+// feature maps beats filtering the input at equal kernel size
+// (90% -> 17.5% ASR for 5x5 on L1 maps vs 67.5% for 5x5 on the input).
+#include "bench/bench_common.h"
+#include "src/defense/blurnet.h"
+
+using namespace blurnet;
+
+namespace {
+
+nn::LisaCnn wrap_with_filter(const nn::LisaCnn& base, nn::FilterPlacement placement,
+                             int kernel) {
+  nn::LisaCnnConfig config = base.config();
+  config.fixed_filter = {placement, kernel, signal::KernelKind::kBox};
+  nn::LisaCnn wrapped(config);
+  wrapped.copy_weights_from(base);
+  return wrapped;
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = eval::ExperimentScale::from_env();
+  bench::banner("Table I: black-box transfer (input filter vs feature-map filter)", scale);
+
+  defense::ModelZoo zoo(defense::default_zoo_config());
+  nn::LisaCnn& baseline = zoo.get("baseline");
+  const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
+
+  struct Row {
+    std::string name;
+    nn::LisaCnn model;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"Baseline", wrap_with_filter(baseline, nn::FilterPlacement::kNone, 0)});
+  rows.push_back({"Input filter 3x3", wrap_with_filter(baseline, nn::FilterPlacement::kInput, 3)});
+  rows.push_back({"Input filter 5x5", wrap_with_filter(baseline, nn::FilterPlacement::kInput, 5)});
+  rows.push_back(
+      {"3x3 filter on L1 maps", wrap_with_filter(baseline, nn::FilterPlacement::kAfterLayer1, 3)});
+  rows.push_back(
+      {"5x5 filter on L1 maps", wrap_with_filter(baseline, nn::FilterPlacement::kAfterLayer1, 5)});
+
+  util::Table table({"Model", "Accuracy", "Attack Success Rate"});
+  for (auto& row : rows) {
+    const auto result = eval::transfer_attack(baseline, row.model, stop_set, scale);
+    table.add_row({row.name, util::Table::pct(result.clean_accuracy),
+                   util::Table::pct(result.attack_success)});
+  }
+  bench::emit(table, "table1_blackbox.csv");
+  std::printf("\nexpected shape (paper): feature-map filtering reduces ASR far more than\n"
+              "input filtering at the same kernel size; 5x5 on L1 maps is the strongest.\n");
+  return 0;
+}

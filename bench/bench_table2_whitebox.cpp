@@ -1,0 +1,74 @@
+// Table II — white-box evaluation.
+//
+// Every defense variant is retrained and attacked with RP2 sweeping the
+// attack target; rows report legitimate accuracy, average / worst-case attack
+// success rate over targets, and L2 dissimilarity. Paper shape: TV and Tik_hf
+// reduce the worst-case ASR from 90% (baseline) to 17.5% / 10% while the
+// pixel-threat baselines (Gaussian aug, randomized smoothing, adversarial
+// training) trade accuracy for uneven robustness.
+#include "bench/bench_common.h"
+#include "src/defense/blurnet.h"
+
+using namespace blurnet;
+
+int main() {
+  const auto scale = eval::ExperimentScale::from_env();
+  bench::banner("Table II: white-box evaluation", scale);
+
+  defense::ModelZoo zoo(defense::default_zoo_config());
+  const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
+
+  struct Row {
+    std::string label;
+    std::string variant;   // zoo name
+    std::string alpha;     // α column
+    double smoothing_sigma;  // >0: evaluate with randomized smoothing
+  };
+  const std::vector<Row> rows = {
+      {"Baseline", "baseline", "0", 0.0},
+      {"Gaussian aug (s=0.1)", "gauss0.1", "-", 0.0},
+      {"Gaussian aug (s=0.2)", "gauss0.2", "-", 0.0},
+      {"Gaussian aug (s=0.3)", "gauss0.3", "-", 0.0},
+      {"Rand. sm (s=0.1)", "gauss0.1", "-", 0.1},
+      {"Rand. sm (s=0.2)", "gauss0.2", "-", 0.2},
+      {"Rand. sm (s=0.3)", "gauss0.3", "-", 0.3},
+      {"Adv-train", "advtrain", "-", 0.0},
+      {"3x3 conv", "dw3", "1e-5", 0.0},
+      {"5x5 conv", "dw5", "0.1", 0.0},
+      {"7x7 conv", "dw7", "0.1", 0.0},
+      {"TV", "tv1e-4", "1e-4", 0.0},
+      {"TV", "tv1e-5", "1e-5", 0.0},
+      {"Tik_hf", "tik_hf", "1e-4", 0.0},
+      {"Tik_pseudo", "tik_pseudo", "1e-6", 0.0},
+  };
+
+  util::Table table({"Model", "alpha", "Legit Acc.", "Avg Success", "Worst Success",
+                     "L2 Dissimilarity"});
+  for (const auto& row : rows) {
+    nn::LisaCnn& model = zoo.get(row.variant);
+    eval::Predictor predictor;
+    double legit = 0.0;
+    if (row.smoothing_sigma > 0.0) {
+      defense::SmoothingConfig smoothing;
+      smoothing.sigma = row.smoothing_sigma;
+      predictor = [&model, smoothing](const tensor::Tensor& x) {
+        return defense::smoothed_predict(model, x, smoothing);
+      };
+      const auto& test = zoo.dataset().test;
+      legit = defense::smoothed_accuracy(model, test.images, test.labels, smoothing);
+    } else {
+      legit = zoo.test_accuracy(row.variant);
+    }
+    const auto sweep =
+        eval::whitebox_sweep(model, legit, stop_set, scale, nullptr, predictor);
+    table.add_row({row.label, row.alpha, util::Table::pct(sweep.legit_accuracy),
+                   util::Table::pct(sweep.average_success),
+                   util::Table::pct(sweep.worst_success), util::Table::num(sweep.mean_l2)});
+    std::printf("  [done] %s\n", row.label.c_str());
+  }
+  std::printf("\n");
+  bench::emit(table, "table2_whitebox.csv");
+  std::printf("\nexpected shape (paper): TV and Tik_hf give the lowest worst-case ASR at\n"
+              "minimal accuracy cost; depthwise conv improves with kernel width.\n");
+  return 0;
+}

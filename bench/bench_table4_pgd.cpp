@@ -1,0 +1,54 @@
+// Table IV (supplementary) — PGD evaluation under the unrestricted pixel
+// threat model (eps = 8/255, alpha = 0.01, 10 steps).
+//
+// Paper shape: every BlurNet defense is broken (100% ASR) once the adversary
+// may perturb arbitrary pixels — the defenses are tailored to the localized
+// sticker threat model, supporting the paper's "no universal defense" point.
+#include <sstream>
+
+#include "bench/bench_common.h"
+#include "src/defense/blurnet.h"
+
+using namespace blurnet;
+
+int main() {
+  const auto scale = eval::ExperimentScale::from_env();
+  bench::banner("Table IV: PGD (unrestricted L-inf pixel adversary)", scale);
+
+  defense::ModelZoo zoo(defense::default_zoo_config());
+  const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
+  const std::vector<int> labels(static_cast<std::size_t>(stop_set.images.dim(0)),
+                                data::SignRenderer::stop_class_id());
+
+  const std::vector<std::pair<std::string, std::string>> rows = {
+      {"Baseline", "baseline"}, {"3x3 conv", "dw3"},       {"5x5 conv", "dw5"},
+      {"7x7 conv", "dw7"},      {"TV (1e-4)", "tv1e-4"},   {"TV (1e-5)", "tv1e-5"},
+      {"Tik_hf", "tik_hf"},     {"Tik_pseudo", "tik_pseudo"},
+  };
+
+  // Paper §III-B uses eps=8/255, alpha=0.01, 10 steps against an overfit
+  // LISA-CNN. Our noise-augmented synthetic classifiers have larger margins,
+  // so we sweep eps as well: the reproduction target is that every defense
+  // falls *together* as the pixel budget grows — none of them transfers to
+  // the unrestricted threat model.
+  util::Table table({"Model", "eps", "Attack Success Rate", "L2 Dissimilarity"});
+  for (const double eps_num : {8.0, 16.0, 32.0}) {
+    attack::PgdConfig pgd;
+    pgd.epsilon = eps_num / 255.0;
+    pgd.step_size = 0.01;
+    pgd.steps = eps_num <= 8.0 ? 10 : 20;
+    for (const auto& [label, variant] : rows) {
+      nn::LisaCnn& model = zoo.get(variant);
+      const auto result = attack::pgd_attack(model, stop_set.images, labels, pgd);
+      std::ostringstream eps_label;
+      eps_label << static_cast<int>(eps_num) << "/255";
+      table.add_row({label, eps_label.str(), util::Table::pct(result.success_rate_altered()),
+                     util::Table::num(result.l2_dissimilarity(stop_set.images))});
+    }
+  }
+  bench::emit(table, "table4_pgd.csv");
+  std::printf("\nexpected shape (paper): at a sufficient pixel budget all rows reach ~100%%\n"
+              "together — localized-perturbation defenses do not transfer to the\n"
+              "unrestricted pixel threat model.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Spectrum analysis walk-through (the paper's motivation, Figs. 1-2): compare
+// the FFT spectra of clean vs stickered stop signs at the input and at the
+// first-layer feature maps, and show what a 5x5 blur does to the difference.
+//
+//   ./examples/spectrum_analysis [--outdir DIR]
+#include <cstdio>
+
+#include "src/defense/blurnet.h"
+#include "src/signal/kernels.h"
+#include "src/signal/spectrum.h"
+#include "src/util/cli.h"
+#include "src/util/ppm.h"
+
+#include <filesystem>
+
+using namespace blurnet;
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_flag("outdir", "results/spectrum", "output directory for spectrum PGMs");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::printf("%s", cli.help("spectrum_analysis").c_str());
+    return 0;
+  }
+  const std::string outdir = cli.get_string("outdir");
+  std::filesystem::create_directories(outdir);
+
+  defense::ModelZoo zoo(defense::default_zoo_config());
+  nn::LisaCnn& model = zoo.get("baseline");
+
+  const auto stop_set = data::stop_sign_eval_set(/*count=*/1);
+  const auto sticker = attack::sticker_mask(stop_set.masks);
+  attack::Rp2Config rp2;
+  rp2.iterations = 150;
+  rp2.target_class = 6;
+  const auto attacked = attack::rp2_attack(model, stop_set.images, sticker, rp2);
+
+  const int h = static_cast<int>(stop_set.images.dim(2));
+  const int w = static_cast<int>(stop_set.images.dim(3));
+
+  // --- Fig. 1: input spectra are nearly indistinguishable ---
+  std::printf("Input spectrum (Fig. 1):\n");
+  double mean_dist = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    const auto clean_plane = signal::extract_plane(stop_set.images, 0, c);
+    const auto adv_plane = signal::extract_plane(attacked.adversarial, 0, c);
+    const double dist = signal::spectral_distance(clean_plane, adv_plane, h, w);
+    mean_dist += dist / 3.0;
+    if (c == 0) {
+      const auto clean_spec = signal::log_magnitude_spectrum(clean_plane, h, w);
+      const auto adv_spec = signal::log_magnitude_spectrum(adv_plane, h, w);
+      std::vector<float> buf(clean_spec.begin(), clean_spec.end());
+      util::write_pnm_chw(outdir + "/input_clean_spectrum.pgm", buf.data(), 1, h, w);
+      buf.assign(adv_spec.begin(), adv_spec.end());
+      util::write_pnm_chw(outdir + "/input_adv_spectrum.pgm", buf.data(), 1, h, w);
+    }
+  }
+  std::printf("  relative spectral distance clean vs adversarial: %.4f (small => the\n"
+              "  sticker is invisible in the input spectrum, motivating feature-level filtering)\n\n",
+              mean_dist);
+
+  // --- Fig. 2: first-layer feature-map spectra ---
+  const auto clean_features =
+      model.forward(autograd::Variable::constant(stop_set.images)).features_l1.value();
+  const auto adv_features =
+      model.forward(autograd::Variable::constant(attacked.adversarial)).features_l1.value();
+  const auto blur = signal::make_blur_kernel(5);
+  const auto adv_blurred = signal::filter2d_depthwise(adv_features, blur);
+
+  const int fh = static_cast<int>(clean_features.dim(2));
+  const int fw = static_cast<int>(clean_features.dim(3));
+  std::printf("First-layer feature maps (Fig. 2), high-frequency energy ratio:\n");
+  std::printf("  %-8s %10s %10s %14s\n", "channel", "clean", "adv", "adv+5x5 blur");
+  const std::int64_t channels = clean_features.dim(1);
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const auto hf_clean = signal::high_frequency_energy_ratio(
+        signal::extract_plane(clean_features, 0, c), fh, fw);
+    const auto hf_adv = signal::high_frequency_energy_ratio(
+        signal::extract_plane(adv_features, 0, c), fh, fw);
+    const auto hf_blur = signal::high_frequency_energy_ratio(
+        signal::extract_plane(adv_blurred, 0, c), fh, fw);
+    std::printf("  %-8lld %9.4f %9.4f %13.4f\n", static_cast<long long>(c), hf_clean,
+                hf_adv, hf_blur);
+  }
+  std::printf("\nBlurring the feature maps strips the high-frequency energy the sticker\n"
+              "injected — the core observation behind BlurNet.\n");
+  std::printf("spectra written to %s\n", outdir.c_str());
+  return 0;
+}

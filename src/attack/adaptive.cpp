@@ -1,0 +1,36 @@
+#include "src/attack/adaptive.h"
+
+namespace blurnet::attack {
+
+Rp2Config low_frequency_config(const Rp2Config& base, int dct_dim) {
+  Rp2Config config = base;
+  config.dct_mask_dim = dct_dim;
+  return config;
+}
+
+Rp2Config tv_aware_config(const Rp2Config& base, double weight) {
+  Rp2Config config = base;
+  config.feature_reg.kind = FeatureRegTerm::Kind::kTv;
+  config.feature_reg.weight = weight;
+  return config;
+}
+
+Rp2Config tik_hf_aware_config(const Rp2Config& base, const tensor::Tensor& l_hf,
+                              double weight) {
+  Rp2Config config = base;
+  config.feature_reg.kind = FeatureRegTerm::Kind::kTikRows;
+  config.feature_reg.row_operator = l_hf;
+  config.feature_reg.weight = weight;
+  return config;
+}
+
+Rp2Config tik_pseudo_aware_config(const Rp2Config& base, const tensor::Tensor& p_operator,
+                                  double weight) {
+  Rp2Config config = base;
+  config.feature_reg.kind = FeatureRegTerm::Kind::kTikElementwise;
+  config.feature_reg.elementwise_operator = p_operator;
+  config.feature_reg.weight = weight;
+  return config;
+}
+
+}  // namespace blurnet::attack

@@ -1,0 +1,27 @@
+// Convenience constructors for the paper's adaptive attacks (§V): they are
+// RP2 configurations with the low-frequency DCT projection (Eq. 8) or the
+// defender's own regularizer folded into the attacker loss (Eqs. 9-11).
+#pragma once
+
+#include "src/attack/rp2.h"
+
+namespace blurnet::attack {
+
+/// §V-A: low-frequency attack on the depthwise-convolution defenses. The
+/// masked perturbation is projected onto its lowest `dct_dim`×`dct_dim`
+/// DCT coefficients each iteration (default 16, swept in Fig. 3).
+Rp2Config low_frequency_config(const Rp2Config& base, int dct_dim = 16);
+
+/// §V-B, Eq. 9: adds the TV penalty of the victim's first-layer feature maps
+/// to the attacker loss.
+Rp2Config tv_aware_config(const Rp2Config& base, double weight = 1.0);
+
+/// §V-B, Eq. 10: adds ||L_hf · F||² with the defender's operator.
+Rp2Config tik_hf_aware_config(const Rp2Config& base, const tensor::Tensor& l_hf,
+                              double weight = 1.0);
+
+/// §V-B, Eq. 11: adds ||L_diff⁺ ⊙ F||² with the defender's operator.
+Rp2Config tik_pseudo_aware_config(const Rp2Config& base, const tensor::Tensor& p_operator,
+                                  double weight = 1.0);
+
+}  // namespace blurnet::attack

@@ -1,0 +1,75 @@
+#include "src/attack/masks.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace blurnet::attack {
+
+tensor::Tensor sticker_mask(const tensor::Tensor& sign_region, double upper_frac,
+                            double lower_frac, double bar_height_frac,
+                            double bar_width_frac) {
+  if (sign_region.rank() != 4 || sign_region.dim(1) != 1) {
+    throw std::invalid_argument("sticker_mask: expected [N,1,H,W]");
+  }
+  const std::int64_t n = sign_region.dim(0), h = sign_region.dim(2), w = sign_region.dim(3);
+  tensor::Tensor out(sign_region.shape());
+  for (std::int64_t in = 0; in < n; ++in) {
+    const float* region = sign_region.data() + in * h * w;
+    float* dst = out.data() + in * h * w;
+    // Bounding box of the sign region.
+    std::int64_t y_min = h, y_max = -1, x_min = w, x_max = -1;
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        if (region[y * w + x] > 0.5f) {
+          y_min = std::min(y_min, y);
+          y_max = std::max(y_max, y);
+          x_min = std::min(x_min, x);
+          x_max = std::max(x_max, x);
+        }
+      }
+    }
+    if (y_max < y_min) continue;  // empty region
+    const double box_h = static_cast<double>(y_max - y_min + 1);
+    const double box_w = static_cast<double>(x_max - x_min + 1);
+    const double half_bar = 0.5 * bar_height_frac * box_h;
+    const double x_center = 0.5 * (x_min + x_max);
+    const double half_width = 0.5 * bar_width_frac * box_w;
+    const double centers[2] = {y_min + upper_frac * box_h, y_min + lower_frac * box_h};
+    for (std::int64_t y = 0; y < h; ++y) {
+      const bool in_bar = (std::abs(y - centers[0]) <= half_bar) ||
+                          (std::abs(y - centers[1]) <= half_bar);
+      if (!in_bar) continue;
+      for (std::int64_t x = 0; x < w; ++x) {
+        if (std::abs(x - x_center) > half_width) continue;
+        if (region[y * w + x] > 0.5f) dst[y * w + x] = 1.0f;
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor expand_mask_channels(const tensor::Tensor& mask, std::int64_t channels) {
+  if (mask.rank() != 4 || mask.dim(1) != 1) {
+    throw std::invalid_argument("expand_mask_channels: expected [N,1,H,W]");
+  }
+  const std::int64_t n = mask.dim(0), h = mask.dim(2), w = mask.dim(3);
+  tensor::Tensor out(tensor::Shape::nchw(n, channels, h, w));
+  for (std::int64_t in = 0; in < n; ++in) {
+    const float* src = mask.data() + in * h * w;
+    for (std::int64_t c = 0; c < channels; ++c) {
+      std::copy(src, src + h * w, out.data() + (in * channels + c) * h * w);
+    }
+  }
+  return out;
+}
+
+double mask_coverage(const tensor::Tensor& mask) {
+  double set = 0.0;
+  const float* p = mask.data();
+  for (std::int64_t i = 0; i < mask.numel(); ++i) {
+    if (p[i] > 0.5f) set += 1.0;
+  }
+  return set / static_cast<double>(mask.numel());
+}
+
+}  // namespace blurnet::attack

@@ -1,0 +1,28 @@
+// Perturbation masks. RP2 constrains the perturbation to the sign itself via
+// a binary mask M_x; the physical attack uses sticker-shaped sub-masks (the
+// two black-and-white bars of Eykholt et al.). We derive both from the
+// renderer's sign-region mask.
+#pragma once
+
+#include "src/tensor/tensor.h"
+
+namespace blurnet::attack {
+
+/// Sticker mask: two horizontal bars across the sign region (the classic RP2
+/// stop-sign sticker layout). `sign_region` is [N,1,H,W] with 1 inside the
+/// sign silhouette; the result is [N,1,H,W] restricted to the silhouette.
+/// Bar centres sit at `upper_frac`/`lower_frac` of each sign's bounding box
+/// height, each `bar_height_frac` of the box tall and spanning the central
+/// `bar_width_frac` of the box width (stickers cover a small localized patch,
+/// not the whole sign — the locality the defense exploits).
+tensor::Tensor sticker_mask(const tensor::Tensor& sign_region, double upper_frac = 0.30,
+                            double lower_frac = 0.72, double bar_height_frac = 0.10,
+                            double bar_width_frac = 0.72);
+
+/// Broadcast a [N,1,H,W] mask to [N,C,H,W].
+tensor::Tensor expand_mask_channels(const tensor::Tensor& mask, std::int64_t channels);
+
+/// Fraction of pixels set in a mask (diagnostics / tests).
+double mask_coverage(const tensor::Tensor& mask);
+
+}  // namespace blurnet::attack

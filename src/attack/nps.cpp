@@ -1,0 +1,26 @@
+#include "src/attack/nps.h"
+
+namespace blurnet::attack {
+
+tensor::Tensor printable_palette() {
+  // Grayscale ramp + saturated printable primaries/secondaries. Kept small so
+  // the product form of the NPS term stays numerically meaningful (see
+  // DESIGN.md §1, NPS substitution note).
+  const std::vector<float> colors = {
+      0.05f, 0.05f, 0.05f,   // near-black
+      0.25f, 0.25f, 0.25f,   // dark gray
+      0.50f, 0.50f, 0.50f,   // mid gray
+      0.75f, 0.75f, 0.75f,   // light gray
+      0.95f, 0.95f, 0.95f,   // near-white
+      0.80f, 0.10f, 0.10f,   // red
+      0.10f, 0.55f, 0.15f,   // green
+      0.10f, 0.20f, 0.70f,   // blue
+      0.90f, 0.80f, 0.10f,   // yellow
+      0.85f, 0.45f, 0.10f,   // orange
+      0.55f, 0.15f, 0.55f,   // purple
+      0.10f, 0.60f, 0.60f,   // teal
+  };
+  return tensor::Tensor(tensor::Shape{12, 3}, colors);
+}
+
+}  // namespace blurnet::attack

@@ -1,0 +1,13 @@
+// Non-printability score support (Sharif et al. 2016; paper §II-B). The
+// palette approximates the colours a commodity printer reproduces reliably.
+#pragma once
+
+#include "src/tensor/tensor.h"
+
+namespace blurnet::attack {
+
+/// [P,3] RGB triples in [0,1] of printable colours (12 entries: grayscale
+/// ramp + saturated primaries/secondaries at printable intensities).
+tensor::Tensor printable_palette();
+
+}  // namespace blurnet::attack

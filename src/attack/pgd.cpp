@@ -1,0 +1,87 @@
+#include "src/attack/pgd.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/autograd/ops.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace blurnet::attack {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+namespace {
+
+Tensor project_linf(const Tensor& adv, const Tensor& natural, double epsilon) {
+  Tensor out(adv.shape());
+  const float eps = static_cast<float>(epsilon);
+  const float* pa = adv.data();
+  const float* pn = natural.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < adv.numel(); ++i) {
+    const float lo = std::max(0.0f, pn[i] - eps);
+    const float hi = std::min(1.0f, pn[i] + eps);
+    po[i] = std::clamp(pa[i], lo, hi);
+  }
+  return out;
+}
+
+}  // namespace
+
+AttackResult pgd_attack(const nn::LisaCnn& victim, const Tensor& images,
+                        const std::vector<int>& labels, const PgdConfig& config) {
+  if (images.rank() != 4) throw std::invalid_argument("pgd_attack: images must be NCHW");
+  if (static_cast<std::int64_t>(labels.size()) != images.dim(0)) {
+    throw std::invalid_argument("pgd_attack: label count mismatch");
+  }
+
+  util::Rng rng(config.seed);
+  Tensor x_adv = images.clone();
+  if (config.random_start) {
+    float* p = x_adv.data();
+    for (std::int64_t i = 0; i < x_adv.numel(); ++i) {
+      p[i] = std::clamp(
+          p[i] + static_cast<float>(rng.uniform(-config.epsilon, config.epsilon)), 0.0f,
+          1.0f);
+    }
+  }
+
+  const std::vector<int> attack_labels =
+      config.targeted ? std::vector<int>(labels.size(), config.target_class) : labels;
+  // Untargeted PGD ascends the true-label loss; targeted PGD descends the
+  // target-label loss.
+  const float direction = config.targeted ? -1.0f : 1.0f;
+
+  double final_loss = 0.0;
+  for (int step = 0; step < config.steps; ++step) {
+    Variable x = Variable::leaf(x_adv.clone(), /*requires_grad=*/true);
+    Variable loss = autograd::softmax_cross_entropy(victim.forward(x).logits, attack_labels);
+    autograd::backward(loss);
+    final_loss = loss.scalar_value();
+    const Tensor step_dir = tensor::sign(x.grad());
+    x_adv.add_scaled_(step_dir, direction * static_cast<float>(config.step_size));
+    x_adv = project_linf(x_adv, images, config.epsilon);
+  }
+
+  AttackResult result;
+  result.adversarial = x_adv;
+  result.perturbation = tensor::sub(x_adv, images);
+  result.clean_pred = victim.predict(images);
+  result.adv_pred = victim.predict(x_adv);
+  result.final_loss = final_loss;
+  return result;
+}
+
+AttackResult fgsm_attack(const nn::LisaCnn& victim, const Tensor& images,
+                         const std::vector<int>& labels, double epsilon) {
+  PgdConfig config;
+  config.epsilon = epsilon;
+  config.step_size = epsilon;
+  config.steps = 1;
+  config.random_start = false;
+  return pgd_attack(victim, images, labels, config);
+}
+
+}  // namespace blurnet::attack

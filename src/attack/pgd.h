@@ -1,0 +1,32 @@
+// Projected gradient descent (Madry et al.) and FGSM under the L∞ threat
+// model. Used for Table IV (every BlurNet defense falls to an unrestricted
+// pixel adversary) and for adversarial training (Table II/V baselines).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/attack/threat_model.h"
+#include "src/nn/lisa_cnn.h"
+
+namespace blurnet::attack {
+
+struct PgdConfig {
+  double epsilon = 8.0 / 255.0;  // L∞ ball radius
+  double step_size = 0.01;       // α
+  int steps = 10;
+  bool targeted = false;
+  int target_class = 0;   // used when targeted
+  bool random_start = true;
+  std::uint64_t seed = 3;
+};
+
+/// Untargeted (maximize loss on true labels) or targeted PGD.
+AttackResult pgd_attack(const nn::LisaCnn& victim, const tensor::Tensor& images,
+                        const std::vector<int>& labels, const PgdConfig& config);
+
+/// Single-step FGSM (equivalent to PGD with steps=1, step=epsilon, no restart).
+AttackResult fgsm_attack(const nn::LisaCnn& victim, const tensor::Tensor& images,
+                         const std::vector<int>& labels, double epsilon);
+
+}  // namespace blurnet::attack

@@ -1,0 +1,149 @@
+#include "src/attack/rp2.h"
+
+#include <stdexcept>
+
+#include "src/attack/masks.h"
+#include "src/attack/nps.h"
+#include "src/autograd/ops.h"
+#include "src/nn/optim.h"
+#include "src/signal/dct.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace blurnet::attack {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+namespace {
+
+Variable feature_reg_loss(const FeatureRegTerm& term, const Variable& features) {
+  switch (term.kind) {
+    case FeatureRegTerm::Kind::kNone:
+      return Variable();
+    case FeatureRegTerm::Kind::kTv:
+      return autograd::mul_scalar(autograd::tv_loss(features),
+                                  static_cast<float>(term.weight));
+    case FeatureRegTerm::Kind::kTikRows:
+      return autograd::mul_scalar(autograd::tikhonov_rows(features, term.row_operator),
+                                  static_cast<float>(term.weight));
+    case FeatureRegTerm::Kind::kTikElementwise:
+      return autograd::mul_scalar(
+          autograd::tikhonov_elementwise(features, term.elementwise_operator),
+          static_cast<float>(term.weight));
+  }
+  return Variable();
+}
+
+}  // namespace
+
+AttackResult rp2_attack(const nn::LisaCnn& victim, const Tensor& images,
+                        const Tensor& masks, const Rp2Config& config) {
+  if (images.rank() != 4) throw std::invalid_argument("rp2_attack: images must be NCHW");
+  const std::int64_t n = images.dim(0), c = images.dim(1);
+  const int h = static_cast<int>(images.dim(2));
+  const int w = static_cast<int>(images.dim(3));
+  if (masks.dim(0) != n) throw std::invalid_argument("rp2_attack: mask batch mismatch");
+
+  const Tensor mask_c = expand_mask_channels(masks, c);
+  const Tensor palette = printable_palette();
+  util::Rng rng(config.seed);
+
+  const tensor::Shape delta_shape = config.shared_perturbation
+                                        ? tensor::Shape::nchw(1, c, h, w)
+                                        : images.shape();
+  Variable delta = Variable::leaf(Tensor::zeros(delta_shape), /*requires_grad=*/true);
+  nn::Adam optimizer({delta}, config.learning_rate);
+
+  const std::vector<int> targets(static_cast<std::size_t>(n), config.target_class);
+  double final_loss = 0.0;
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    Variable delta_batch =
+        config.shared_perturbation ? autograd::broadcast_batch(delta, n) : delta;
+    Variable masked = autograd::mul_const(delta_batch, mask_c);
+    if (config.dct_mask_dim > 0) {
+      masked = autograd::dct_lowpass(masked, config.dct_mask_dim);
+    }
+
+    Variable applied = masked;
+    if (config.use_eot) {
+      const auto transform = autograd::Affine2D::rotation_scale_about_center(
+          rng.uniform(-config.max_rotation, config.max_rotation),
+          rng.uniform(config.min_scale, config.max_scale),
+          rng.uniform(-config.max_shift, config.max_shift),
+          rng.uniform(-config.max_shift, config.max_shift), h, w);
+      applied = autograd::affine_warp(masked, transform);
+    }
+    Variable x_adv = autograd::add_const(applied, images);
+
+    const auto fwd = victim.forward(x_adv);
+    Variable loss = autograd::softmax_cross_entropy(fwd.logits, targets);
+
+    Variable norm_term = config.norm == PerturbationNorm::kL2 ? autograd::l2_norm(masked)
+                                                              : autograd::l1_norm(masked);
+    loss = autograd::add(loss, autograd::mul_scalar(norm_term,
+                                                    static_cast<float>(config.lambda)));
+    if (config.nps_weight > 0.0 && c == 3) {
+      loss = autograd::add(loss, autograd::mul_scalar(autograd::nps_loss(masked, palette),
+                                                      static_cast<float>(config.nps_weight)));
+    }
+    const Variable reg = feature_reg_loss(config.feature_reg, fwd.features_l1);
+    if (reg.defined()) loss = autograd::add(loss, reg);
+
+    optimizer.zero_grad();
+    autograd::backward(loss);
+    optimizer.step();
+    final_loss = loss.scalar_value();
+
+    // Keep δ in a physically meaningful range: the perturbed pixel values
+    // x + M·δ must stay realizable, so bound each δ entry to [-1, 1].
+    delta.mutable_value() = tensor::clamp(delta.value(), -1.0f, 1.0f);
+  }
+
+  // Final adversarial examples: identity alignment, clamped to image range.
+  Tensor delta_final = delta.value();
+  AttackResult result;
+  if (config.shared_perturbation) {
+    result.shared_delta = config.dct_mask_dim > 0
+                              ? signal::dct_lowpass_nchw(delta_final, config.dct_mask_dim)
+                              : delta_final.clone();
+  }
+  if (config.shared_perturbation) {
+    Tensor tiled(images.shape());
+    const std::int64_t stride = delta_final.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::copy(delta_final.data(), delta_final.data() + stride, tiled.data() + i * stride);
+    }
+    delta_final = tiled;
+  }
+  Tensor masked_final = tensor::mul(delta_final, mask_c);
+  if (config.dct_mask_dim > 0) {
+    masked_final = signal::dct_lowpass_nchw(masked_final, config.dct_mask_dim);
+  }
+  result.adversarial = tensor::clamp(tensor::add(images, masked_final), 0.0f, 1.0f);
+  result.perturbation = tensor::sub(result.adversarial, images);
+  result.clean_pred = victim.predict(images);
+  result.adv_pred = victim.predict(result.adversarial);
+  result.final_loss = final_loss;
+  return result;
+}
+
+tensor::Tensor apply_shared_sticker(const Tensor& images, const Tensor& masks,
+                                    const Tensor& shared_delta) {
+  if (images.rank() != 4) throw std::invalid_argument("apply_shared_sticker: images NCHW");
+  const std::int64_t n = images.dim(0), c = images.dim(1);
+  if (shared_delta.rank() != 4 || shared_delta.dim(0) != 1 ||
+      shared_delta.numel() * n != images.numel()) {
+    throw std::invalid_argument("apply_shared_sticker: delta must be [1,C,H,W]");
+  }
+  const Tensor mask_c = expand_mask_channels(masks, c);
+  Tensor tiled(images.shape());
+  const std::int64_t stride = shared_delta.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::copy(shared_delta.data(), shared_delta.data() + stride, tiled.data() + i * stride);
+  }
+  return tensor::clamp(tensor::add(images, tensor::mul(tiled, mask_c)), 0.0f, 1.0f);
+}
+
+}  // namespace blurnet::attack

@@ -1,0 +1,46 @@
+#include "src/attack/threat_model.h"
+
+#include <cmath>
+
+#include "src/tensor/ops.h"
+
+namespace blurnet::attack {
+
+double AttackResult::success_rate_altered() const {
+  if (clean_pred.empty()) return 0.0;
+  int altered = 0;
+  for (std::size_t i = 0; i < clean_pred.size(); ++i) {
+    if (clean_pred[i] != adv_pred[i]) ++altered;
+  }
+  return static_cast<double>(altered) / static_cast<double>(clean_pred.size());
+}
+
+double AttackResult::success_rate_targeted(int target) const {
+  if (adv_pred.empty()) return 0.0;
+  int hits = 0;
+  for (const int p : adv_pred) {
+    if (p == target) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(adv_pred.size());
+}
+
+double AttackResult::l2_dissimilarity(const tensor::Tensor& natural) const {
+  // Mean per-image relative L2 distance.
+  const std::int64_t n = natural.dim(0);
+  const std::int64_t stride = natural.numel() / n;
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double diff = 0.0, base = 0.0;
+    const float* pa = adversarial.data() + i * stride;
+    const float* pn = natural.data() + i * stride;
+    for (std::int64_t j = 0; j < stride; ++j) {
+      const double d = static_cast<double>(pa[j]) - pn[j];
+      diff += d * d;
+      base += static_cast<double>(pn[j]) * pn[j];
+    }
+    acc += base > 0 ? std::sqrt(diff / base) : std::sqrt(diff);
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace blurnet::attack

@@ -1,0 +1,28 @@
+// Shared attack configuration and result types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace blurnet::attack {
+
+/// Result of attacking a batch of images.
+struct AttackResult {
+  tensor::Tensor adversarial;       // [N,C,H,W], clamped to [0,1]
+  tensor::Tensor perturbation;      // adversarial - natural (masked where applicable)
+  tensor::Tensor shared_delta;      // [1,C,H,W] raw shared sticker (RP2 shared mode only)
+  std::vector<int> clean_pred;      // victim predictions on natural inputs
+  std::vector<int> adv_pred;        // victim predictions on adversarial inputs
+  double final_loss = 0.0;
+
+  /// Paper §II-A: fraction of predictions altered by the attack.
+  double success_rate_altered() const;
+  /// Fraction of adversarial predictions equal to `target`.
+  double success_rate_targeted(int target) const;
+  /// Mean relative L2 dissimilarity (paper §II-A) vs the naturals.
+  double l2_dissimilarity(const tensor::Tensor& natural) const;
+};
+
+}  // namespace blurnet::attack

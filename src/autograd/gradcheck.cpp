@@ -1,0 +1,36 @@
+#include "src/autograd/gradcheck.h"
+
+#include <cmath>
+
+namespace blurnet::autograd {
+
+GradCheckResult gradcheck(const std::function<Variable(const Variable&)>& fn,
+                          const tensor::Tensor& input, double epsilon, double rtol,
+                          double atol) {
+  // Analytic gradient.
+  Variable leaf = Variable::leaf(input.clone(), /*requires_grad=*/true);
+  Variable loss = fn(leaf);
+  backward(loss);
+  const tensor::Tensor analytic = leaf.grad().clone();
+
+  GradCheckResult result;
+  result.passed = true;
+  tensor::Tensor probe = input.clone();
+  for (std::int64_t i = 0; i < probe.numel(); ++i) {
+    const float original = probe[i];
+    probe[i] = original + static_cast<float>(epsilon);
+    const double up = Variable(fn(Variable::leaf(probe.clone(), false))).scalar_value();
+    probe[i] = original - static_cast<float>(epsilon);
+    const double down = Variable(fn(Variable::leaf(probe.clone(), false))).scalar_value();
+    probe[i] = original;
+    const double numeric = (up - down) / (2.0 * epsilon);
+    const double abs_err = std::fabs(numeric - analytic[i]);
+    const double scale = std::max(std::fabs(numeric), std::fabs(static_cast<double>(analytic[i])));
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, abs_err / std::max(scale, 1e-4));
+    if (abs_err > atol + rtol * scale) result.passed = false;
+  }
+  return result;
+}
+
+}  // namespace blurnet::autograd

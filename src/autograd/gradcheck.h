@@ -1,0 +1,26 @@
+// Central-finite-difference gradient checking used by the property tests to
+// validate every backward closure in ops.cpp.
+#pragma once
+
+#include <functional>
+
+#include "src/autograd/variable.h"
+
+namespace blurnet::autograd {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool passed = false;
+};
+
+/// Compare the analytic gradient of `fn` (a scalar-valued function of a
+/// single leaf) against central differences. `fn` must rebuild the graph on
+/// every call from the provided leaf. An element passes when
+///   |analytic - numeric| <= atol + rtol * max(|analytic|, |numeric|)
+/// (the atol floor absorbs float32 forward-pass noise in the numeric probe).
+GradCheckResult gradcheck(const std::function<Variable(const Variable&)>& fn,
+                          const tensor::Tensor& input, double epsilon = 1e-3,
+                          double rtol = 5e-2, double atol = 1.5e-2);
+
+}  // namespace blurnet::autograd

@@ -1,0 +1,885 @@
+#include "src/autograd/ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/signal/dct.h"
+#include "src/tensor/ops.h"
+#include "src/util/parallel.h"
+
+namespace blurnet::autograd {
+
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+void require_same_shape(const Variable& a, const Variable& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.shape().to_string() + " vs " + b.shape().to_string());
+  }
+}
+
+// Raw accumulate-GEMM helpers used by the convolution backward passes.
+// C[m,n] += A[m,k] * B[k,n]
+void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = a[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+// C[m,n] += A[m,k] * B[n,k]^T
+void gemm_nt_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* arow = a + i * k;
+      const float* brow = b + j * k;
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
+      c[i * n + j] += static_cast<float>(acc);
+    }
+  }
+}
+
+// C[m,n] += A[k,m]^T * B[k,n]
+void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n) {
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aik = arow[i];
+      if (aik == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+// ---- arithmetic -------------------------------------------------------------
+
+Variable add(const Variable& a, const Variable& b) {
+  require_same_shape(a, b, "add");
+  Tensor out = tensor::add(a.value(), b.value());
+  return make_op("add", std::move(out), {a, b}, [a, b](Node& node) mutable {
+    if (a.requires_grad()) a.node()->accumulate_grad(node.grad());
+    if (b.requires_grad()) b.node()->accumulate_grad(node.grad());
+  });
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  require_same_shape(a, b, "sub");
+  Tensor out = tensor::sub(a.value(), b.value());
+  return make_op("sub", std::move(out), {a, b}, [a, b](Node& node) mutable {
+    if (a.requires_grad()) a.node()->accumulate_grad(node.grad());
+    if (b.requires_grad()) b.node()->grad().add_scaled_(node.grad(), -1.0f);
+  });
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  require_same_shape(a, b, "mul");
+  Tensor out = tensor::mul(a.value(), b.value());
+  return make_op("mul", std::move(out), {a, b}, [a, b](Node& node) mutable {
+    if (a.requires_grad()) a.node()->accumulate_grad(tensor::mul(node.grad(), b.value()));
+    if (b.requires_grad()) b.node()->accumulate_grad(tensor::mul(node.grad(), a.value()));
+  });
+}
+
+Variable add_scalar(const Variable& a, float s) {
+  Tensor out = tensor::add_scalar(a.value(), s);
+  return make_op("add_scalar", std::move(out), {a}, [a](Node& node) mutable {
+    if (a.requires_grad()) a.node()->accumulate_grad(node.grad());
+  });
+}
+
+Variable mul_scalar(const Variable& a, float s) {
+  Tensor out = tensor::mul_scalar(a.value(), s);
+  return make_op("mul_scalar", std::move(out), {a}, [a, s](Node& node) mutable {
+    if (a.requires_grad()) a.node()->grad().add_scaled_(node.grad(), s);
+  });
+}
+
+Variable neg(const Variable& a) { return mul_scalar(a, -1.0f); }
+
+Variable mul_const(const Variable& a, const Tensor& c) {
+  if (a.value().numel() != c.numel()) {
+    throw std::invalid_argument("mul_const: shape mismatch");
+  }
+  Tensor out = tensor::mul(a.value(), c);
+  const Tensor c_copy = c;  // shares storage; constant by convention
+  return make_op("mul_const", std::move(out), {a}, [a, c_copy](Node& node) mutable {
+    if (a.requires_grad()) a.node()->accumulate_grad(tensor::mul(node.grad(), c_copy));
+  });
+}
+
+Variable add_const(const Variable& a, const Tensor& c) {
+  if (a.value().numel() != c.numel()) {
+    throw std::invalid_argument("add_const: shape mismatch");
+  }
+  Tensor out = tensor::add(a.value(), c);
+  return make_op("add_const", std::move(out), {a}, [a](Node& node) mutable {
+    if (a.requires_grad()) a.node()->accumulate_grad(node.grad());
+  });
+}
+
+// ---- shape ------------------------------------------------------------------
+
+Variable reshape(const Variable& a, Shape new_shape) {
+  Tensor out = a.value().clone().reshape(new_shape);
+  const Shape old_shape = a.shape();
+  return make_op("reshape", std::move(out), {a}, [a, old_shape](Node& node) mutable {
+    if (a.requires_grad()) a.node()->accumulate_grad(node.grad().reshape(old_shape));
+  });
+}
+
+Variable flatten2d(const Variable& a) {
+  if (a.shape().rank() != 4) throw std::invalid_argument("flatten2d: expected NCHW");
+  const auto n = a.shape()[0];
+  return reshape(a, Shape::mat(n, a.value().numel() / n));
+}
+
+Variable broadcast_batch(const Variable& a, std::int64_t n) {
+  if (a.shape().rank() != 4 || a.shape()[0] != 1) {
+    throw std::invalid_argument("broadcast_batch: expected [1,C,H,W]");
+  }
+  const std::int64_t stride = a.value().numel();
+  Tensor out(Shape::nchw(n, a.shape()[1], a.shape()[2], a.shape()[3]));
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::copy(a.value().data(), a.value().data() + stride, out.data() + i * stride);
+  }
+  return make_op("broadcast_batch", std::move(out), {a}, [a, n, stride](Node& node) mutable {
+    if (!a.requires_grad()) return;
+    Tensor da(a.value().shape());
+    const float* g = node.grad().data();
+    float* d = da.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < stride; ++j) d[j] += g[i * stride + j];
+    }
+    a.node()->accumulate_grad(da);
+  });
+}
+
+// ---- activations ------------------------------------------------------------
+
+Variable relu(const Variable& a) {
+  Tensor out = tensor::relu(a.value());
+  return make_op("relu", std::move(out), {a}, [a](Node& node) mutable {
+    if (!a.requires_grad()) return;
+    const Tensor mask = tensor::relu_mask(a.value());
+    a.node()->accumulate_grad(tensor::mul(node.grad(), mask));
+  });
+}
+
+Variable sigmoid(const Variable& a) {
+  Tensor out = tensor::apply(a.value(), [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  const Tensor out_copy = out;
+  return make_op("sigmoid", std::move(out), {a}, [a, out_copy](Node& node) mutable {
+    if (!a.requires_grad()) return;
+    Tensor d(out_copy.shape());
+    const float* o = out_copy.data();
+    const float* g = node.grad().data();
+    float* pd = d.data();
+    for (std::int64_t i = 0; i < d.numel(); ++i) pd[i] = g[i] * o[i] * (1.0f - o[i]);
+    a.node()->accumulate_grad(d);
+  });
+}
+
+Variable tanh_op(const Variable& a) {
+  Tensor out = tensor::apply(a.value(), [](float x) { return std::tanh(x); });
+  const Tensor out_copy = out;
+  return make_op("tanh", std::move(out), {a}, [a, out_copy](Node& node) mutable {
+    if (!a.requires_grad()) return;
+    Tensor d(out_copy.shape());
+    const float* o = out_copy.data();
+    const float* g = node.grad().data();
+    float* pd = d.data();
+    for (std::int64_t i = 0; i < d.numel(); ++i) pd[i] = g[i] * (1.0f - o[i] * o[i]);
+    a.node()->accumulate_grad(d);
+  });
+}
+
+// ---- linear layers ----------------------------------------------------------
+
+Variable matmul(const Variable& a, const Variable& b) {
+  Tensor out = tensor::matmul(a.value(), b.value());
+  return make_op("matmul", std::move(out), {a, b}, [a, b](Node& node) mutable {
+    if (a.requires_grad()) {
+      a.node()->accumulate_grad(tensor::matmul_nt(node.grad(), b.value()));
+    }
+    if (b.requires_grad()) {
+      b.node()->accumulate_grad(tensor::matmul_tn(a.value(), node.grad()));
+    }
+  });
+}
+
+Variable dense(const Variable& x, const Variable& w, const Variable& b) {
+  Tensor out = tensor::matmul(x.value(), w.value());
+  if (b.defined()) {
+    const std::int64_t m = out.dim(0), n = out.dim(1);
+    if (b.value().numel() != n) throw std::invalid_argument("dense: bias size mismatch");
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* row = out.data() + i * n;
+      const float* bias = b.value().data();
+      for (std::int64_t j = 0; j < n; ++j) row[j] += bias[j];
+    }
+  }
+  return make_op("dense", std::move(out), {x, w, b}, [x, w, b](Node& node) mutable {
+    const Tensor& g = node.grad();
+    if (x.requires_grad()) x.node()->accumulate_grad(tensor::matmul_nt(g, w.value()));
+    if (w.requires_grad()) w.node()->accumulate_grad(tensor::matmul_tn(x.value(), g));
+    if (b.defined() && b.requires_grad()) {
+      const std::int64_t m = g.dim(0), n = g.dim(1);
+      Tensor db(Shape::vec(n));
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float* row = g.data() + i * n;
+        for (std::int64_t j = 0; j < n; ++j) db[j] += row[j];
+      }
+      b.node()->accumulate_grad(db);
+    }
+  });
+}
+
+// ---- convolutions -----------------------------------------------------------
+
+Variable conv2d(const Variable& x, const Variable& w, const Variable& b, int stride,
+                int pad) {
+  if (x.shape().rank() != 4 || w.shape().rank() != 4) {
+    throw std::invalid_argument("conv2d: x must be NCHW, w must be [F,C,kh,kw]");
+  }
+  const std::int64_t n = x.shape()[0], c = x.shape()[1];
+  const std::int64_t f = w.shape()[0];
+  const int kh = static_cast<int>(w.shape()[2]);
+  const int kw = static_cast<int>(w.shape()[3]);
+  if (w.shape()[1] != c) throw std::invalid_argument("conv2d: channel mismatch");
+  if (b.defined() && b.value().numel() != f) {
+    throw std::invalid_argument("conv2d: bias size mismatch");
+  }
+
+  const Tensor xp = tensor::pad2d(x.value(), pad, pad);
+  const std::int64_t hp = xp.dim(2), wp = xp.dim(3);
+  const std::int64_t oh = tensor::conv_out_size(hp, kh, stride);
+  const std::int64_t ow = tensor::conv_out_size(wp, kw, stride);
+  const std::int64_t patch = c * kh * kw;
+  const Tensor cols = tensor::im2col(xp, kh, kw, stride, stride);  // [n, patch, oh*ow]
+
+  Tensor out(Shape::nchw(n, f, oh, ow));
+  const float* wdata = w.value().data();
+  util::parallel_for(n, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t in = n0; in < n1; ++in) {
+      gemm_nn_acc(wdata, cols.data() + in * patch * oh * ow,
+                  out.data() + in * f * oh * ow, f, patch, oh * ow);
+    }
+  }, /*min_chunk=*/1);
+  if (b.defined()) {
+    const float* bias = b.value().data();
+    for (std::int64_t in = 0; in < n; ++in)
+      for (std::int64_t ic = 0; ic < f; ++ic) {
+        float* plane = out.data() + (in * f + ic) * oh * ow;
+        for (std::int64_t i = 0; i < oh * ow; ++i) plane[i] += bias[ic];
+      }
+  }
+
+  return make_op(
+      "conv2d", std::move(out), {x, w, b},
+      [x, w, b, cols, n, c, f, kh, kw, stride, pad, hp, wp, oh, ow, patch](Node& node) mutable {
+        const Tensor& g = node.grad();  // [n, f, oh, ow]
+        if (w.requires_grad()) {
+          Tensor dw(w.value().shape());
+          float* dwp = dw.data();
+          for (std::int64_t in = 0; in < n; ++in) {
+            gemm_nt_acc(g.data() + in * f * oh * ow, cols.data() + in * patch * oh * ow,
+                        dwp, f, oh * ow, patch);
+          }
+          w.node()->accumulate_grad(dw);
+        }
+        if (b.defined() && b.requires_grad()) {
+          b.node()->accumulate_grad(tensor::reduce_nhw(g));
+        }
+        if (x.requires_grad()) {
+          Tensor dcols(Shape{n, patch, oh * ow});
+          const float* wdata2 = w.value().data();
+          util::parallel_for(n, [&](std::int64_t n0, std::int64_t n1) {
+            for (std::int64_t in = n0; in < n1; ++in) {
+              gemm_tn_acc(wdata2, g.data() + in * f * oh * ow,
+                          dcols.data() + in * patch * oh * ow, patch, f, oh * ow);
+            }
+          }, /*min_chunk=*/1);
+          Tensor dxp = tensor::col2im(dcols, n, c, hp, wp, kh, kw, stride, stride);
+          x.node()->accumulate_grad(tensor::unpad2d(dxp, pad, pad));
+        }
+      });
+}
+
+Variable depthwise_conv2d_same(const Variable& x, const Variable& w, const Variable& b) {
+  if (x.shape().rank() != 4 || w.shape().rank() != 3) {
+    throw std::invalid_argument("depthwise_conv2d_same: x NCHW, w [C,kh,kw]");
+  }
+  const std::int64_t n = x.shape()[0], c = x.shape()[1], h = x.shape()[2],
+                     wdim = x.shape()[3];
+  if (w.shape()[0] != c) throw std::invalid_argument("depthwise_conv2d_same: channel mismatch");
+  const int kh = static_cast<int>(w.shape()[1]);
+  const int kw = static_cast<int>(w.shape()[2]);
+  const int ph = kh / 2, pw = kw / 2;
+
+  Tensor out(x.shape());
+  const float* xv = x.value().data();
+  const float* wv = w.value().data();
+  util::parallel_for(n * c, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t ic = p % c;
+      const float* src = xv + p * h * wdim;
+      const float* ker = wv + ic * kh * kw;
+      float* dst = out.data() + p * h * wdim;
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t xx = 0; xx < wdim; ++xx) {
+          double acc = 0.0;
+          for (int fy = 0; fy < kh; ++fy) {
+            const std::int64_t sy = y + fy - ph;
+            if (sy < 0 || sy >= h) continue;
+            for (int fx = 0; fx < kw; ++fx) {
+              const std::int64_t sx = xx + fx - pw;
+              if (sx < 0 || sx >= wdim) continue;
+              acc += static_cast<double>(ker[fy * kw + fx]) * src[sy * wdim + sx];
+            }
+          }
+          dst[y * wdim + xx] = static_cast<float>(acc);
+        }
+      }
+    }
+  }, /*min_chunk=*/1);
+  if (b.defined()) {
+    if (b.value().numel() != c) {
+      throw std::invalid_argument("depthwise_conv2d_same: bias size mismatch");
+    }
+    out = tensor::broadcast_bias_nchw(out, b.value());
+  }
+
+  return make_op(
+      "depthwise_conv2d", std::move(out), {x, w, b},
+      [x, w, b, n, c, h, wdim, kh, kw, ph, pw](Node& node) mutable {
+        const Tensor& g = node.grad();
+        if (b.defined() && b.requires_grad()) {
+          b.node()->accumulate_grad(tensor::reduce_nhw(g));
+        }
+        if (w.requires_grad()) {
+          Tensor dw(w.value().shape());
+          const float* xv = x.value().data();
+          for (std::int64_t p = 0; p < n * c; ++p) {
+            const std::int64_t ic = p % c;
+            const float* src = xv + p * h * wdim;
+            const float* gp = g.data() + p * h * wdim;
+            float* dker = dw.data() + ic * kh * kw;
+            for (int fy = 0; fy < kh; ++fy) {
+              for (int fx = 0; fx < kw; ++fx) {
+                double acc = 0.0;
+                for (std::int64_t y = 0; y < h; ++y) {
+                  const std::int64_t sy = y + fy - ph;
+                  if (sy < 0 || sy >= h) continue;
+                  for (std::int64_t xx = 0; xx < wdim; ++xx) {
+                    const std::int64_t sx = xx + fx - pw;
+                    if (sx < 0 || sx >= wdim) continue;
+                    acc += static_cast<double>(gp[y * wdim + xx]) * src[sy * wdim + sx];
+                  }
+                }
+                dker[fy * kw + fx] += static_cast<float>(acc);
+              }
+            }
+          }
+          w.node()->accumulate_grad(dw);
+        }
+        if (x.requires_grad()) {
+          Tensor dx(x.value().shape());
+          const float* wv = w.value().data();
+          util::parallel_for(n * c, [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p) {
+              const std::int64_t ic = p % c;
+              const float* ker = wv + ic * kh * kw;
+              const float* gp = g.data() + p * h * wdim;
+              float* dst = dx.data() + p * h * wdim;
+              // Correlation adjoint: scatter each output grad through the kernel.
+              for (std::int64_t y = 0; y < h; ++y) {
+                for (std::int64_t xx = 0; xx < wdim; ++xx) {
+                  const float gv = gp[y * wdim + xx];
+                  if (gv == 0.0f) continue;
+                  for (int fy = 0; fy < kh; ++fy) {
+                    const std::int64_t sy = y + fy - ph;
+                    if (sy < 0 || sy >= h) continue;
+                    for (int fx = 0; fx < kw; ++fx) {
+                      const std::int64_t sx = xx + fx - pw;
+                      if (sx < 0 || sx >= wdim) continue;
+                      dst[sy * wdim + sx] += ker[fy * kw + fx] * gv;
+                    }
+                  }
+                }
+              }
+            }
+          }, /*min_chunk=*/1);
+          x.node()->accumulate_grad(dx);
+        }
+      });
+}
+
+Variable maxpool2d(const Variable& x, int kernel, int stride) {
+  if (x.shape().rank() != 4) throw std::invalid_argument("maxpool2d: expected NCHW");
+  const std::int64_t n = x.shape()[0], c = x.shape()[1], h = x.shape()[2], w = x.shape()[3];
+  const std::int64_t oh = tensor::conv_out_size(h, kernel, stride);
+  const std::int64_t ow = tensor::conv_out_size(w, kernel, stride);
+  Tensor out(Shape::nchw(n, c, oh, ow));
+  auto indices = std::make_shared<std::vector<std::int64_t>>(
+      static_cast<std::size_t>(out.numel()));
+  const float* xv = x.value().data();
+  for (std::int64_t p = 0; p < n * c; ++p) {
+    const float* src = xv + p * h * w;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        std::int64_t best = (oy * stride) * w + ox * stride;
+        float best_v = src[best];
+        for (int fy = 0; fy < kernel; ++fy) {
+          for (int fx = 0; fx < kernel; ++fx) {
+            const std::int64_t idx = (oy * stride + fy) * w + ox * stride + fx;
+            if (src[idx] > best_v) {
+              best_v = src[idx];
+              best = idx;
+            }
+          }
+        }
+        const std::int64_t flat = (p * oh + oy) * ow + ox;
+        out[flat] = best_v;
+        (*indices)[static_cast<std::size_t>(flat)] = p * h * w + best;
+      }
+    }
+  }
+  return make_op("maxpool2d", std::move(out), {x}, [x, indices](Node& node) mutable {
+    if (!x.requires_grad()) return;
+    Tensor dx(x.value().shape());
+    const float* g = node.grad().data();
+    for (std::size_t i = 0; i < indices->size(); ++i) {
+      dx[(*indices)[i]] += g[i];
+    }
+    x.node()->accumulate_grad(dx);
+  });
+}
+
+// ---- reductions & norms -------------------------------------------------------
+
+Variable sum(const Variable& a) {
+  Tensor out = Tensor::scalar(a.value().sum());
+  return make_op("sum", std::move(out), {a}, [a](Node& node) mutable {
+    if (!a.requires_grad()) return;
+    const float g = node.grad()[0];
+    a.node()->accumulate_grad(Tensor::full(a.value().shape(), g));
+  });
+}
+
+Variable mean(const Variable& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().numel());
+  Tensor out = Tensor::scalar(a.value().mean());
+  return make_op("mean", std::move(out), {a}, [a, inv](Node& node) mutable {
+    if (!a.requires_grad()) return;
+    const float g = node.grad()[0] * inv;
+    a.node()->accumulate_grad(Tensor::full(a.value().shape(), g));
+  });
+}
+
+Variable sum_squares(const Variable& a) {
+  double acc = 0.0;
+  const float* p = a.value().data();
+  for (std::int64_t i = 0; i < a.value().numel(); ++i) acc += static_cast<double>(p[i]) * p[i];
+  Tensor out = Tensor::scalar(static_cast<float>(acc));
+  return make_op("sum_squares", std::move(out), {a}, [a](Node& node) mutable {
+    if (!a.requires_grad()) return;
+    const float g = node.grad()[0];
+    a.node()->grad().add_scaled_(a.value(), 2.0f * g);
+  });
+}
+
+Variable l1_norm(const Variable& a) {
+  double acc = 0.0;
+  const float* p = a.value().data();
+  for (std::int64_t i = 0; i < a.value().numel(); ++i) acc += std::fabs(p[i]);
+  Tensor out = Tensor::scalar(static_cast<float>(acc));
+  return make_op("l1_norm", std::move(out), {a}, [a](Node& node) mutable {
+    if (!a.requires_grad()) return;
+    const float g = node.grad()[0];
+    a.node()->accumulate_grad(tensor::mul_scalar(tensor::sign(a.value()), g));
+  });
+}
+
+Variable l2_norm(const Variable& a) {
+  const double norm = a.value().l2_norm();
+  Tensor out = Tensor::scalar(static_cast<float>(norm));
+  return make_op("l2_norm", std::move(out), {a}, [a, norm](Node& node) mutable {
+    if (!a.requires_grad()) return;
+    const float g = node.grad()[0];
+    const float scale = g / static_cast<float>(std::max(norm, 1e-12));
+    a.node()->grad().add_scaled_(a.value(), scale);
+  });
+}
+
+// ---- losses -------------------------------------------------------------------
+
+Variable softmax_cross_entropy(const Variable& logits, const std::vector<int>& labels) {
+  if (logits.shape().rank() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: logits must be [N,K]");
+  }
+  const std::int64_t n = logits.shape()[0];
+  const std::int64_t k = logits.shape()[1];
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  for (int label : labels) {
+    if (label < 0 || label >= k) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+  }
+  const Tensor log_probs = tensor::log_softmax_rows(logits.value());
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    loss -= log_probs[i * k + labels[static_cast<std::size_t>(i)]];
+  }
+  loss /= static_cast<double>(n);
+  Tensor out = Tensor::scalar(static_cast<float>(loss));
+  const auto labels_copy = std::make_shared<std::vector<int>>(labels);
+  return make_op("softmax_ce", std::move(out), {logits},
+                 [logits, labels_copy, n, k](Node& node) mutable {
+                   if (!logits.requires_grad()) return;
+                   const float g = node.grad()[0] / static_cast<float>(n);
+                   Tensor probs = tensor::softmax_rows(logits.value());
+                   for (std::int64_t i = 0; i < n; ++i) {
+                     probs[i * k + (*labels_copy)[static_cast<std::size_t>(i)]] -= 1.0f;
+                   }
+                   probs.scale_(g);
+                   logits.node()->accumulate_grad(probs);
+                 });
+}
+
+Variable tv_loss(const Variable& x) {
+  if (x.shape().rank() != 4) throw std::invalid_argument("tv_loss: expected NCHW");
+  const std::int64_t n = x.shape()[0], c = x.shape()[1], h = x.shape()[2], w = x.shape()[3];
+  const float scale = 1.0f / static_cast<float>(n * c);
+  const float* xv = x.value().data();
+  double acc = 0.0;
+  for (std::int64_t p = 0; p < n * c; ++p) {
+    const float* plane = xv + p * h * w;
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t xx = 0; xx < w; ++xx) {
+        if (y + 1 < h) acc += std::fabs(plane[(y + 1) * w + xx] - plane[y * w + xx]);
+        if (xx + 1 < w) acc += std::fabs(plane[y * w + xx + 1] - plane[y * w + xx]);
+      }
+    }
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc) * scale);
+  return make_op("tv_loss", std::move(out), {x}, [x, n, c, h, w, scale](Node& node) mutable {
+    if (!x.requires_grad()) return;
+    const float g = node.grad()[0] * scale;
+    Tensor dx(x.value().shape());
+    const float* xv2 = x.value().data();
+    for (std::int64_t p = 0; p < n * c; ++p) {
+      const float* plane = xv2 + p * h * w;
+      float* dplane = dx.data() + p * h * w;
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t xx = 0; xx < w; ++xx) {
+          if (y + 1 < h) {
+            const float d = plane[(y + 1) * w + xx] - plane[y * w + xx];
+            const float s = g * (d > 0 ? 1.0f : (d < 0 ? -1.0f : 0.0f));
+            dplane[(y + 1) * w + xx] += s;
+            dplane[y * w + xx] -= s;
+          }
+          if (xx + 1 < w) {
+            const float d = plane[y * w + xx + 1] - plane[y * w + xx];
+            const float s = g * (d > 0 ? 1.0f : (d < 0 ? -1.0f : 0.0f));
+            dplane[y * w + xx + 1] += s;
+            dplane[y * w + xx] -= s;
+          }
+        }
+      }
+    }
+    x.node()->accumulate_grad(dx);
+  });
+}
+
+Variable tikhonov_rows(const Variable& x, const Tensor& l_operator) {
+  if (x.shape().rank() != 4) throw std::invalid_argument("tikhonov_rows: expected NCHW");
+  const std::int64_t n = x.shape()[0], c = x.shape()[1], h = x.shape()[2], w = x.shape()[3];
+  if (l_operator.rank() != 2 || l_operator.dim(0) != h || l_operator.dim(1) != h) {
+    throw std::invalid_argument("tikhonov_rows: operator must be HxH");
+  }
+  const float scale = 1.0f / static_cast<float>(n * c);
+  const float* lv = l_operator.data();
+  const float* xv = x.value().data();
+  // G[p] = L * F[p]; loss = scale * sum ||G||^2.
+  Tensor g_all(Shape{n * c, h, w});
+  double acc = 0.0;
+  for (std::int64_t p = 0; p < n * c; ++p) {
+    float* gp = g_all.data() + p * h * w;
+    gemm_nn_acc(lv, xv + p * h * w, gp, h, h, w);
+    for (std::int64_t i = 0; i < h * w; ++i) acc += static_cast<double>(gp[i]) * gp[i];
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc) * scale);
+  const Tensor l_copy = l_operator;
+  return make_op("tikhonov_rows", std::move(out), {x},
+                 [x, l_copy, g_all, n, c, h, w, scale](Node& node) mutable {
+                   if (!x.requires_grad()) return;
+                   const float g = node.grad()[0] * 2.0f * scale;
+                   // dF = 2*scale * L^T * G
+                   Tensor dx(x.value().shape());
+                   for (std::int64_t p = 0; p < n * c; ++p) {
+                     gemm_tn_acc(l_copy.data(), g_all.data() + p * h * w,
+                                 dx.data() + p * h * w, h, h, w);
+                   }
+                   dx.scale_(g);
+                   x.node()->accumulate_grad(dx);
+                 });
+}
+
+Variable tikhonov_elementwise(const Variable& x, const Tensor& p_operator) {
+  if (x.shape().rank() != 4) throw std::invalid_argument("tikhonov_elementwise: expected NCHW");
+  const std::int64_t n = x.shape()[0], c = x.shape()[1], h = x.shape()[2], w = x.shape()[3];
+  if (p_operator.numel() != h * w) {
+    throw std::invalid_argument("tikhonov_elementwise: operator must be HxW");
+  }
+  const float scale = 1.0f / static_cast<float>(n * c);
+  const float* pv = p_operator.data();
+  const float* xv = x.value().data();
+  double acc = 0.0;
+  for (std::int64_t p = 0; p < n * c; ++p) {
+    const float* plane = xv + p * h * w;
+    for (std::int64_t i = 0; i < h * w; ++i) {
+      const double t = static_cast<double>(pv[i]) * plane[i];
+      acc += t * t;
+    }
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc) * scale);
+  const Tensor p_copy = p_operator;
+  return make_op("tikhonov_elem", std::move(out), {x},
+                 [x, p_copy, n, c, h, w, scale](Node& node) mutable {
+                   if (!x.requires_grad()) return;
+                   const float g = node.grad()[0] * 2.0f * scale;
+                   Tensor dx(x.value().shape());
+                   const float* xv2 = x.value().data();
+                   const float* pv2 = p_copy.data();
+                   for (std::int64_t p = 0; p < n * c; ++p) {
+                     const float* plane = xv2 + p * h * w;
+                     float* dplane = dx.data() + p * h * w;
+                     for (std::int64_t i = 0; i < h * w; ++i) {
+                       dplane[i] = g * pv2[i] * pv2[i] * plane[i];
+                     }
+                   }
+                   x.node()->accumulate_grad(dx);
+                 });
+}
+
+Variable linf_per_channel(const Variable& w) {
+  if (w.shape().rank() != 3) throw std::invalid_argument("linf_per_channel: expected [C,kh,kw]");
+  const std::int64_t c = w.shape()[0];
+  const std::int64_t plane = w.shape()[1] * w.shape()[2];
+  const float* wv = w.value().data();
+  auto argmaxes = std::make_shared<std::vector<std::int64_t>>(static_cast<std::size_t>(c));
+  double acc = 0.0;
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    const float* p = wv + ic * plane;
+    std::int64_t best = 0;
+    for (std::int64_t i = 1; i < plane; ++i) {
+      if (std::fabs(p[i]) > std::fabs(p[best])) best = i;
+    }
+    (*argmaxes)[static_cast<std::size_t>(ic)] = ic * plane + best;
+    acc += std::fabs(p[best]);
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc));
+  return make_op("linf_per_channel", std::move(out), {w}, [w, argmaxes](Node& node) mutable {
+    if (!w.requires_grad()) return;
+    const float g = node.grad()[0];
+    Tensor dw(w.value().shape());
+    const float* wv2 = w.value().data();
+    for (const auto idx : *argmaxes) {
+      const float v = wv2[idx];
+      dw[idx] += g * (v > 0 ? 1.0f : (v < 0 ? -1.0f : 0.0f));
+    }
+    w.node()->accumulate_grad(dw);
+  });
+}
+
+// ---- attack-specific ops --------------------------------------------------------
+
+Affine2D Affine2D::rotation_scale_about_center(double angle_rad, double scale, double dx,
+                                               double dy, int height, int width) {
+  // Forward model: p_out = s*R(theta)*(p_in - c) + c + t.
+  // We need the inverse map (output -> input):
+  //   p_in = R(-theta)*(p_out - c - t)/s + c.
+  const double cx = (width - 1) / 2.0;
+  const double cy = (height - 1) / 2.0;
+  const double cos_t = std::cos(angle_rad);
+  const double sin_t = std::sin(angle_rad);
+  const double inv_s = 1.0 / scale;
+  Affine2D a;
+  a.m00 = cos_t * inv_s;
+  a.m01 = sin_t * inv_s;
+  a.m10 = -sin_t * inv_s;
+  a.m11 = cos_t * inv_s;
+  a.tx = cx - (cos_t * (cx + dx) + sin_t * (cy + dy)) * inv_s;
+  a.ty = cy - (-sin_t * (cx + dx) + cos_t * (cy + dy)) * inv_s;
+  return a;
+}
+
+Variable affine_warp(const Variable& x, const Affine2D& t) {
+  if (x.shape().rank() != 4) throw std::invalid_argument("affine_warp: expected NCHW");
+  const std::int64_t n = x.shape()[0], c = x.shape()[1], h = x.shape()[2], w = x.shape()[3];
+  Tensor out(x.shape());
+  const float* xv = x.value().data();
+  for (std::int64_t p = 0; p < n * c; ++p) {
+    const float* src = xv + p * h * w;
+    float* dst = out.data() + p * h * w;
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t xx = 0; xx < w; ++xx) {
+        const double in_x = t.m00 * xx + t.m01 * y + t.tx;
+        const double in_y = t.m10 * xx + t.m11 * y + t.ty;
+        const std::int64_t x0 = static_cast<std::int64_t>(std::floor(in_x));
+        const std::int64_t y0 = static_cast<std::int64_t>(std::floor(in_y));
+        const double fx = in_x - x0;
+        const double fy = in_y - y0;
+        double acc = 0.0;
+        for (int dyi = 0; dyi <= 1; ++dyi) {
+          const std::int64_t sy = y0 + dyi;
+          if (sy < 0 || sy >= h) continue;
+          const double wy = dyi ? fy : 1.0 - fy;
+          for (int dxi = 0; dxi <= 1; ++dxi) {
+            const std::int64_t sx = x0 + dxi;
+            if (sx < 0 || sx >= w) continue;
+            const double wx = dxi ? fx : 1.0 - fx;
+            acc += wy * wx * src[sy * w + sx];
+          }
+        }
+        dst[y * w + xx] = static_cast<float>(acc);
+      }
+    }
+  }
+  return make_op("affine_warp", std::move(out), {x}, [x, t, n, c, h, w](Node& node) mutable {
+    if (!x.requires_grad()) return;
+    Tensor dx(x.value().shape());
+    const float* g = node.grad().data();
+    for (std::int64_t p = 0; p < n * c; ++p) {
+      const float* gp = g + p * h * w;
+      float* dst = dx.data() + p * h * w;
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t xx = 0; xx < w; ++xx) {
+          const float gv = gp[y * w + xx];
+          if (gv == 0.0f) continue;
+          const double in_x = t.m00 * xx + t.m01 * y + t.tx;
+          const double in_y = t.m10 * xx + t.m11 * y + t.ty;
+          const std::int64_t x0 = static_cast<std::int64_t>(std::floor(in_x));
+          const std::int64_t y0 = static_cast<std::int64_t>(std::floor(in_y));
+          const double fx = in_x - x0;
+          const double fy = in_y - y0;
+          for (int dyi = 0; dyi <= 1; ++dyi) {
+            const std::int64_t sy = y0 + dyi;
+            if (sy < 0 || sy >= h) continue;
+            const double wy = dyi ? fy : 1.0 - fy;
+            for (int dxi = 0; dxi <= 1; ++dxi) {
+              const std::int64_t sx = x0 + dxi;
+              if (sx < 0 || sx >= w) continue;
+              const double wx = dxi ? fx : 1.0 - fx;
+              dst[sy * w + sx] += static_cast<float>(wy * wx * gv);
+            }
+          }
+        }
+      }
+    }
+    x.node()->accumulate_grad(dx);
+  });
+}
+
+Variable dct_lowpass(const Variable& x, int dim) {
+  if (x.shape().rank() != 4) throw std::invalid_argument("dct_lowpass: expected NCHW");
+  Tensor out = signal::dct_lowpass_nchw(x.value(), dim);
+  return make_op("dct_lowpass", std::move(out), {x}, [x, dim](Node& node) mutable {
+    if (!x.requires_grad()) return;
+    // Orthonormal projection => self-adjoint: the adjoint is the projection
+    // itself applied to the upstream gradient.
+    x.node()->accumulate_grad(signal::dct_lowpass_nchw(node.grad(), dim));
+  });
+}
+
+Variable nps_loss(const Variable& x, const Tensor& palette) {
+  if (x.shape().rank() != 4 || x.shape()[1] != 3) {
+    throw std::invalid_argument("nps_loss: expected [N,3,H,W]");
+  }
+  if (palette.rank() != 2 || palette.dim(1) != 3 || palette.dim(0) < 1) {
+    throw std::invalid_argument("nps_loss: palette must be [P,3]");
+  }
+  const std::int64_t n = x.shape()[0], h = x.shape()[2], w = x.shape()[3];
+  const std::int64_t plane = h * w;
+  const std::int64_t num_colors = palette.dim(0);
+  const float* xv = x.value().data();
+  const float* pv = palette.data();
+  double acc = 0.0;
+  for (std::int64_t in = 0; in < n; ++in) {
+    const float* r = xv + (in * 3 + 0) * plane;
+    const float* g = xv + (in * 3 + 1) * plane;
+    const float* b = xv + (in * 3 + 2) * plane;
+    for (std::int64_t i = 0; i < plane; ++i) {
+      double prod = 1.0;
+      for (std::int64_t j = 0; j < num_colors; ++j) {
+        const double d = (std::fabs(r[i] - pv[j * 3 + 0]) + std::fabs(g[i] - pv[j * 3 + 1]) +
+                          std::fabs(b[i] - pv[j * 3 + 2])) /
+                         3.0;
+        prod *= d;
+      }
+      acc += prod;
+    }
+  }
+  const double inv_count = 1.0 / static_cast<double>(n * plane);
+  Tensor out = Tensor::scalar(static_cast<float>(acc * inv_count));
+  const Tensor pal = palette;
+  return make_op("nps_loss", std::move(out), {x},
+                 [x, pal, n, h, w, plane, num_colors, inv_count](Node& node) mutable {
+                   if (!x.requires_grad()) return;
+                   const double gscale = static_cast<double>(node.grad()[0]) * inv_count;
+                   Tensor dx(x.value().shape());
+                   const float* xv2 = x.value().data();
+                   const float* pv2 = pal.data();
+                   std::vector<double> dist(static_cast<std::size_t>(num_colors));
+                   for (std::int64_t in = 0; in < n; ++in) {
+                     const float* chan[3] = {xv2 + (in * 3 + 0) * plane,
+                                             xv2 + (in * 3 + 1) * plane,
+                                             xv2 + (in * 3 + 2) * plane};
+                     float* dchan[3] = {dx.data() + (in * 3 + 0) * plane,
+                                        dx.data() + (in * 3 + 1) * plane,
+                                        dx.data() + (in * 3 + 2) * plane};
+                     for (std::int64_t i = 0; i < plane; ++i) {
+                       for (std::int64_t j = 0; j < num_colors; ++j) {
+                         dist[static_cast<std::size_t>(j)] =
+                             (std::fabs(chan[0][i] - pv2[j * 3 + 0]) +
+                              std::fabs(chan[1][i] - pv2[j * 3 + 1]) +
+                              std::fabs(chan[2][i] - pv2[j * 3 + 2])) /
+                             3.0;
+                       }
+                       // prod_except[j] = prod_{k != j} dist[k], via prefix/suffix.
+                       for (std::int64_t j = 0; j < num_colors; ++j) {
+                         double prod_except = 1.0;
+                         for (std::int64_t k = 0; k < num_colors; ++k) {
+                           if (k != j) prod_except *= dist[static_cast<std::size_t>(k)];
+                         }
+                         for (int ch = 0; ch < 3; ++ch) {
+                           const double diff = chan[ch][i] - pv2[j * 3 + ch];
+                           const double s = diff > 0 ? 1.0 : (diff < 0 ? -1.0 : 0.0);
+                           dchan[ch][i] += static_cast<float>(gscale * prod_except * s / 3.0);
+                         }
+                       }
+                     }
+                   }
+                   x.node()->accumulate_grad(dx);
+                 });
+}
+
+}  // namespace blurnet::autograd

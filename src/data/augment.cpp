@@ -1,0 +1,32 @@
+#include "src/data/augment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace blurnet::data {
+
+tensor::Tensor gaussian_noise(const tensor::Tensor& x, double sigma, util::Rng& rng) {
+  tensor::Tensor out = x.clone();
+  float* p = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    p[i] = static_cast<float>(std::clamp(p[i] + rng.normal(0.0, sigma), 0.0, 1.0));
+  }
+  return out;
+}
+
+tensor::Tensor brightness_jitter(const tensor::Tensor& x, double range, util::Rng& rng) {
+  if (x.rank() != 4) throw std::invalid_argument("brightness_jitter: expected NCHW");
+  tensor::Tensor out = x.clone();
+  const std::int64_t n = x.dim(0);
+  const std::int64_t stride = x.numel() / n;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float gain = static_cast<float>(rng.uniform(1.0 - range, 1.0 + range));
+    float* p = out.data() + i * stride;
+    for (std::int64_t j = 0; j < stride; ++j) {
+      p[j] = std::clamp(p[j] * gain, 0.0f, 1.0f);
+    }
+  }
+  return out;
+}
+
+}  // namespace blurnet::data

@@ -1,0 +1,16 @@
+// Training-time augmentations: Gaussian noise (the paper's "Gaussian aug"
+// baseline and the randomized-smoothing sampler) and brightness jitter.
+#pragma once
+
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace blurnet::data {
+
+/// x + N(0, sigma^2) per element, clamped to [0,1].
+tensor::Tensor gaussian_noise(const tensor::Tensor& x, double sigma, util::Rng& rng);
+
+/// Per-image multiplicative brightness jitter in [1-range, 1+range], clamped.
+tensor::Tensor brightness_jitter(const tensor::Tensor& x, double range, util::Rng& rng);
+
+}  // namespace blurnet::data

@@ -1,0 +1,118 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace blurnet::data {
+
+tensor::Tensor Dataset::image_batch(std::int64_t i) const {
+  if (i < 0 || i >= size()) throw std::out_of_range("Dataset::image_batch: index");
+  const std::int64_t c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  tensor::Tensor out(tensor::Shape::nchw(1, c, h, w));
+  const float* src = images.data() + i * c * h * w;
+  std::copy(src, src + c * h * w, out.data());
+  return out;
+}
+
+Dataset Dataset::subset(const std::vector<int>& indices) const {
+  const std::int64_t c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  Dataset out;
+  out.num_classes = num_classes;
+  out.images = tensor::Tensor(
+      tensor::Shape::nchw(static_cast<std::int64_t>(indices.size()), c, h, w));
+  out.labels.reserve(indices.size());
+  const std::int64_t stride = c * h * w;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const int src_index = indices[i];
+    if (src_index < 0 || src_index >= size()) {
+      throw std::out_of_range("Dataset::subset: index out of range");
+    }
+    std::copy(images.data() + src_index * stride, images.data() + (src_index + 1) * stride,
+              out.images.data() + static_cast<std::int64_t>(i) * stride);
+    out.labels.push_back(labels[static_cast<std::size_t>(src_index)]);
+  }
+  return out;
+}
+
+std::vector<Batch> make_batches(const Dataset& data, int batch_size, util::Rng& rng) {
+  if (batch_size <= 0) throw std::invalid_argument("make_batches: batch_size must be positive");
+  std::vector<int> order(static_cast<std::size_t>(data.size()));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  const std::int64_t c = data.images.dim(1), h = data.images.dim(2), w = data.images.dim(3);
+  const std::int64_t stride = c * h * w;
+  std::vector<Batch> batches;
+  for (std::size_t start = 0; start < order.size(); start += static_cast<std::size_t>(batch_size)) {
+    const std::size_t end = std::min(order.size(), start + static_cast<std::size_t>(batch_size));
+    Batch batch;
+    batch.images = tensor::Tensor(
+        tensor::Shape::nchw(static_cast<std::int64_t>(end - start), c, h, w));
+    for (std::size_t i = start; i < end; ++i) {
+      const int idx = order[i];
+      std::copy(data.images.data() + idx * stride, data.images.data() + (idx + 1) * stride,
+                batch.images.data() + static_cast<std::int64_t>(i - start) * stride);
+      batch.labels.push_back(data.labels[static_cast<std::size_t>(idx)]);
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+namespace {
+
+Dataset render_split(const SignRenderer& renderer, int per_class, bool wide_pose,
+                     util::Rng& rng) {
+  const int classes = SignRenderer::kNumClasses;
+  const int size = renderer.image_size();
+  Dataset out;
+  out.num_classes = classes;
+  out.images = tensor::Tensor(
+      tensor::Shape::nchw(static_cast<std::int64_t>(classes) * per_class, 3, size, size));
+  out.labels.reserve(static_cast<std::size_t>(classes) * per_class);
+  const std::int64_t stride = 3LL * size * size;
+  std::int64_t row = 0;
+  for (int cls = 0; cls < classes; ++cls) {
+    for (int i = 0; i < per_class; ++i) {
+      const auto params = SignRenderer::sample_params(rng, wide_pose);
+      const auto image = renderer.render(cls, params);
+      std::copy(image.data(), image.data() + stride, out.images.data() + row * stride);
+      out.labels.push_back(cls);
+      ++row;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SynthLisa make_synth_lisa(const SynthLisaOptions& options) {
+  SignRenderer renderer(options.image_size);
+  util::Rng train_rng(options.seed);
+  util::Rng test_rng(options.seed ^ 0xabcdef12345678ULL);
+  SynthLisa out;
+  out.train = render_split(renderer, options.train_per_class, options.wide_pose, train_rng);
+  out.test = render_split(renderer, options.test_per_class, options.wide_pose, test_rng);
+  return out;
+}
+
+StopSignSet stop_sign_eval_set(int count, int image_size, std::uint64_t seed) {
+  SignRenderer renderer(image_size);
+  util::Rng rng(seed);
+  StopSignSet out;
+  out.images = tensor::Tensor(tensor::Shape::nchw(count, 3, image_size, image_size));
+  out.masks = tensor::Tensor(tensor::Shape::nchw(count, 1, image_size, image_size));
+  const std::int64_t img_stride = 3LL * image_size * image_size;
+  const std::int64_t mask_stride = 1LL * image_size * image_size;
+  for (int i = 0; i < count; ++i) {
+    const auto params = SignRenderer::sample_params(rng, /*wide_pose=*/true);
+    const auto image = renderer.render(SignRenderer::stop_class_id(), params);
+    const auto mask = renderer.sign_region_mask(SignRenderer::stop_class_id(), params);
+    std::copy(image.data(), image.data() + img_stride, out.images.data() + i * img_stride);
+    std::copy(mask.data(), mask.data() + mask_stride, out.masks.data() + i * mask_stride);
+  }
+  return out;
+}
+
+}  // namespace blurnet::data

@@ -1,0 +1,63 @@
+// Dataset container, deterministic synthetic-LISA generation, batching and
+// the held-out stop-sign evaluation set (the stand-in for the paper's 40
+// physical stop-sign photos).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/data/sign_renderer.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace blurnet::data {
+
+struct Dataset {
+  tensor::Tensor images;     // [N, 3, H, W]
+  std::vector<int> labels;   // size N
+  int num_classes = 0;
+
+  std::int64_t size() const { return images.rank() == 4 ? images.dim(0) : 0; }
+
+  /// Copy image i as a [1,3,H,W] batch.
+  tensor::Tensor image_batch(std::int64_t i) const;
+  /// Copy a subset of rows.
+  Dataset subset(const std::vector<int>& indices) const;
+};
+
+struct Batch {
+  tensor::Tensor images;    // [B, 3, H, W]
+  std::vector<int> labels;  // size B
+};
+
+/// Shuffle + split a dataset into fixed-size batches (last partial batch kept).
+std::vector<Batch> make_batches(const Dataset& data, int batch_size, util::Rng& rng);
+
+struct SynthLisaOptions {
+  int image_size = 32;
+  int train_per_class = 60;
+  int test_per_class = 15;
+  /// Sample the full pose range (distance/angle variation) during training,
+  /// matching the varied viewpoints of dashcam-style captures. Keeps the
+  /// trained classifiers confident on the wide-pose stop-sign eval set.
+  bool wide_pose = true;
+  std::uint64_t seed = 42;
+};
+
+struct SynthLisa {
+  Dataset train;
+  Dataset test;
+};
+
+/// Generate the synthetic LISA-18 dataset (deterministic given the seed).
+SynthLisa make_synth_lisa(const SynthLisaOptions& options);
+
+/// Render `count` held-out stop signs at wide poses, with their sign-region
+/// masks (stacked as [count,1,H,W]).
+struct StopSignSet {
+  tensor::Tensor images;  // [count, 3, H, W]
+  tensor::Tensor masks;   // [count, 1, H, W] sign silhouette region
+};
+StopSignSet stop_sign_eval_set(int count, int image_size = 32, std::uint64_t seed = 977);
+
+}  // namespace blurnet::data

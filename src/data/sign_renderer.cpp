@@ -1,0 +1,332 @@
+#include "src/data/sign_renderer.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace blurnet::data {
+
+namespace {
+
+using Vec2 = std::array<double, 2>;
+
+enum class Silhouette { kOctagon, kDiamond, kTriangleDown, kRect, kPentagon, kDisc };
+
+struct Prim {
+  enum class Kind { kBar, kDisc, kRing };
+  Kind kind = Kind::kBar;
+  double cx = 0, cy = 0;    // centre in sign-local coords (v up)
+  double w = 0.2, h = 0.2;  // bar: width/height; disc: w = radius; ring: w = outer radius, h = thickness
+  double angle = 0.0;       // bar rotation (radians)
+  Rgb color;
+};
+
+struct Archetype {
+  Silhouette silhouette = Silhouette::kRect;
+  Rgb base{0.9f, 0.9f, 0.9f};
+  Rgb border{0.05f, 0.05f, 0.05f};
+  double border_width = 0.08;  // fraction of the sign radius
+  std::vector<Prim> glyphs;
+};
+
+constexpr Rgb kRed{0.72f, 0.07f, 0.07f};
+constexpr Rgb kWhite{0.93f, 0.93f, 0.93f};
+constexpr Rgb kBlack{0.06f, 0.06f, 0.06f};
+constexpr Rgb kYellow{0.95f, 0.75f, 0.10f};
+constexpr Rgb kYellowGreen{0.80f, 0.90f, 0.20f};
+constexpr Rgb kGreen{0.10f, 0.60f, 0.20f};
+constexpr Rgb kAmber{0.95f, 0.60f, 0.05f};
+
+std::vector<Vec2> silhouette_polygon(Silhouette s) {
+  switch (s) {
+    case Silhouette::kOctagon: {
+      std::vector<Vec2> v;
+      for (int k = 0; k < 8; ++k) {
+        const double a = M_PI / 8.0 + k * M_PI / 4.0;
+        v.push_back({std::cos(a), std::sin(a)});
+      }
+      return v;
+    }
+    case Silhouette::kDiamond:
+      return {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    case Silhouette::kTriangleDown:
+      return {{0, -1}, {0.95, 0.72}, {-0.95, 0.72}};
+    case Silhouette::kRect:
+      return {{0.78, -0.95}, {0.78, 0.95}, {-0.78, 0.95}, {-0.78, -0.95}};
+    case Silhouette::kPentagon: {
+      std::vector<Vec2> v;
+      for (int k = 0; k < 5; ++k) {
+        const double a = M_PI / 2.0 + k * 2.0 * M_PI / 5.0;
+        v.push_back({std::cos(a), std::sin(a)});
+      }
+      return v;
+    }
+    case Silhouette::kDisc:
+      return {};  // handled analytically
+  }
+  return {};
+}
+
+bool inside_convex(const std::vector<Vec2>& verts, double u, double v) {
+  const std::size_t n = verts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2& a = verts[i];
+    const Vec2& b = verts[(i + 1) % n];
+    const double cross = (b[0] - a[0]) * (v - a[1]) - (b[1] - a[1]) * (u - a[0]);
+    if (cross < 0) return false;
+  }
+  return true;
+}
+
+bool inside_silhouette(Silhouette s, const std::vector<Vec2>& poly, double u, double v,
+                       double shrink = 1.0) {
+  const double su = u / shrink;
+  const double sv = v / shrink;
+  if (s == Silhouette::kDisc) return su * su + sv * sv <= 1.0;
+  return inside_convex(poly, su, sv);
+}
+
+bool inside_prim(const Prim& p, double u, double v) {
+  const double du = u - p.cx;
+  const double dv = v - p.cy;
+  switch (p.kind) {
+    case Prim::Kind::kBar: {
+      const double c = std::cos(-p.angle), s = std::sin(-p.angle);
+      const double x = du * c - dv * s;
+      const double y = du * s + dv * c;
+      return std::fabs(x) <= p.w / 2.0 && std::fabs(y) <= p.h / 2.0;
+    }
+    case Prim::Kind::kDisc:
+      return du * du + dv * dv <= p.w * p.w;
+    case Prim::Kind::kRing: {
+      const double r = std::sqrt(du * du + dv * dv);
+      return r <= p.w && r >= p.w - p.h;
+    }
+  }
+  return false;
+}
+
+Prim bar(double cx, double cy, double w, double h, Rgb color, double angle = 0.0) {
+  Prim p;
+  p.kind = Prim::Kind::kBar;
+  p.cx = cx; p.cy = cy; p.w = w; p.h = h; p.angle = angle; p.color = color;
+  return p;
+}
+
+Prim disc(double cx, double cy, double r, Rgb color) {
+  Prim p;
+  p.kind = Prim::Kind::kDisc;
+  p.cx = cx; p.cy = cy; p.w = r; p.color = color;
+  return p;
+}
+
+Prim ring(double cx, double cy, double outer, double thickness, Rgb color) {
+  Prim p;
+  p.kind = Prim::Kind::kRing;
+  p.cx = cx; p.cy = cy; p.w = outer; p.h = thickness; p.color = color;
+  return p;
+}
+
+// The 18 class archetypes (names in class_names() below, index-aligned).
+const std::vector<Archetype>& archetypes() {
+  static const std::vector<Archetype> kArchetypes = [] {
+    std::vector<Archetype> a(SignRenderer::kNumClasses);
+    // 0: stop — red octagon, white band.
+    a[0] = {Silhouette::kOctagon, kRed, kWhite, 0.10,
+            {bar(0, 0, 1.35, 0.30, kWhite)}};
+    // 1: yield — white triangle, thick red border.
+    a[1] = {Silhouette::kTriangleDown, kWhite, kRed, 0.26, {}};
+    // 2: speedLimit25 — white rect, two vertical digit bars + base bar.
+    a[2] = {Silhouette::kRect, kWhite, kBlack, 0.07,
+            {bar(-0.26, 0.28, 0.22, 0.62, kBlack), bar(0.26, 0.28, 0.22, 0.62, kBlack),
+             bar(0, -0.45, 0.95, 0.18, kBlack)}};
+    // 3: speedLimit30 — white rect, bar + disc digits.
+    a[3] = {Silhouette::kRect, kWhite, kBlack, 0.07,
+            {bar(-0.3, 0.28, 0.2, 0.62, kBlack), disc(0.25, 0.28, 0.28, kBlack),
+             bar(0, -0.45, 0.95, 0.18, kBlack)}};
+    // 4: speedLimit35 — white rect, slanted digit bars.
+    a[4] = {Silhouette::kRect, kWhite, kBlack, 0.07,
+            {bar(-0.25, 0.28, 0.2, 0.62, kBlack, 0.45), bar(0.25, 0.28, 0.2, 0.62, kBlack, -0.45),
+             bar(0, -0.45, 0.95, 0.18, kBlack)}};
+    // 5: speedLimit45 — white rect, X digit pattern.
+    a[5] = {Silhouette::kRect, kWhite, kBlack, 0.07,
+            {bar(0, 0.3, 0.18, 0.85, kBlack, 0.6), bar(0, 0.3, 0.18, 0.85, kBlack, -0.6),
+             bar(0, -0.45, 0.95, 0.18, kBlack)}};
+    // 6: signalAhead — yellow diamond, traffic-signal glyph.
+    a[6] = {Silhouette::kDiamond, kYellow, kBlack, 0.06,
+            {bar(0, 0, 0.40, 1.05, kBlack), disc(0, 0.32, 0.11, kRed),
+             disc(0, 0, 0.11, kAmber), disc(0, -0.32, 0.11, kGreen)}};
+    // 7: pedestrianCrossing — yellow diamond, walking figure.
+    a[7] = {Silhouette::kDiamond, kYellow, kBlack, 0.06,
+            {disc(0, 0.42, 0.13, kBlack), bar(0, 0.02, 0.20, 0.55, kBlack),
+             bar(-0.14, -0.42, 0.14, 0.45, kBlack, 0.35),
+             bar(0.14, -0.42, 0.14, 0.45, kBlack, -0.35)}};
+    // 8: laneEnds — yellow diamond, converging bars.
+    a[8] = {Silhouette::kDiamond, kYellow, kBlack, 0.06,
+            {bar(-0.24, 0, 0.13, 0.95, kBlack, 0.28), bar(0.24, 0, 0.13, 0.95, kBlack, -0.28)}};
+    // 9: school — yellow-green pentagon, two figures over a base line.
+    a[9] = {Silhouette::kPentagon, kYellowGreen, kBlack, 0.07,
+            {disc(-0.22, 0.18, 0.13, kBlack), disc(0.22, 0.18, 0.13, kBlack),
+             bar(0, -0.32, 0.85, 0.16, kBlack)}};
+    // 10: merge — yellow diamond, merging lane glyph.
+    a[10] = {Silhouette::kDiamond, kYellow, kBlack, 0.06,
+             {bar(0.05, 0, 0.14, 1.05, kBlack, 0.32), bar(0.34, -0.28, 0.14, 0.5, kBlack, -0.5)}};
+    // 11: addedLane — yellow diamond, two parallel bars.
+    a[11] = {Silhouette::kDiamond, kYellow, kBlack, 0.06,
+             {bar(-0.2, 0, 0.13, 1.0, kBlack), bar(0.2, 0, 0.13, 1.0, kBlack)}};
+    // 12: keepRight — white rect, right-pointing arrow block.
+    a[12] = {Silhouette::kRect, kWhite, kBlack, 0.07,
+             {bar(0.18, -0.15, 0.2, 0.8, kBlack), bar(0.18, 0.38, 0.55, 0.18, kBlack),
+              bar(0.42, 0.25, 0.18, 0.4, kBlack, 0.6)}};
+    // 13: stopAhead — yellow diamond, red octagon inset.
+    a[13] = {Silhouette::kDiamond, kYellow, kBlack, 0.06,
+             {disc(0, 0.05, 0.38, kRed), bar(0, 0.05, 0.5, 0.12, kWhite)}};
+    // 14: yieldAhead — yellow diamond, red triangle ring inset.
+    a[14] = {Silhouette::kDiamond, kYellow, kBlack, 0.06,
+             {ring(0, 0.05, 0.42, 0.14, kRed)}};
+    // 15: turnRight — white rect, L-shaped arrow.
+    a[15] = {Silhouette::kRect, kWhite, kBlack, 0.07,
+             {bar(-0.1, -0.2, 0.18, 0.7, kBlack), bar(0.2, 0.28, 0.6, 0.18, kBlack),
+              bar(0.45, 0.28, 0.2, 0.42, kBlack, 0.7)}};
+    // 16: doNotPass — white rect, two horizontal bars.
+    a[16] = {Silhouette::kRect, kWhite, kBlack, 0.07,
+             {bar(0, 0.3, 0.9, 0.17, kBlack), bar(0, -0.3, 0.9, 0.17, kBlack)}};
+    // 17: noLeftTurn — white disc, red border + slash over arrow.
+    a[17] = {Silhouette::kDisc, kWhite, kRed, 0.11,
+             {bar(0.05, -0.12, 0.5, 0.16, kBlack), bar(-0.3, 0.1, 0.16, 0.45, kBlack, 0.5),
+              bar(0, 0, 0.16, 1.4, kRed, M_PI / 4.0)}};
+    return a;
+  }();
+  return kArchetypes;
+}
+
+}  // namespace
+
+const std::vector<std::string>& SignRenderer::class_names() {
+  static const std::vector<std::string> kNames = {
+      "stop",          "yield",        "speedLimit25", "speedLimit30", "speedLimit35",
+      "speedLimit45",  "signalAhead",  "pedestrianCrossing", "laneEnds", "school",
+      "merge",         "addedLane",    "keepRight",    "stopAhead",    "yieldAhead",
+      "turnRight",     "rightLaneMustTurn",            "doNotPass"};
+  return kNames;
+}
+
+SignRenderer::SignRenderer(int image_size, int supersample)
+    : image_size_(image_size), supersample_(supersample) {
+  if (image_size <= 0 || supersample <= 0) {
+    throw std::invalid_argument("SignRenderer: sizes must be positive");
+  }
+}
+
+RenderParams SignRenderer::sample_params(util::Rng& rng, bool wide_pose) {
+  RenderParams p;
+  const double rot_range = wide_pose ? 0.30 : 0.15;
+  p.rotation = rng.uniform(-rot_range, rot_range);
+  p.scale = wide_pose ? rng.uniform(0.62, 1.10) : rng.uniform(0.80, 1.05);
+  const double shift = wide_pose ? 3.0 : 2.0;
+  p.dx = rng.uniform(-shift, shift);
+  p.dy = rng.uniform(-shift, shift);
+  p.brightness = rng.uniform(0.75, 1.15);
+  // Mild sensor noise: enough to be realistic, low enough that the trained
+  // classifier keeps the sharp high-frequency sensitivity the RP2 attack
+  // exploits (heavy noise would act as implicit augmentation-robustness).
+  p.noise_std = rng.uniform(0.003, 0.012);
+  p.background = Rgb{static_cast<float>(rng.uniform(0.25, 0.7)),
+                     static_cast<float>(rng.uniform(0.3, 0.7)),
+                     static_cast<float>(rng.uniform(0.3, 0.75))};
+  p.noise_seed = rng.next_u64();
+  return p;
+}
+
+tensor::Tensor SignRenderer::render(int class_id, const RenderParams& params) const {
+  if (class_id < 0 || class_id >= kNumClasses) {
+    throw std::invalid_argument("SignRenderer::render: class_id out of range");
+  }
+  const Archetype& arch = archetypes()[static_cast<std::size_t>(class_id)];
+  const auto poly = silhouette_polygon(arch.silhouette);
+
+  const int size = image_size_;
+  tensor::Tensor image(tensor::Shape{3, size, size});
+  const double cx = (size - 1) / 2.0 + params.dx;
+  const double cy = (size - 1) / 2.0 + params.dy;
+  const double radius = 0.42 * size * params.scale;
+  const double cos_t = std::cos(params.rotation);
+  const double sin_t = std::sin(params.rotation);
+  const int ss = supersample_;
+  const double inv_ss = 1.0 / ss;
+
+  for (int py = 0; py < size; ++py) {
+    for (int px = 0; px < size; ++px) {
+      double acc_r = 0, acc_g = 0, acc_b = 0;
+      for (int sy = 0; sy < ss; ++sy) {
+        for (int sx = 0; sx < ss; ++sx) {
+          const double fx = px + (sx + 0.5) * inv_ss - 0.5 - cx;
+          const double fy = py + (sy + 0.5) * inv_ss - 0.5 - cy;
+          // Rotate into sign frame; v axis points up.
+          const double u = (fx * cos_t + fy * sin_t) / radius;
+          const double v = -(-fx * sin_t + fy * cos_t) / radius;
+          Rgb color = params.background;
+          // Soft vertical background gradient for mild realism.
+          const float grad = static_cast<float>(0.06 * (static_cast<double>(py) / size - 0.5));
+          color.r -= grad;
+          color.g -= grad;
+          color.b -= grad;
+          if (inside_silhouette(arch.silhouette, poly, u, v)) {
+            color = arch.border;
+            if (inside_silhouette(arch.silhouette, poly, u, v, 1.0 - arch.border_width)) {
+              color = arch.base;
+              for (const auto& prim : arch.glyphs) {
+                if (inside_prim(prim, u, v)) color = prim.color;
+              }
+            }
+          }
+          acc_r += color.r;
+          acc_g += color.g;
+          acc_b += color.b;
+        }
+      }
+      const double norm = 1.0 / (ss * ss);
+      image[0 * size * size + py * size + px] = static_cast<float>(acc_r * norm);
+      image[1 * size * size + py * size + px] = static_cast<float>(acc_g * norm);
+      image[2 * size * size + py * size + px] = static_cast<float>(acc_b * norm);
+    }
+  }
+
+  // Photometric jitter + sensor noise, clamped to [0,1].
+  util::Rng noise_rng(params.noise_seed);
+  float* data = image.data();
+  for (std::int64_t i = 0; i < image.numel(); ++i) {
+    double value = data[i] * params.brightness +
+                   noise_rng.normal(0.0, params.noise_std);
+    data[i] = static_cast<float>(std::clamp(value, 0.0, 1.0));
+  }
+  return image;
+}
+
+tensor::Tensor SignRenderer::sign_region_mask(int class_id, const RenderParams& params) const {
+  if (class_id < 0 || class_id >= kNumClasses) {
+    throw std::invalid_argument("SignRenderer::sign_region_mask: class_id out of range");
+  }
+  const Archetype& arch = archetypes()[static_cast<std::size_t>(class_id)];
+  const auto poly = silhouette_polygon(arch.silhouette);
+  const int size = image_size_;
+  tensor::Tensor mask(tensor::Shape{1, size, size});
+  const double cx = (size - 1) / 2.0 + params.dx;
+  const double cy = (size - 1) / 2.0 + params.dy;
+  const double radius = 0.42 * size * params.scale;
+  const double cos_t = std::cos(params.rotation);
+  const double sin_t = std::sin(params.rotation);
+  for (int py = 0; py < size; ++py) {
+    for (int px = 0; px < size; ++px) {
+      const double fx = px - cx;
+      const double fy = py - cy;
+      const double u = (fx * cos_t + fy * sin_t) / radius;
+      const double v = -(-fx * sin_t + fy * cos_t) / radius;
+      mask[py * size + px] = inside_silhouette(arch.silhouette, poly, u, v) ? 1.0f : 0.0f;
+    }
+  }
+  return mask;
+}
+
+}  // namespace blurnet::data

@@ -1,0 +1,62 @@
+// Procedural traffic-sign renderer: the synthetic stand-in for the LISA
+// dataset (see DESIGN.md §1 for the substitution argument).
+//
+// Each of the 18 classes is an archetype: a convex sign silhouette (octagon,
+// diamond, triangle, rectangle, disc) with a border and a class-specific
+// glyph pattern, rendered at 32×32 with pose, lighting and background jitter
+// plus additive sensor noise. Rendering is supersampled for soft edges so the
+// images have the smooth-region/sharp-edge statistics the paper's frequency
+// analysis relies on.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace blurnet::data {
+
+struct Rgb {
+  float r = 0, g = 0, b = 0;
+};
+
+/// Pose / photometric parameters of one render.
+struct RenderParams {
+  double rotation = 0.0;      // radians
+  double scale = 1.0;         // sign radius multiplier
+  double dx = 0.0, dy = 0.0;  // centre offset in pixels
+  double brightness = 1.0;    // global gain
+  double noise_std = 0.02;    // additive Gaussian sensor noise
+  Rgb background{0.45f, 0.5f, 0.55f};
+  std::uint64_t noise_seed = 1;
+};
+
+class SignRenderer {
+ public:
+  explicit SignRenderer(int image_size = 32, int supersample = 2);
+
+  static constexpr int kNumClasses = 18;
+  static const std::vector<std::string>& class_names();
+  static int stop_class_id() { return 0; }
+
+  /// Render one sign as a [3,H,W] tensor in [0,1].
+  tensor::Tensor render(int class_id, const RenderParams& params) const;
+
+  /// Draw pose/lighting/background jitter. `wide_pose` widens the pose range
+  /// (used for the evaluation set, mimicking varied distances/angles).
+  static RenderParams sample_params(util::Rng& rng, bool wide_pose = false);
+
+  int image_size() const { return image_size_; }
+
+  /// Binary mask [1,H,W] of the sign region (1 inside the silhouette) for a
+  /// given pose — the attack's M_x mask is derived from this.
+  tensor::Tensor sign_region_mask(int class_id, const RenderParams& params) const;
+
+ private:
+  int image_size_;
+  int supersample_;
+};
+
+}  // namespace blurnet::data

@@ -1,0 +1,18 @@
+// Umbrella header: the BlurNet public API.
+//
+//   #include "src/defense/blurnet.h"
+//
+// pulls in the classifier, dataset, defenses, attacks and evaluation metrics
+// needed to reproduce the paper end to end. See examples/quickstart.cpp.
+#pragma once
+
+#include "src/attack/adaptive.h"       // IWYU pragma: export
+#include "src/attack/masks.h"          // IWYU pragma: export
+#include "src/attack/pgd.h"            // IWYU pragma: export
+#include "src/attack/rp2.h"            // IWYU pragma: export
+#include "src/data/dataset.h"          // IWYU pragma: export
+#include "src/defense/model_zoo.h"     // IWYU pragma: export
+#include "src/defense/randomized_smoothing.h"  // IWYU pragma: export
+#include "src/defense/regularizers.h"  // IWYU pragma: export
+#include "src/defense/trainer.h"       // IWYU pragma: export
+#include "src/nn/lisa_cnn.h"           // IWYU pragma: export

@@ -1,0 +1,173 @@
+#include "src/defense/model_zoo.h"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/env.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace blurnet::defense {
+
+ZooConfig default_zoo_config() {
+  ZooConfig config;
+  if (util::env_flag("BLURNET_FAST")) {
+    config.dataset.train_per_class = 24;
+    config.dataset.test_per_class = 8;
+    config.epochs = 4;
+  } else if (util::env_flag("BLURNET_PAPER")) {
+    config.dataset.train_per_class = 100;
+    config.dataset.test_per_class = 25;
+    config.epochs = 30;
+  } else {
+    config.dataset.train_per_class = 40;
+    config.dataset.test_per_class = 12;
+    config.epochs = 12;
+  }
+  if (const auto dir = util::env_string("BLURNET_CACHE_DIR")) {
+    config.cache_dir = *dir;
+  }
+  return config;
+}
+
+namespace {
+
+std::map<std::string, ZooEntry> build_specs(const ZooConfig& zoo) {
+  std::map<std::string, ZooEntry> specs;
+
+  nn::LisaCnnConfig base_model;
+  base_model.image_size = zoo.dataset.image_size;
+  // Scaled LISA-CNN (see DESIGN.md §1): 3 conv + FC.
+  base_model.conv1_filters = 8;
+  base_model.conv2_filters = 16;
+  base_model.conv3_filters = 32;
+
+  TrainConfig base_train;
+  base_train.epochs = zoo.epochs;
+  base_train.verbose = zoo.verbose;
+
+  auto add = [&](const std::string& name, nn::LisaCnnConfig model, TrainConfig train,
+                 const std::string& description) {
+    specs.emplace(name, ZooEntry{model, train, description});
+  };
+
+  add("baseline", base_model, base_train, "undefended classifier");
+
+  // Learnable depthwise filter layer + L-inf penalty (Table II alphas).
+  {
+    nn::LisaCnnConfig m = base_model;
+    TrainConfig t = base_train;
+    m.learnable_depthwise_kernel = 3;
+    t.regularizer = RegularizerSpec::linf(1e-5);
+    add("dw3", m, t, "3x3 depthwise conv, L-inf alpha=1e-5");
+    m.learnable_depthwise_kernel = 5;
+    t.regularizer = RegularizerSpec::linf(0.1);
+    add("dw5", m, t, "5x5 depthwise conv, L-inf alpha=0.1");
+    m.learnable_depthwise_kernel = 7;
+    t.regularizer = RegularizerSpec::linf(0.1);
+    add("dw7", m, t, "7x7 depthwise conv, L-inf alpha=0.1");
+  }
+
+  // Total-variation regularization on the first-layer feature maps.
+  //
+  // The variant names keep the paper's alpha labels (its table rows); the
+  // effective strengths are recalibrated for our scale-normalized objective
+  // (see RegularizerSpec::normalize and EXPERIMENTS.md): the paper's raw
+  // alphas are tied to the authors' feature magnitudes and are inert here.
+  {
+    TrainConfig t = base_train;
+    t.regularizer = RegularizerSpec::tv(3e-4);
+    add("tv1e-4", base_model, t, "TV feature regularization (paper row alpha=1e-4)");
+    t.regularizer = RegularizerSpec::tv(1e-4);
+    add("tv1e-5", base_model, t, "TV feature regularization (paper row alpha=1e-5)");
+  }
+
+  // Tikhonov regularization (same recalibration note as TV).
+  {
+    TrainConfig t = base_train;
+    t.regularizer = RegularizerSpec::tik_hf(3e-4);
+    add("tik_hf", base_model, t, "Tikhonov high-frequency operator (paper alpha=1e-4)");
+    t.regularizer = RegularizerSpec::tik_pseudo(3e-4);
+    add("tik_pseudo", base_model, t, "Tikhonov pseudoinverse operator (paper alpha=1e-6)");
+  }
+
+  // Gaussian augmentation baselines (Cohen et al.).
+  for (const double sigma : {0.1, 0.2, 0.3}) {
+    TrainConfig t = base_train;
+    t.gaussian_sigma = sigma;
+    std::ostringstream name;
+    name << "gauss" << sigma;
+    add(name.str(), base_model, t, "Gaussian augmentation");
+  }
+
+  // PGD adversarial training (Madry et al.; paper §IV-D parameters).
+  {
+    TrainConfig t = base_train;
+    t.adversarial = true;
+    t.adversarial_pgd.epsilon = 8.0 / 255.0;
+    t.adversarial_pgd.step_size = 0.1;
+    t.adversarial_pgd.steps = 7;
+    add("advtrain", base_model, t, "PGD adversarial training, eps=8/255");
+  }
+
+  return specs;
+}
+
+}  // namespace
+
+ModelZoo::ModelZoo(ZooConfig config)
+    : config_(std::move(config)), specs_(build_specs(config_)) {}
+
+std::vector<std::string> ModelZoo::known_variants() {
+  return {"baseline", "dw3",      "dw5",      "dw7",      "tv1e-4",  "tv1e-5",
+          "tik_hf",   "tik_pseudo", "gauss0.1", "gauss0.2", "gauss0.3", "advtrain"};
+}
+
+const ZooEntry& ModelZoo::spec(const std::string& name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) throw std::invalid_argument("ModelZoo: unknown variant " + name);
+  return it->second;
+}
+
+const data::SynthLisa& ModelZoo::dataset() {
+  if (!data_) data_ = data::make_synth_lisa(config_.dataset);
+  return *data_;
+}
+
+std::string ModelZoo::cache_path(const std::string& name) const {
+  std::ostringstream key;
+  key << name << "_t" << config_.dataset.train_per_class << "_e" << config_.epochs << "_s"
+      << config_.dataset.seed << ".bin";
+  return (std::filesystem::path(config_.cache_dir) / key.str()).string();
+}
+
+nn::LisaCnn& ModelZoo::get(const std::string& name) {
+  if (const auto it = models_.find(name); it != models_.end()) return *it->second;
+  const ZooEntry& entry = spec(name);
+  auto model = std::make_unique<nn::LisaCnn>(entry.model_config);
+  const std::string path = cache_path(name);
+  if (std::filesystem::exists(path)) {
+    model->load(path);
+    util::log_info() << "zoo: loaded '" << name << "' from " << path;
+  } else {
+    util::log_info() << "zoo: training '" << name << "' (" << entry.description << ")";
+    util::Timer timer;
+    const auto& lisa = dataset();
+    const auto stats = train_classifier(*model, lisa.train, lisa.test, entry.train_config);
+    util::log_info() << "zoo: '" << name << "' trained in " << static_cast<int>(timer.seconds())
+                     << "s, test acc " << stats.test_accuracy;
+    std::filesystem::create_directories(config_.cache_dir);
+    model->save(path);
+  }
+  auto [it, inserted] = models_.emplace(name, std::move(model));
+  (void)inserted;
+  return *it->second;
+}
+
+double ModelZoo::test_accuracy(const std::string& name) {
+  nn::LisaCnn& model = get(name);
+  return classifier_accuracy(model, dataset().test);
+}
+
+}  // namespace blurnet::defense

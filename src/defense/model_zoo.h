@@ -1,0 +1,65 @@
+// Model zoo: every trained variant the evaluation tables need, built on
+// demand from a deterministic recipe and cached on disk so the bench binaries
+// stay independently runnable (DESIGN.md §5).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/defense/trainer.h"
+#include "src/nn/lisa_cnn.h"
+
+namespace blurnet::defense {
+
+struct ZooConfig {
+  data::SynthLisaOptions dataset;
+  int epochs = 15;
+  std::string cache_dir = ".cache/models";
+  bool verbose = false;
+};
+
+/// Scale knobs from the environment (BLURNET_FAST / BLURNET_PAPER /
+/// BLURNET_CACHE_DIR); see DESIGN.md §6.
+ZooConfig default_zoo_config();
+
+struct ZooEntry {
+  nn::LisaCnnConfig model_config;
+  TrainConfig train_config;
+  std::string description;
+};
+
+class ModelZoo {
+ public:
+  explicit ModelZoo(ZooConfig config);
+
+  /// Variant names: baseline, dw3, dw5, dw7, tv1e-4, tv1e-5, tik_hf,
+  /// tik_pseudo, gauss0.1, gauss0.2, gauss0.3, advtrain.
+  static std::vector<std::string> known_variants();
+
+  const ZooEntry& spec(const std::string& name) const;
+
+  /// Lazily generated shared dataset.
+  const data::SynthLisa& dataset();
+
+  /// Train (or load from cache) and return the named model.
+  nn::LisaCnn& get(const std::string& name);
+
+  /// Legitimate (clean test-set) accuracy of the named model.
+  double test_accuracy(const std::string& name);
+
+  const ZooConfig& config() const { return config_; }
+
+ private:
+  std::string cache_path(const std::string& name) const;
+
+  ZooConfig config_;
+  std::map<std::string, ZooEntry> specs_;
+  std::map<std::string, std::unique_ptr<nn::LisaCnn>> models_;
+  std::optional<data::SynthLisa> data_;
+};
+
+}  // namespace blurnet::defense

@@ -1,0 +1,48 @@
+#include "src/defense/randomized_smoothing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/data/augment.h"
+#include "src/util/rng.h"
+
+namespace blurnet::defense {
+
+std::vector<int> smoothed_predict(const nn::LisaCnn& model, const tensor::Tensor& images,
+                                  const SmoothingConfig& config) {
+  if (images.rank() != 4) throw std::invalid_argument("smoothed_predict: expected NCHW");
+  const std::int64_t n = images.dim(0);
+  const int classes = model.config().num_classes;
+  std::vector<std::vector<int>> votes(static_cast<std::size_t>(n),
+                                      std::vector<int>(static_cast<std::size_t>(classes), 0));
+  util::Rng rng(config.seed);
+  for (int s = 0; s < config.samples; ++s) {
+    const auto noisy = data::gaussian_noise(images, config.sigma, rng);
+    const auto preds = model.predict(noisy);
+    for (std::int64_t i = 0; i < n; ++i) {
+      votes[static_cast<std::size_t>(i)][static_cast<std::size_t>(preds[static_cast<std::size_t>(i)])]++;
+    }
+  }
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto& v = votes[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] =
+        static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+  }
+  return out;
+}
+
+double smoothed_accuracy(const nn::LisaCnn& model, const tensor::Tensor& images,
+                         const std::vector<int>& labels, const SmoothingConfig& config) {
+  const auto preds = smoothed_predict(model, images, config);
+  if (preds.size() != labels.size()) {
+    throw std::invalid_argument("smoothed_accuracy: label count mismatch");
+  }
+  int correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return preds.empty() ? 0.0 : static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+}  // namespace blurnet::defense

@@ -1,0 +1,28 @@
+// Randomized-smoothing inference (Cohen et al. 2019), the paper's "Rand. sm"
+// baseline: classify by majority vote over Monte-Carlo Gaussian-noised copies
+// of the input (the paper uses 100 samples on the Gaussian-augmented models).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/lisa_cnn.h"
+#include "src/tensor/tensor.h"
+
+namespace blurnet::defense {
+
+struct SmoothingConfig {
+  double sigma = 0.1;
+  int samples = 100;
+  std::uint64_t seed = 5;
+};
+
+/// Majority-vote smoothed predictions for a batch.
+std::vector<int> smoothed_predict(const nn::LisaCnn& model, const tensor::Tensor& images,
+                                  const SmoothingConfig& config);
+
+/// Smoothed top-1 accuracy against labels.
+double smoothed_accuracy(const nn::LisaCnn& model, const tensor::Tensor& images,
+                         const std::vector<int>& labels, const SmoothingConfig& config);
+
+}  // namespace blurnet::defense

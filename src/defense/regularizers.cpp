@@ -1,0 +1,104 @@
+#include "src/defense/regularizers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/autograd/ops.h"
+#include "src/linalg/operators.h"
+#include "src/linalg/svd.h"
+
+namespace blurnet::defense {
+
+std::string to_string(RegularizerKind kind) {
+  switch (kind) {
+    case RegularizerKind::kNone: return "none";
+    case RegularizerKind::kLinfDepthwise: return "linf_depthwise";
+    case RegularizerKind::kTv: return "tv";
+    case RegularizerKind::kTikHf: return "tik_hf";
+    case RegularizerKind::kTikPseudo: return "tik_pseudo";
+  }
+  return "?";
+}
+
+tensor::Tensor tik_hf_operator(int n, int window) {
+  const linalg::Matrix l = linalg::high_frequency_operator(n, window);
+  tensor::Tensor out(tensor::Shape::mat(n, n));
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c) out.at2(r, c) = static_cast<float>(l.at(r, c));
+  return out;
+}
+
+tensor::Tensor tik_pseudo_operator(int h, int w) {
+  // L_diff is (h-1)×h, so L_diff⁺ is h×(h-1); zero-pad the missing column and
+  // tile cyclically if the maps are wider than tall.
+  const linalg::Matrix p = linalg::difference_pinv(h);
+  tensor::Tensor out(tensor::Shape::mat(h, w));
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      const int src_col = c % h;
+      out.at2(r, c) =
+          src_col < h - 1 ? static_cast<float>(p.at(r, src_col)) : 0.0f;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Batch activation scale treated as a constant w.r.t. the graph: mean |F|
+/// for the (1-homogeneous) TV penalty, mean F² for the quadratic Tikhonov
+/// penalties. See RegularizerSpec::normalize.
+float activation_scale(const nn::ForwardResult& forward, bool squared) {
+  const tensor::Tensor& f = forward.features_l1.value();
+  double acc = 0.0;
+  const float* p = f.data();
+  for (std::int64_t i = 0; i < f.numel(); ++i) {
+    acc += squared ? static_cast<double>(p[i]) * p[i] : std::fabs(p[i]);
+  }
+  return static_cast<float>(acc / static_cast<double>(f.numel()) + 1e-6);
+}
+
+}  // namespace
+
+autograd::Variable regularization_term(const RegularizerSpec& spec, const nn::LisaCnn& model,
+                                       const nn::ForwardResult& forward) {
+  if (spec.kind == RegularizerKind::kNone || spec.alpha == 0.0) return {};
+  const float alpha = static_cast<float>(spec.alpha);
+  switch (spec.kind) {
+    case RegularizerKind::kLinfDepthwise: {
+      const autograd::Variable w = model.depthwise_weights();
+      if (!w.defined()) {
+        throw std::logic_error(
+            "regularization_term: linf_depthwise requires a learnable depthwise layer");
+      }
+      return autograd::mul_scalar(autograd::linf_per_channel(w), alpha);
+    }
+    case RegularizerKind::kTv: {
+      const float scale =
+          spec.normalize ? alpha / activation_scale(forward, /*squared=*/false) : alpha;
+      return autograd::mul_scalar(autograd::tv_loss(forward.features_l1), scale);
+    }
+    case RegularizerKind::kTikHf: {
+      const int h = static_cast<int>(forward.features_l1.shape()[2]);
+      const float scale =
+          spec.normalize ? alpha / activation_scale(forward, /*squared=*/true) : alpha;
+      return autograd::mul_scalar(
+          autograd::tikhonov_rows(forward.features_l1, tik_hf_operator(h, spec.avg_window)),
+          scale);
+    }
+    case RegularizerKind::kTikPseudo: {
+      const int h = static_cast<int>(forward.features_l1.shape()[2]);
+      const int w = static_cast<int>(forward.features_l1.shape()[3]);
+      const float scale =
+          spec.normalize ? alpha / activation_scale(forward, /*squared=*/true) : alpha;
+      return autograd::mul_scalar(
+          autograd::tikhonov_elementwise(forward.features_l1, tik_pseudo_operator(h, w)),
+          scale);
+    }
+    case RegularizerKind::kNone:
+      break;
+  }
+  return {};
+}
+
+}  // namespace blurnet::defense

@@ -1,0 +1,60 @@
+// The BlurNet training-time defenses (paper §IV): every regularization
+// scheme that induces low-pass behaviour in the first-layer feature maps.
+//
+//   kLinfDepthwise — Eq. (2): α·Σ_c ‖W_dw[c]‖∞ on the learnable filter layer
+//   kTv            — Eq. (4): α·(1/NK)·Σ TV(F)
+//   kTikHf         — Eq. (6): α·(1/NK)·Σ ‖(I−L_avg)·F‖²
+//   kTikPseudo     — Eq. (7): α·(1/NK)·Σ ‖L_diff⁺ ⊙ F‖²
+#pragma once
+
+#include <string>
+
+#include "src/autograd/variable.h"
+#include "src/nn/lisa_cnn.h"
+
+namespace blurnet::defense {
+
+enum class RegularizerKind { kNone, kLinfDepthwise, kTv, kTikHf, kTikPseudo };
+
+struct RegularizerSpec {
+  RegularizerKind kind = RegularizerKind::kNone;
+  double alpha = 0.0;
+  int avg_window = 3;  // moving-average window of L_avg for Tik_hf
+
+  /// Scale-normalized penalties (default). The raw TV/Tikhonov penalties of
+  /// Eqs. (4)/(6)/(7) are scale-variant while cross-entropy is not: at finite
+  /// epochs the network minimizes them by shrinking activation amplitude
+  /// instead of smoothing spatially (downstream layers rescale for free). We
+  /// therefore divide the feature penalties by the batch activation scale
+  /// (treated as a constant), which preserves the spatial preference the
+  /// paper intends. Disable to get the literal paper objective.
+  bool normalize = true;
+
+  static RegularizerSpec none() { return {}; }
+  static RegularizerSpec linf(double alpha) {
+    return {RegularizerKind::kLinfDepthwise, alpha, 3, true};
+  }
+  static RegularizerSpec tv(double alpha) { return {RegularizerKind::kTv, alpha, 3, true}; }
+  static RegularizerSpec tik_hf(double alpha, int window = 3) {
+    return {RegularizerKind::kTikHf, alpha, window, true};
+  }
+  static RegularizerSpec tik_pseudo(double alpha) {
+    return {RegularizerKind::kTikPseudo, alpha, 3, true};
+  }
+};
+
+std::string to_string(RegularizerKind kind);
+
+/// L_hf = I − L_avg(window) as a float tensor [n,n].
+tensor::Tensor tik_hf_operator(int n, int window = 3);
+
+/// L_diff⁺ zero-padded to h×h and tiled to width w (elementwise operator).
+tensor::Tensor tik_pseudo_operator(int h, int w);
+
+/// The regularization term for one forward pass (undefined Variable when the
+/// spec is kNone or alpha == 0). Uses the *unfiltered* first-layer maps,
+/// matching the paper (the penalty shapes conv1, not the filter layer).
+autograd::Variable regularization_term(const RegularizerSpec& spec, const nn::LisaCnn& model,
+                                       const nn::ForwardResult& forward);
+
+}  // namespace blurnet::defense

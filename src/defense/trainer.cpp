@@ -1,0 +1,85 @@
+#include "src/defense/trainer.h"
+
+#include "src/autograd/ops.h"
+#include "src/data/augment.h"
+#include "src/nn/optim.h"
+#include "src/tensor/ops.h"
+#include "src/util/logging.h"
+
+namespace blurnet::defense {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+double classifier_accuracy(const nn::LisaCnn& model, const data::Dataset& dataset,
+                           int batch_size) {
+  const std::int64_t n = dataset.size();
+  if (n == 0) return 0.0;
+  const std::int64_t c = dataset.images.dim(1), h = dataset.images.dim(2),
+                     w = dataset.images.dim(3);
+  const std::int64_t stride = c * h * w;
+  std::int64_t correct = 0;
+  for (std::int64_t start = 0; start < n; start += batch_size) {
+    const std::int64_t end = std::min<std::int64_t>(n, start + batch_size);
+    Tensor batch(tensor::Shape::nchw(end - start, c, h, w));
+    std::copy(dataset.images.data() + start * stride, dataset.images.data() + end * stride,
+              batch.data());
+    const auto preds = model.predict(batch);
+    for (std::int64_t i = start; i < end; ++i) {
+      if (preds[static_cast<std::size_t>(i - start)] ==
+          dataset.labels[static_cast<std::size_t>(i)]) {
+        ++correct;
+      }
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+TrainStats train_classifier(nn::LisaCnn& model, const data::Dataset& train,
+                            const data::Dataset& test, const TrainConfig& config) {
+  util::Rng rng(config.seed);
+  // Paper §II-D: Adam with β1=0.9, β2=0.999, ε=1e-8.
+  nn::Adam optimizer(model.parameters(), config.learning_rate, 0.9, 0.999, 1e-8);
+
+  TrainStats stats;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    auto batches = data::make_batches(train, config.batch_size, rng);
+    double epoch_loss = 0.0;
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      Tensor images = batches[b].images;
+      const std::vector<int>& labels = batches[b].labels;
+
+      if (config.gaussian_sigma > 0.0) {
+        images = data::gaussian_noise(images, config.gaussian_sigma, rng);
+      }
+      // 50/50 clean/adversarial schedule: odd batches are attacked with PGD
+      // against the current weights.
+      if (config.adversarial && (b % 2 == 1)) {
+        attack::PgdConfig pgd = config.adversarial_pgd;
+        pgd.seed = rng.next_u64();
+        images = attack::pgd_attack(model, images, labels, pgd).adversarial;
+      }
+
+      const Variable input = Variable::constant(images);
+      const auto forward = model.forward(input);
+      Variable loss = autograd::softmax_cross_entropy(forward.logits, labels);
+      const Variable reg = regularization_term(config.regularizer, model, forward);
+      if (reg.defined()) loss = autograd::add(loss, reg);
+
+      optimizer.zero_grad();
+      autograd::backward(loss);
+      optimizer.step();
+      epoch_loss += loss.scalar_value();
+    }
+    stats.final_train_loss = epoch_loss / static_cast<double>(batches.size());
+    stats.epochs_run = epoch + 1;
+    if (config.verbose) {
+      util::log_info() << "epoch " << (epoch + 1) << "/" << config.epochs
+                       << " loss=" << stats.final_train_loss;
+    }
+  }
+  stats.test_accuracy = classifier_accuracy(model, test);
+  return stats;
+}
+
+}  // namespace blurnet::defense

@@ -1,0 +1,48 @@
+// Training loop for every model variant in the paper's evaluation: plain
+// cross-entropy, the BlurNet regularizers, Gaussian-augmentation training
+// (Cohen et al. baseline), and 50/50 PGD adversarial training (Madry et al.).
+#pragma once
+
+#include <cstdint>
+
+#include "src/attack/pgd.h"
+#include "src/data/dataset.h"
+#include "src/defense/regularizers.h"
+#include "src/nn/lisa_cnn.h"
+
+namespace blurnet::defense {
+
+struct TrainConfig {
+  int epochs = 15;
+  int batch_size = 32;
+  double learning_rate = 1e-3;  // Adam, β/ε as in the paper (§II-D)
+  std::uint64_t seed = 11;
+
+  RegularizerSpec regularizer;
+
+  /// Gaussian-augmentation sigma (0 disables). Applied to every batch.
+  double gaussian_sigma = 0.0;
+
+  /// PGD adversarial training: each epoch trains half the batches on clean
+  /// and half on adversarial examples (paper §IV-D).
+  bool adversarial = false;
+  attack::PgdConfig adversarial_pgd;
+
+  bool verbose = false;
+};
+
+struct TrainStats {
+  double final_train_loss = 0.0;
+  double test_accuracy = 0.0;
+  int epochs_run = 0;
+};
+
+/// Top-1 accuracy over a dataset (batched inference).
+double classifier_accuracy(const nn::LisaCnn& model, const data::Dataset& dataset,
+                           int batch_size = 64);
+
+/// Train in place; returns final statistics.
+TrainStats train_classifier(nn::LisaCnn& model, const data::Dataset& train,
+                            const data::Dataset& test, const TrainConfig& config);
+
+}  // namespace blurnet::defense

@@ -1,0 +1,85 @@
+// Shared experiment scaffolding: the scale knobs (DESIGN.md §6) and the
+// evaluation protocols used by the bench binaries that regenerate the paper's
+// tables and figures.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/attack/rp2.h"
+#include "src/data/dataset.h"
+#include "src/defense/model_zoo.h"
+
+namespace blurnet::eval {
+
+struct ExperimentScale {
+  int eval_images = 8;      // stop-sign evaluation set size (paper: 40)
+  int num_targets = 4;      // attack targets swept (paper: all 17)
+  int rp2_iterations = 120; // RP2 epochs (paper: 300)
+
+  /// Reads BLURNET_FAST / BLURNET_PAPER.
+  static ExperimentScale from_env();
+
+  /// Deterministic, evenly spread target classes (never the true class 0).
+  std::vector<int> target_classes() const;
+};
+
+/// RP2 configuration matching the paper's attack hyper-parameters
+/// (λ = 0.002, L2 mask norm) at the given scale.
+attack::Rp2Config paper_rp2_config(const ExperimentScale& scale);
+
+struct PerTargetResult {
+  int target = 0;
+  double success_rate = 0.0;     // altered-prediction ASR
+  double targeted_rate = 0.0;    // fraction classified as the target
+  double l2_dissimilarity = 0.0;
+};
+
+struct SweepResult {
+  double legit_accuracy = 0.0;      // clean test-set accuracy
+  double average_success = 0.0;     // mean ASR over targets
+  double worst_success = 0.0;       // max ASR over targets
+  double mean_l2 = 0.0;             // mean dissimilarity over targets
+  std::vector<PerTargetResult> per_target;
+};
+
+/// Hook to turn the base RP2 config into an adaptive variant per model.
+using ConfigAdapter = std::function<attack::Rp2Config(const attack::Rp2Config&)>;
+
+/// Optional prediction override (e.g. randomized-smoothing inference). The
+/// attack still differentiates through the base model; only the final
+/// clean/adversarial classifications use the predictor.
+using Predictor = std::function<std::vector<int>(const tensor::Tensor&)>;
+
+/// White-box target sweep (Table II protocol): attack `model` on the stop
+/// sign set at every target class; aggregates altered-ASR / L2.
+SweepResult whitebox_sweep(const nn::LisaCnn& model, double legit_accuracy,
+                           const data::StopSignSet& eval_set, const ExperimentScale& scale,
+                           const ConfigAdapter& adapt = nullptr,
+                           const Predictor& predictor = nullptr);
+
+/// Black-box transfer (Table I protocol): adversarial examples generated on
+/// `source` are evaluated on `victim`. Returns {clean accuracy on the stop
+/// set, transfer ASR}, where ASR counts predictions altered on `victim`.
+struct TransferResult {
+  double clean_accuracy = 0.0;
+  double attack_success = 0.0;
+};
+TransferResult transfer_attack(const nn::LisaCnn& source, const nn::LisaCnn& victim,
+                               const data::StopSignSet& eval_set,
+                               const ExperimentScale& scale);
+
+/// The stop-sign set at the configured scale, with sticker masks.
+struct StickeredStopSet {
+  tensor::Tensor images;  // [N,3,H,W]
+  tensor::Tensor masks;   // [N,1,H,W] sticker mask (two bars)
+};
+StickeredStopSet make_eval_stop_set(const ExperimentScale& scale, int image_size = 32);
+
+/// Results directory for CSV dumps (BLURNET_OUT_DIR, default "results").
+std::string results_dir();
+/// Write `content` to `<results_dir>/<filename>` (creates the directory).
+void write_results_file(const std::string& filename, const std::string& content);
+
+}  // namespace blurnet::eval

@@ -1,0 +1,110 @@
+#include "src/linalg/matrix.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace blurnet::linalg {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      values_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("Matrix: negative dims");
+}
+
+Matrix::Matrix(int rows, int cols, std::vector<double> values)
+    : rows_(rows), cols_(cols), values_(std::move(values)) {
+  if (values_.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+    throw std::invalid_argument("Matrix: value count mismatch");
+  }
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix::operator*: shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      const double aik = at(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < rhs.cols_; ++j) out.at(i, j) += aik * rhs.at(k, j);
+    }
+  }
+  return out;
+}
+
+void Matrix::check_same_shape(const Matrix& rhs, const char* op) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch");
+  }
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  check_same_shape(rhs, "Matrix::operator+");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < values_.size(); ++i) out.values_[i] += rhs.values_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  check_same_shape(rhs, "Matrix::operator-");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < values_.size(); ++i) out.values_[i] -= rhs.values_[i];
+  return out;
+}
+
+Matrix Matrix::scaled(double s) const {
+  Matrix out = *this;
+  for (auto& v : out.values_) v *= s;
+  return out;
+}
+
+std::vector<double> Matrix::apply(const std::vector<double>& x) const {
+  if (static_cast<int>(x.size()) != cols_) {
+    throw std::invalid_argument("Matrix::apply: vector size mismatch");
+  }
+  std::vector<double> y(static_cast<std::size_t>(rows_), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) acc += at(r, c) * x[static_cast<std::size_t>(c)];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (const auto v : values_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (const auto v : values_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream out;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      out << (c ? " " : "") << at(r, c);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace blurnet::linalg

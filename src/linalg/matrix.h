@@ -1,0 +1,50 @@
+// Small dense double-precision matrix used for the regularization operators
+// (L_avg, L_hf, L_diff, pseudoinverses) and the DCT basis. These matrices are
+// tiny (<= feature-map side length), so clarity beats blocking tricks here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blurnet::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols);
+  Matrix(int rows, int cols, std::vector<double> values);
+
+  static Matrix identity(int n);
+  static Matrix zeros(int rows, int cols) { return Matrix(rows, cols); }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& at(int r, int c) { return values_[static_cast<std::size_t>(r) * cols_ + c]; }
+  double at(int r, int c) const { return values_[static_cast<std::size_t>(r) * cols_ + c]; }
+
+  const std::vector<double>& values() const { return values_; }
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix scaled(double s) const;
+
+  /// Apply to a vector: y = M x.
+  std::vector<double> apply(const std::vector<double>& x) const;
+
+  double frobenius_norm() const;
+  double max_abs() const;
+
+  std::string to_string() const;
+
+ private:
+  void check_same_shape(const Matrix& rhs, const char* op) const;
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace blurnet::linalg

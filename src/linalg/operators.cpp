@@ -1,0 +1,90 @@
+#include "src/linalg/operators.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/linalg/svd.h"
+
+namespace blurnet::linalg {
+
+Matrix moving_average_matrix(int n, int window) {
+  if (n <= 0) throw std::invalid_argument("moving_average_matrix: n must be positive");
+  if (window <= 0 || window % 2 == 0) {
+    throw std::invalid_argument("moving_average_matrix: window must be odd and positive");
+  }
+  const int half = window / 2;
+  Matrix m(n, n);
+  for (int r = 0; r < n; ++r) {
+    // Clamp the window inside [0, n): border rows average fewer *distinct*
+    // neighbours but stay row-stochastic.
+    int lo = r - half;
+    int hi = r + half;
+    if (lo < 0) { hi -= lo; lo = 0; }
+    if (hi > n - 1) { lo -= hi - (n - 1); hi = n - 1; }
+    lo = std::max(lo, 0);
+    const int count = hi - lo + 1;
+    for (int c = lo; c <= hi; ++c) m.at(r, c) = 1.0 / count;
+  }
+  return m;
+}
+
+Matrix high_frequency_operator(int n, int window) {
+  return Matrix::identity(n) - moving_average_matrix(n, window);
+}
+
+Matrix difference_matrix(int n) {
+  if (n < 2) throw std::invalid_argument("difference_matrix: n must be >= 2");
+  Matrix m(n - 1, n);
+  for (int r = 0; r < n - 1; ++r) {
+    m.at(r, r) = -1.0;
+    m.at(r, r + 1) = 1.0;
+  }
+  return m;
+}
+
+Matrix difference_matrix_square(int n) {
+  Matrix m(n, n);
+  for (int r = 0; r < n - 1; ++r) {
+    m.at(r, r) = -1.0;
+    m.at(r, r + 1) = 1.0;
+  }
+  return m;
+}
+
+Matrix difference_pinv(int n) { return pinv(difference_matrix(n)); }
+
+Matrix dct_matrix(int n) {
+  if (n <= 0) throw std::invalid_argument("dct_matrix: n must be positive");
+  Matrix d(n, n);
+  const double scale0 = std::sqrt(1.0 / n);
+  const double scale = std::sqrt(2.0 / n);
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      d.at(k, i) = (k == 0 ? scale0 : scale) *
+                   std::cos(M_PI * (2.0 * i + 1.0) * k / (2.0 * n));
+    }
+  }
+  return d;
+}
+
+std::vector<double> box_kernel_1d(int width) {
+  if (width <= 0) throw std::invalid_argument("box_kernel_1d: width must be positive");
+  return std::vector<double>(static_cast<std::size_t>(width), 1.0 / width);
+}
+
+std::vector<double> gaussian_kernel_1d(int width, double sigma) {
+  if (width <= 0) throw std::invalid_argument("gaussian_kernel_1d: width must be positive");
+  if (sigma <= 0.0) sigma = 0.3 * ((width - 1) * 0.5 - 1.0) + 0.8;  // OpenCV default
+  std::vector<double> taps(static_cast<std::size_t>(width));
+  const double center = (width - 1) / 2.0;
+  double sum = 0.0;
+  for (int i = 0; i < width; ++i) {
+    const double d = i - center;
+    taps[static_cast<std::size_t>(i)] = std::exp(-d * d / (2.0 * sigma * sigma));
+    sum += taps[static_cast<std::size_t>(i)];
+  }
+  for (auto& t : taps) t /= sum;
+  return taps;
+}
+
+}  // namespace blurnet::linalg

@@ -1,0 +1,46 @@
+// Regularization operators from the paper (§IV-C), following Reichel & Ye,
+// "Simple square smoothing regularization operators" (ETNA 2009):
+//
+//   L_avg  — moving-average matrix (each row averages a window of entries).
+//   L_hf   — I − L_avg: extracts the high-frequency residual; minimizing
+//            ‖L_hf·F‖² penalizes high-frequency content ("Tik_hf").
+//   L_diff — forward-difference matrix approximating d/dx.
+//   L_diff⁺— Moore–Penrose pseudoinverse of L_diff; since the derivative's
+//            pseudoinverse approximates integration, it is a low-pass /
+//            smoothing operator ("Tik_pseudo").
+#pragma once
+
+#include "src/linalg/matrix.h"
+
+namespace blurnet::linalg {
+
+/// n×n moving-average matrix with an odd window (clamped at the borders so
+/// each row still averages `window` entries and rows sum to 1).
+Matrix moving_average_matrix(int n, int window = 3);
+
+/// High-frequency extractor L_hf = I − L_avg(window).
+Matrix high_frequency_operator(int n, int window = 3);
+
+/// (n-1)×n forward-difference matrix: (Lx)_i = x_{i+1} − x_i.
+Matrix difference_matrix(int n);
+
+/// Square n×n forward-difference with a zero last row (convenient when a
+/// square operator is required; the zero row contributes nothing).
+Matrix difference_matrix_square(int n);
+
+/// Pseudoinverse of difference_matrix(n) — a smoothing (integral-like)
+/// operator per Reichel & Ye.
+Matrix difference_pinv(int n);
+
+/// Orthonormal DCT-II basis matrix D (n×n): (D x) gives DCT coefficients,
+/// D^T is the inverse transform.
+Matrix dct_matrix(int n);
+
+/// 1-D box blur taps (length `width`, sums to 1).
+std::vector<double> box_kernel_1d(int width);
+
+/// 1-D Gaussian taps (length `width`, sums to 1); sigma defaults to a value
+/// proportional to the width like standard image pipelines.
+std::vector<double> gaussian_kernel_1d(int width, double sigma = -1.0);
+
+}  // namespace blurnet::linalg

@@ -1,0 +1,102 @@
+#include "src/linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace blurnet::linalg {
+
+SvdResult svd(const Matrix& a, int max_sweeps, double tol) {
+  // One-sided Jacobi: orthogonalize the columns of a working copy W = A*V by
+  // plane rotations accumulated into V. At convergence the column norms are
+  // the singular values and the normalized columns are U.
+  const int m = a.rows();
+  const int n = a.cols();
+  Matrix w = a;
+  Matrix v = Matrix::identity(n);
+
+  auto col_dot = [&](const Matrix& mat, int c1, int c2) {
+    double acc = 0.0;
+    for (int r = 0; r < mat.rows(); ++r) acc += mat.at(r, c1) * mat.at(r, c2);
+    return acc;
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double alpha = col_dot(w, p, p);
+        const double beta = col_dot(w, q, q);
+        const double gamma = col_dot(w, p, q);
+        off += gamma * gamma;
+        if (std::fabs(gamma) <= tol * std::sqrt(alpha * beta) || gamma == 0.0) continue;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int r = 0; r < m; ++r) {
+          const double wp = w.at(r, p), wq = w.at(r, q);
+          w.at(r, p) = c * wp - s * wq;
+          w.at(r, q) = s * wp + c * wq;
+        }
+        for (int r = 0; r < n; ++r) {
+          const double vp = v.at(r, p), vq = v.at(r, q);
+          v.at(r, p) = c * vp - s * vq;
+          v.at(r, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (off < tol * tol) break;
+  }
+
+  // Column norms -> singular values; sort descending.
+  std::vector<double> sigma(static_cast<std::size_t>(n), 0.0);
+  for (int c = 0; c < n; ++c) sigma[static_cast<std::size_t>(c)] = std::sqrt(col_dot(w, c, c));
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int i, int j) { return sigma[static_cast<std::size_t>(i)] > sigma[static_cast<std::size_t>(j)]; });
+
+  SvdResult out;
+  out.sigma.resize(static_cast<std::size_t>(n));
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  for (int c = 0; c < n; ++c) {
+    const int src = order[static_cast<std::size_t>(c)];
+    const double s = sigma[static_cast<std::size_t>(src)];
+    out.sigma[static_cast<std::size_t>(c)] = s;
+    for (int r = 0; r < m; ++r) {
+      out.u.at(r, c) = s > 0 ? w.at(r, src) / s : 0.0;
+    }
+    for (int r = 0; r < n; ++r) out.v.at(r, c) = v.at(r, src);
+  }
+  return out;
+}
+
+Matrix pinv(const Matrix& a, double rcond) {
+  const SvdResult decomposition = svd(a);
+  const double smax =
+      decomposition.sigma.empty() ? 0.0 : decomposition.sigma.front();
+  const double cutoff = rcond * smax;
+  // pinv = V diag(1/sigma) U^T
+  const int n = a.cols();
+  const int m = a.rows();
+  Matrix out(n, m);
+  for (std::size_t k = 0; k < decomposition.sigma.size(); ++k) {
+    const double s = decomposition.sigma[k];
+    if (s <= cutoff || s == 0.0) continue;
+    const double inv = 1.0 / s;
+    for (int i = 0; i < n; ++i) {
+      const double vik = decomposition.v.at(i, static_cast<int>(k));
+      if (vik == 0.0) continue;
+      for (int j = 0; j < m; ++j) {
+        out.at(i, j) += inv * vik * decomposition.u.at(j, static_cast<int>(k));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace blurnet::linalg

@@ -1,0 +1,24 @@
+// One-sided Jacobi SVD and Moore–Penrose pseudoinverse for the small,
+// well-conditioned matrices used as smoothing regularization operators
+// (Reichel & Ye, "Simple square smoothing regularization operators").
+#pragma once
+
+#include "src/linalg/matrix.h"
+
+namespace blurnet::linalg {
+
+struct SvdResult {
+  Matrix u;                     // rows x r
+  std::vector<double> sigma;    // r singular values, descending
+  Matrix v;                     // cols x r
+};
+
+/// Thin SVD A = U diag(sigma) V^T via one-sided Jacobi rotations.
+/// Converges for any real matrix; intended for dims <= a few hundred.
+SvdResult svd(const Matrix& a, int max_sweeps = 60, double tol = 1e-12);
+
+/// Moore–Penrose pseudoinverse. Singular values below
+/// rcond * max(sigma) are treated as zero.
+Matrix pinv(const Matrix& a, double rcond = 1e-10);
+
+}  // namespace blurnet::linalg

@@ -1,0 +1,35 @@
+#include "src/nn/init.h"
+
+#include <cmath>
+
+namespace blurnet::nn {
+
+tensor::Tensor he_normal(tensor::Shape shape, std::int64_t fan_in, util::Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  return tensor::Tensor::randn(std::move(shape), rng, 0.0f, static_cast<float>(stddev));
+}
+
+tensor::Tensor xavier_uniform(tensor::Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                              util::Rng& rng) {
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return tensor::Tensor::rand_uniform(std::move(shape), rng, static_cast<float>(-a),
+                                      static_cast<float>(a));
+}
+
+tensor::Tensor identity_depthwise(std::int64_t channels, int kernel, double noise,
+                                  util::Rng& rng) {
+  tensor::Tensor w(tensor::Shape{channels, kernel, kernel});
+  const int center = kernel / 2;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (int y = 0; y < kernel; ++y) {
+      for (int x = 0; x < kernel; ++x) {
+        const bool is_center = (y == center && x == center);
+        w[(c * kernel + y) * kernel + x] =
+            static_cast<float>((is_center ? 1.0 : 0.0) + rng.normal(0.0, noise));
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace blurnet::nn

@@ -1,0 +1,22 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace blurnet::nn {
+
+/// He/Kaiming normal: N(0, sqrt(2/fan_in)). The standard choice for ReLU nets.
+tensor::Tensor he_normal(tensor::Shape shape, std::int64_t fan_in, util::Rng& rng);
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6/(fan_in+fan_out)).
+tensor::Tensor xavier_uniform(tensor::Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                              util::Rng& rng);
+
+/// Identity-plus-noise depthwise kernel stack [C,k,k]: centre tap 1, other
+/// taps N(0, noise). Used to initialize the learnable filter layer so the
+/// network starts as a no-op filter (paper §IV-A).
+tensor::Tensor identity_depthwise(std::int64_t channels, int kernel, double noise,
+                                  util::Rng& rng);
+
+}  // namespace blurnet::nn

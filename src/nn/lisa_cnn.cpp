@@ -1,0 +1,155 @@
+#include "src/nn/lisa_cnn.h"
+
+#include <stdexcept>
+
+#include "src/nn/init.h"
+#include "src/nn/model_io.h"
+#include "src/tensor/ops.h"
+
+namespace blurnet::nn {
+
+using autograd::Variable;
+using tensor::Shape;
+using tensor::Tensor;
+
+LisaCnn::LisaCnn(LisaCnnConfig config) : config_(config) {
+  util::Rng rng(config.init_seed);
+
+  auto conv_weight = [&](int filters, int channels, int kernel) {
+    const std::int64_t fan_in = static_cast<std::int64_t>(channels) * kernel * kernel;
+    return Variable::leaf(
+        he_normal(Shape{filters, channels, kernel, kernel}, fan_in, rng), true);
+  };
+  conv1_w_ = conv_weight(config.conv1_filters, config.in_channels, config.conv1_kernel);
+  conv1_b_ = Variable::leaf(Tensor::zeros(Shape::vec(config.conv1_filters)), true);
+  conv2_w_ = conv_weight(config.conv2_filters, config.conv1_filters, config.conv2_kernel);
+  conv2_b_ = Variable::leaf(Tensor::zeros(Shape::vec(config.conv2_filters)), true);
+  conv3_w_ = conv_weight(config.conv3_filters, config.conv2_filters, config.conv3_kernel);
+  conv3_b_ = Variable::leaf(Tensor::zeros(Shape::vec(config.conv3_filters)), true);
+
+  // Spatial sizes after the three convolutions (symmetric padding k/2).
+  auto out_size = [](std::int64_t in, int kernel, int stride) {
+    const int pad = kernel / 2;
+    return (in + 2 * pad - kernel) / stride + 1;
+  };
+  std::int64_t side = config.image_size;
+  side = out_size(side, config.conv1_kernel, config.conv1_stride);
+  side = out_size(side, config.conv2_kernel, config.conv2_stride);
+  side = out_size(side, config.conv3_kernel, config.conv3_stride);
+  flat_features_ = static_cast<std::int64_t>(config.conv3_filters) * side * side;
+
+  fc_w_ = Variable::leaf(
+      xavier_uniform(Shape::mat(flat_features_, config.num_classes), flat_features_,
+                     config.num_classes, rng),
+      true);
+  fc_b_ = Variable::leaf(Tensor::zeros(Shape::vec(config.num_classes)), true);
+
+  if (config.learnable_depthwise_kernel > 0) {
+    dw_weight_ = Variable::leaf(
+        identity_depthwise(config.conv1_filters, config.learnable_depthwise_kernel,
+                           /*noise=*/0.01, rng),
+        true);
+  }
+  if (config.fixed_filter.placement != FilterPlacement::kNone) {
+    if (config.fixed_filter.kernel <= 0 || config.fixed_filter.kernel % 2 == 0) {
+      throw std::invalid_argument("LisaCnn: fixed filter kernel must be odd and positive");
+    }
+    fixed_kernel_ = signal::make_blur_kernel(config.fixed_filter.kernel,
+                                             config.fixed_filter.kind);
+  }
+}
+
+Variable LisaCnn::apply_fixed_filter(const Variable& x) const {
+  // A fixed blur is a depthwise convolution whose kernel is shared across
+  // channels; express it as a constant per-channel kernel stack.
+  const std::int64_t channels = x.shape()[1];
+  const int k = config_.fixed_filter.kernel;
+  Tensor stack(Shape{channels, k, k});
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (int i = 0; i < k * k; ++i) stack[c * k * k + i] = fixed_kernel_[i];
+  }
+  return autograd::depthwise_conv2d_same(x, Variable::constant(stack), Variable());
+}
+
+ForwardResult LisaCnn::forward(const Variable& x) const {
+  ForwardResult result;
+  Variable h = x;
+  if (config_.fixed_filter.placement == FilterPlacement::kInput) {
+    h = apply_fixed_filter(h);
+  }
+  h = autograd::relu(autograd::conv2d(h, conv1_w_, conv1_b_, config_.conv1_stride,
+                                      config_.conv1_kernel / 2));
+  result.features_l1 = h;
+  if (config_.fixed_filter.placement == FilterPlacement::kAfterLayer1) {
+    h = apply_fixed_filter(h);
+  }
+  if (dw_weight_.defined()) {
+    h = autograd::depthwise_conv2d_same(h, dw_weight_, Variable());
+  }
+  result.features_l1_filtered = h;
+
+  h = autograd::relu(autograd::conv2d(h, conv2_w_, conv2_b_, config_.conv2_stride,
+                                      config_.conv2_kernel / 2));
+  result.features_l2 = h;
+  if (config_.fixed_filter.placement == FilterPlacement::kAfterLayer2) {
+    h = apply_fixed_filter(h);
+  }
+
+  h = autograd::relu(autograd::conv2d(h, conv3_w_, conv3_b_, config_.conv3_stride,
+                                      config_.conv3_kernel / 2));
+  result.features_l3 = h;
+  if (config_.fixed_filter.placement == FilterPlacement::kAfterLayer3) {
+    h = apply_fixed_filter(h);
+  }
+
+  result.logits = autograd::dense(autograd::flatten2d(h), fc_w_, fc_b_);
+  return result;
+}
+
+Tensor LisaCnn::logits(const Tensor& x) const {
+  return forward(Variable::constant(x)).logits.value();
+}
+
+std::vector<int> LisaCnn::predict(const Tensor& x) const {
+  return tensor::argmax_rows(logits(x));
+}
+
+std::vector<Variable> LisaCnn::parameters() const {
+  std::vector<Variable> params = {conv1_w_, conv1_b_, conv2_w_, conv2_b_,
+                                  conv3_w_, conv3_b_, fc_w_,    fc_b_};
+  if (dw_weight_.defined()) params.push_back(dw_weight_);
+  return params;
+}
+
+std::vector<std::pair<std::string, Variable>> LisaCnn::named_parameters() const {
+  std::vector<std::pair<std::string, Variable>> named = {
+      {"conv1.w", conv1_w_}, {"conv1.b", conv1_b_}, {"conv2.w", conv2_w_},
+      {"conv2.b", conv2_b_}, {"conv3.w", conv3_w_}, {"conv3.b", conv3_b_},
+      {"fc.w", fc_w_},       {"fc.b", fc_b_}};
+  if (dw_weight_.defined()) named.emplace_back("depthwise.w", dw_weight_);
+  return named;
+}
+
+void LisaCnn::copy_weights_from(const LisaCnn& other) {
+  auto mine = named_parameters();
+  const auto theirs = other.named_parameters();
+  for (auto& [name, param] : mine) {
+    for (const auto& [other_name, other_param] : theirs) {
+      if (name == other_name) {
+        if (param.shape() != other_param.shape()) {
+          throw std::invalid_argument("copy_weights_from: shape mismatch for " + name);
+        }
+        param.mutable_value() = other_param.value().clone();
+      }
+    }
+  }
+}
+
+void LisaCnn::save(const std::string& path) const { save_parameters(path, named_parameters()); }
+
+void LisaCnn::load(const std::string& path) {
+  auto named = named_parameters();
+  load_parameters(path, named);
+}
+
+}  // namespace blurnet::nn

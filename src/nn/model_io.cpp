@@ -1,0 +1,58 @@
+#include "src/nn/model_io.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "src/util/serialize.h"
+
+namespace blurnet::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x544e4c42;  // "BLNT"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_parameters(const std::string& path,
+                     const std::vector<std::pair<std::string, autograd::Variable>>& params) {
+  util::BinaryWriter writer(path);
+  writer.write_u32(kMagic);
+  writer.write_u32(kVersion);
+  writer.write_u32(static_cast<std::uint32_t>(params.size()));
+  for (const auto& [name, variable] : params) {
+    writer.write_string(name);
+    const auto& dims = variable.value().shape().dims();
+    writer.write_i64_array(dims.data(), dims.size());
+    writer.write_f32_array(variable.value().data(),
+                           static_cast<std::size_t>(variable.value().numel()));
+  }
+  writer.close();
+}
+
+void load_parameters(const std::string& path,
+                     std::vector<std::pair<std::string, autograd::Variable>>& params) {
+  util::BinaryReader reader(path);
+  if (reader.read_u32() != kMagic) throw std::runtime_error("load_parameters: bad magic in " + path);
+  if (reader.read_u32() != kVersion) throw std::runtime_error("load_parameters: bad version in " + path);
+  const auto count = reader.read_u32();
+  std::map<std::string, std::pair<tensor::Shape, std::vector<float>>> loaded;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = reader.read_string();
+    auto dims = reader.read_i64_array();
+    auto data = reader.read_f32_array();
+    loaded.emplace(std::move(name),
+                   std::make_pair(tensor::Shape(std::move(dims)), std::move(data)));
+  }
+  for (auto& [name, variable] : params) {
+    const auto it = loaded.find(name);
+    if (it == loaded.end()) {
+      throw std::runtime_error("load_parameters: missing parameter " + name + " in " + path);
+    }
+    const auto& [shape, data] = it->second;
+    if (shape != variable.value().shape()) {
+      throw std::runtime_error("load_parameters: shape mismatch for " + name + " in " + path);
+    }
+    variable.mutable_value() = tensor::Tensor(shape, data);
+  }
+}
+
+}  // namespace blurnet::nn

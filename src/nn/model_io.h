@@ -1,0 +1,21 @@
+// Named-parameter checkpoint format:
+//   magic "BLNT" | u32 version | u32 count | count × (name, shape, f32 data)
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/autograd/variable.h"
+
+namespace blurnet::nn {
+
+void save_parameters(const std::string& path,
+                     const std::vector<std::pair<std::string, autograd::Variable>>& params);
+
+/// Load into existing parameters (matched by name; shapes must agree; every
+/// parameter in `params` must be present in the file).
+void load_parameters(const std::string& path,
+                     std::vector<std::pair<std::string, autograd::Variable>>& params);
+
+}  // namespace blurnet::nn

@@ -1,0 +1,68 @@
+#include "src/nn/optim.h"
+
+#include <cmath>
+
+namespace blurnet::nn {
+
+Sgd::Sgd(std::vector<autograd::Variable> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p.value().shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    if (momentum_ != 0.0) {
+      velocity_[i].scale_(static_cast<float>(momentum_));
+      velocity_[i].add_(p.grad());
+      p.mutable_value().add_scaled_(velocity_[i], static_cast<float>(-lr_));
+    } else {
+      p.mutable_value().add_scaled_(p.grad(), static_cast<float>(-lr_));
+    }
+  }
+}
+
+Adam::Adam(std::vector<autograd::Variable> params, double lr, double beta1, double beta2,
+           double epsilon)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+  }
+}
+
+void Adam::reset_state() {
+  t_ = 0;
+  for (auto& m : m_) m.zero();
+  for (auto& v : v_) v.zero();
+}
+
+void Adam::step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    float* w = p.mutable_value().data();
+    const std::int64_t n = p.value().numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      const double m_hat = m[j] / bias1;
+      const double v_hat = v[j] / bias2;
+      w[j] -= static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + epsilon_));
+    }
+  }
+}
+
+}  // namespace blurnet::nn

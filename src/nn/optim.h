@@ -1,0 +1,56 @@
+// Optimizers. Adam matches the paper's training setup (β1=0.9, β2=0.999,
+// ε=1e-8); SGD(+momentum) is provided for tests and comparisons. Both operate
+// on leaf Variables and read the gradients accumulated by backward().
+#pragma once
+
+#include <vector>
+
+#include "src/autograd/variable.h"
+
+namespace blurnet::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (auto& p : params_) p.zero_grad();
+  }
+
+  const std::vector<autograd::Variable>& parameters() const { return params_; }
+
+ protected:
+  std::vector<autograd::Variable> params_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, double lr, double momentum = 0.0);
+  void step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, double lr = 1e-3, double beta1 = 0.9,
+       double beta2 = 0.999, double epsilon = 1e-8);
+  void step() override;
+
+  /// Reset moment estimates (used when re-targeting an attack).
+  void reset_state();
+
+ private:
+  double lr_, beta1_, beta2_, epsilon_;
+  std::int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+}  // namespace blurnet::nn

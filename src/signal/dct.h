@@ -1,0 +1,33 @@
+// Orthonormal DCT-II / DCT-III (inverse) transforms, 1-D and separable 2-D.
+// Used by the low-frequency adaptive attack (paper §V-A): the perturbation is
+// projected onto the lowest dim×dim DCT coefficients before being applied.
+#pragma once
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace blurnet::signal {
+
+/// Orthonormal DCT-II of a length-n vector.
+std::vector<double> dct1d(const std::vector<double>& x);
+/// Orthonormal DCT-III (inverse of dct1d).
+std::vector<double> idct1d(const std::vector<double>& x);
+
+/// Separable 2-D DCT-II of a row-major height×width grid.
+std::vector<double> dct2d(const std::vector<double>& x, int height, int width);
+std::vector<double> idct2d(const std::vector<double>& x, int height, int width);
+
+/// DCT-domain low-pass projection of each channel plane of an NCHW tensor:
+/// keep only coefficients (u, v) with u < dim and v < dim, zero the rest,
+/// and transform back. This is a linear, self-adjoint-free operator; its
+/// adjoint equals applying the same projection (DCT orthonormality), which
+/// the autograd wrapper relies on.
+tensor::Tensor dct_lowpass_nchw(const tensor::Tensor& x, int dim);
+
+/// Energy fraction of a plane's DCT spectrum inside the top-left dim×dim
+/// block (diagnostic for the adaptive attack).
+double dct_lowfreq_energy_fraction(const std::vector<double>& plane, int height,
+                                   int width, int dim);
+
+}  // namespace blurnet::signal

@@ -1,0 +1,132 @@
+#include "src/signal/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace blurnet::signal {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void fft_radix2(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * M_PI / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+// Bluestein's algorithm: express an arbitrary-length DFT as a convolution,
+// evaluated with a power-of-two FFT.
+void fft_bluestein(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  std::size_t m = 1;
+  while (m < 2 * n + 1) m <<= 1;
+
+  // Chirp w[m] = exp(+i*pi*m^2/n) for the forward transform (the nk product
+  // decomposes as (n^2 + k^2 - (k-n)^2)/2), conjugated for the inverse.
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double m = static_cast<double>(k);
+    const double angle = M_PI * m * m / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), (inverse ? -1.0 : 1.0) * std::sin(angle));
+  }
+
+  std::vector<Complex> av(m, Complex(0, 0));
+  std::vector<Complex> bv(m, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) av[k] = a[k] * std::conj(chirp[k]);
+  bv[0] = chirp[0];
+  for (std::size_t k = 1; k < n; ++k) bv[k] = bv[m - k] = chirp[k];
+
+  fft_radix2(av, false);
+  fft_radix2(bv, false);
+  for (std::size_t k = 0; k < m; ++k) av[k] *= bv[k];
+  fft_radix2(av, true);
+
+  for (std::size_t k = 0; k < n; ++k) a[k] = av[k] * std::conj(chirp[k]);
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::vector<Complex>& data, bool inverse) {
+  if (data.empty()) return;
+  if (is_power_of_two(data.size())) {
+    fft_radix2(data, inverse);
+  } else {
+    fft_bluestein(data, inverse);
+  }
+}
+
+std::vector<Complex> fft(const std::vector<Complex>& data) {
+  auto out = data;
+  fft_inplace(out, false);
+  return out;
+}
+
+std::vector<Complex> ifft(const std::vector<Complex>& data) {
+  auto out = data;
+  fft_inplace(out, true);
+  return out;
+}
+
+std::vector<Complex> fft_real(const std::vector<double>& data) {
+  std::vector<Complex> complex_data(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) complex_data[i] = Complex(data[i], 0.0);
+  fft_inplace(complex_data, false);
+  return complex_data;
+}
+
+std::vector<Complex> fft2d(const std::vector<Complex>& data, int height, int width,
+                           bool inverse) {
+  if (static_cast<std::size_t>(height) * static_cast<std::size_t>(width) != data.size()) {
+    throw std::invalid_argument("fft2d: size mismatch");
+  }
+  std::vector<Complex> out = data;
+  // Rows.
+  std::vector<Complex> row(static_cast<std::size_t>(width));
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) row[static_cast<std::size_t>(x)] = out[static_cast<std::size_t>(y) * width + x];
+    fft_inplace(row, inverse);
+    for (int x = 0; x < width; ++x) out[static_cast<std::size_t>(y) * width + x] = row[static_cast<std::size_t>(x)];
+  }
+  // Columns.
+  std::vector<Complex> col(static_cast<std::size_t>(height));
+  for (int x = 0; x < width; ++x) {
+    for (int y = 0; y < height; ++y) col[static_cast<std::size_t>(y)] = out[static_cast<std::size_t>(y) * width + x];
+    fft_inplace(col, inverse);
+    for (int y = 0; y < height; ++y) out[static_cast<std::size_t>(y) * width + x] = col[static_cast<std::size_t>(y)];
+  }
+  return out;
+}
+
+std::vector<Complex> fft2d_real(const std::vector<double>& image, int height, int width) {
+  std::vector<Complex> complex_image(image.size());
+  for (std::size_t i = 0; i < image.size(); ++i) complex_image[i] = Complex(image[i], 0.0);
+  return fft2d(complex_image, height, width, false);
+}
+
+}  // namespace blurnet::signal

@@ -1,0 +1,34 @@
+// Fast Fourier Transform: iterative radix-2 Cooley–Tukey for power-of-two
+// lengths, Bluestein's chirp-z algorithm for everything else, plus row/column
+// 2-D transforms for the spectrum analyses in Figs. 1, 2 and 4 of the paper.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace blurnet::signal {
+
+using Complex = std::complex<double>;
+
+/// In-place forward/inverse FFT of arbitrary length (>= 1).
+/// Inverse includes the 1/n normalization.
+void fft_inplace(std::vector<Complex>& data, bool inverse);
+
+/// Allocating helpers.
+std::vector<Complex> fft(const std::vector<Complex>& data);
+std::vector<Complex> ifft(const std::vector<Complex>& data);
+
+/// Real-input convenience.
+std::vector<Complex> fft_real(const std::vector<double>& data);
+
+/// 2-D FFT over a row-major height x width grid.
+std::vector<Complex> fft2d(const std::vector<Complex>& data, int height, int width,
+                           bool inverse);
+
+/// 2-D FFT of a real image; returns complex spectrum (row-major).
+std::vector<Complex> fft2d_real(const std::vector<double>& image, int height, int width);
+
+/// True when n is a power of two.
+bool is_power_of_two(std::size_t n);
+
+}  // namespace blurnet::signal

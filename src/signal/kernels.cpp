@@ -1,0 +1,85 @@
+#include "src/signal/kernels.h"
+
+#include <stdexcept>
+
+#include "src/linalg/operators.h"
+#include "src/util/parallel.h"
+
+namespace blurnet::signal {
+
+tensor::Tensor make_blur_kernel(int size, KernelKind kind, double sigma) {
+  if (size <= 0 || size % 2 == 0) {
+    throw std::invalid_argument("make_blur_kernel: size must be odd and positive");
+  }
+  const auto taps = kind == KernelKind::kBox ? linalg::box_kernel_1d(size)
+                                             : linalg::gaussian_kernel_1d(size, sigma);
+  tensor::Tensor kernel(tensor::Shape::mat(size, size));
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      kernel.at2(y, x) = static_cast<float>(taps[static_cast<std::size_t>(y)] *
+                                            taps[static_cast<std::size_t>(x)]);
+    }
+  }
+  return kernel;
+}
+
+namespace {
+
+void filter_plane(const float* src, float* dst, std::int64_t h, std::int64_t w,
+                  const float* kernel, int kh, int kw) {
+  const int pad_h = kh / 2;
+  const int pad_w = kw / 2;
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int fy = 0; fy < kh; ++fy) {
+        const std::int64_t sy = y + fy - pad_h;
+        if (sy < 0 || sy >= h) continue;
+        for (int fx = 0; fx < kw; ++fx) {
+          const std::int64_t sx = x + fx - pad_w;
+          if (sx < 0 || sx >= w) continue;
+          acc += static_cast<double>(kernel[fy * kw + fx]) * src[sy * w + sx];
+        }
+      }
+      dst[y * w + x] = static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace
+
+tensor::Tensor filter2d_depthwise(const tensor::Tensor& x, const tensor::Tensor& kernel) {
+  if (x.rank() != 4) throw std::invalid_argument("filter2d_depthwise: expected NCHW");
+  if (kernel.rank() != 2) throw std::invalid_argument("filter2d_depthwise: kernel must be rank-2");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int kh = static_cast<int>(kernel.dim(0));
+  const int kw = static_cast<int>(kernel.dim(1));
+  tensor::Tensor out(x.shape());
+  util::parallel_for(n * c, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      filter_plane(x.data() + p * h * w, out.data() + p * h * w, h, w, kernel.data(), kh, kw);
+    }
+  }, /*min_chunk=*/1);
+  return out;
+}
+
+tensor::Tensor filter2d_per_channel(const tensor::Tensor& x, const tensor::Tensor& kernels) {
+  if (x.rank() != 4) throw std::invalid_argument("filter2d_per_channel: expected NCHW");
+  if (kernels.rank() != 3 || kernels.dim(0) != x.dim(1)) {
+    throw std::invalid_argument("filter2d_per_channel: kernels must be [C, kh, kw]");
+  }
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int kh = static_cast<int>(kernels.dim(1));
+  const int kw = static_cast<int>(kernels.dim(2));
+  tensor::Tensor out(x.shape());
+  util::parallel_for(n * c, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t ic = p % c;
+      filter_plane(x.data() + p * h * w, out.data() + p * h * w, h, w,
+                   kernels.data() + ic * kh * kw, kh, kw);
+    }
+  }, /*min_chunk=*/1);
+  return out;
+}
+
+}  // namespace blurnet::signal

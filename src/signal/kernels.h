@@ -1,0 +1,25 @@
+// 2-D blur kernels ("standard blur kernels" of §III) and a fast non-autograd
+// same-padding filter used by the input-blur and fixed feature-map-blur
+// defenses and by the Fig. 2 analysis.
+#pragma once
+
+#include "src/tensor/tensor.h"
+
+namespace blurnet::signal {
+
+enum class KernelKind { kBox, kGaussian };
+
+/// size×size normalized blur kernel (sums to 1).
+tensor::Tensor make_blur_kernel(int size, KernelKind kind = KernelKind::kBox,
+                                double sigma = -1.0);
+
+/// Depthwise 2-D correlation with same (zero) padding: each channel of the
+/// NCHW input is filtered independently with `kernel` (rank-2). Stride 1.
+tensor::Tensor filter2d_depthwise(const tensor::Tensor& x, const tensor::Tensor& kernel);
+
+/// Per-channel kernels variant: `kernels` is [C, kh, kw]; channel c of the
+/// input is filtered with kernels[c]. Used by the learnable depthwise layer's
+/// inference path and by tests.
+tensor::Tensor filter2d_per_channel(const tensor::Tensor& x, const tensor::Tensor& kernels);
+
+}  // namespace blurnet::signal

@@ -1,0 +1,118 @@
+#include "src/signal/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/signal/fft.h"
+
+namespace blurnet::signal {
+
+std::vector<double> fftshift2d(const std::vector<double>& plane, int height, int width) {
+  std::vector<double> out(plane.size());
+  const int half_h = height / 2;
+  const int half_w = width / 2;
+  for (int y = 0; y < height; ++y) {
+    const int sy = (y + half_h) % height;
+    for (int x = 0; x < width; ++x) {
+      const int sx = (x + half_w) % width;
+      out[static_cast<std::size_t>(y) * width + x] =
+          plane[static_cast<std::size_t>(sy) * width + sx];
+    }
+  }
+  return out;
+}
+
+std::vector<double> log_magnitude_spectrum(const std::vector<double>& plane, int height,
+                                           int width) {
+  const auto spectrum = fft2d_real(plane, height, width);
+  std::vector<double> mag(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) mag[i] = std::log1p(std::abs(spectrum[i]));
+  auto shifted = fftshift2d(mag, height, width);
+  const double mx = *std::max_element(shifted.begin(), shifted.end());
+  if (mx > 0) {
+    for (auto& v : shifted) v /= mx;
+  }
+  return shifted;
+}
+
+double high_frequency_energy_ratio(const std::vector<double>& plane, int height,
+                                   int width, double cutoff_fraction) {
+  const auto spectrum = fft2d_real(plane, height, width);
+  double total = 0.0, high = 0.0;
+  for (int y = 0; y < height; ++y) {
+    // Signed frequency index: bins above h/2 are negative frequencies.
+    const double fy = (y <= height / 2 ? y : y - height) / (height / 2.0);
+    for (int x = 0; x < width; ++x) {
+      if (y == 0 && x == 0) continue;  // exclude DC
+      const double fx = (x <= width / 2 ? x : x - width) / (width / 2.0);
+      const double radius = std::sqrt(fx * fx + fy * fy);
+      const double energy = std::norm(spectrum[static_cast<std::size_t>(y) * width + x]);
+      total += energy;
+      if (radius >= cutoff_fraction) high += energy;
+    }
+  }
+  return total > 0 ? high / total : 0.0;
+}
+
+std::vector<double> radial_energy_profile(const std::vector<double>& plane, int height,
+                                          int width, int bins) {
+  if (bins <= 0) throw std::invalid_argument("radial_energy_profile: bins must be positive");
+  const auto spectrum = fft2d_real(plane, height, width);
+  std::vector<double> energy(static_cast<std::size_t>(bins), 0.0);
+  std::vector<int> counts(static_cast<std::size_t>(bins), 0);
+  for (int y = 0; y < height; ++y) {
+    const double fy = (y <= height / 2 ? y : y - height) / (height / 2.0);
+    for (int x = 0; x < width; ++x) {
+      const double fx = (x <= width / 2 ? x : x - width) / (width / 2.0);
+      const double radius = std::min(1.0, std::sqrt((fx * fx + fy * fy) / 2.0));
+      int bin = static_cast<int>(radius * (bins - 1) + 0.5);
+      bin = std::clamp(bin, 0, bins - 1);
+      energy[static_cast<std::size_t>(bin)] +=
+          std::norm(spectrum[static_cast<std::size_t>(y) * width + x]);
+      counts[static_cast<std::size_t>(bin)] += 1;
+    }
+  }
+  for (int b = 0; b < bins; ++b) {
+    if (counts[static_cast<std::size_t>(b)] > 0) {
+      energy[static_cast<std::size_t>(b)] /= counts[static_cast<std::size_t>(b)];
+    }
+  }
+  return energy;
+}
+
+double spectral_distance(const std::vector<double>& a, const std::vector<double>& b,
+                         int height, int width) {
+  const auto sa = log_magnitude_spectrum(a, height, width);
+  const auto sb = log_magnitude_spectrum(b, height, width);
+  double diff = 0.0, base = 0.0;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    const double d = sa[i] - sb[i];
+    diff += d * d;
+    base += sa[i] * sa[i];
+  }
+  return base > 0 ? std::sqrt(diff / base) : std::sqrt(diff);
+}
+
+std::vector<double> extract_plane(const tensor::Tensor& x, std::int64_t n, std::int64_t c) {
+  if (x.rank() != 4) throw std::invalid_argument("extract_plane: expected NCHW");
+  const std::int64_t h = x.dim(2), w = x.dim(3);
+  std::vector<double> plane(static_cast<std::size_t>(h * w));
+  const float* src = x.data() + (n * x.dim(1) + c) * h * w;
+  for (std::size_t i = 0; i < plane.size(); ++i) plane[i] = src[i];
+  return plane;
+}
+
+std::vector<double> per_channel_hf_ratio(const tensor::Tensor& x, std::int64_t n,
+                                         double cutoff_fraction) {
+  const int h = static_cast<int>(x.dim(2));
+  const int w = static_cast<int>(x.dim(3));
+  std::vector<double> out(static_cast<std::size_t>(x.dim(1)));
+  for (std::int64_t c = 0; c < x.dim(1); ++c) {
+    out[static_cast<std::size_t>(c)] =
+        high_frequency_energy_ratio(extract_plane(x, n, c), h, w, cutoff_fraction);
+  }
+  return out;
+}
+
+}  // namespace blurnet::signal

@@ -1,0 +1,41 @@
+// Spectrum analysis used to reproduce Figs. 1, 2 and 4: log-shifted magnitude
+// spectra, high-frequency energy ratios, and radial energy profiles of images
+// and feature maps.
+#pragma once
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace blurnet::signal {
+
+/// fftshift a row-major plane: move the zero-frequency bin to the centre.
+std::vector<double> fftshift2d(const std::vector<double>& plane, int height, int width);
+
+/// log(1 + |FFT(plane)|), fft-shifted, normalized to [0,1] — exactly the
+/// visualization the paper plots in Figs. 1/2/4.
+std::vector<double> log_magnitude_spectrum(const std::vector<double>& plane, int height,
+                                           int width);
+
+/// Fraction of spectral energy (|FFT|^2, DC excluded) at radial frequency
+/// above `cutoff_fraction` of Nyquist. The paper's "high frequency" summary.
+double high_frequency_energy_ratio(const std::vector<double>& plane, int height,
+                                   int width, double cutoff_fraction = 0.5);
+
+/// Mean |FFT|^2 per radial frequency bin (DC in bin 0). Length = number of bins.
+std::vector<double> radial_energy_profile(const std::vector<double>& plane, int height,
+                                          int width, int bins);
+
+/// L2 distance between the log-magnitude spectra of two planes, normalized by
+/// the norm of the first (Fig. 1's "the spectra look the same" quantified).
+double spectral_distance(const std::vector<double>& a, const std::vector<double>& b,
+                         int height, int width);
+
+/// Extract channel `c` of image `n` from an NCHW tensor as a double plane.
+std::vector<double> extract_plane(const tensor::Tensor& x, std::int64_t n, std::int64_t c);
+
+/// Per-channel high-frequency energy ratios of an NCHW tensor (image n).
+std::vector<double> per_channel_hf_ratio(const tensor::Tensor& x, std::int64_t n,
+                                         double cutoff_fraction = 0.5);
+
+}  // namespace blurnet::signal

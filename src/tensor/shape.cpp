@@ -1,0 +1,49 @@
+#include "src/tensor/shape.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace blurnet::tensor {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) { validate(); }
+
+void Shape::validate() const {
+  for (const auto d : dims_) {
+    if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+  }
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (const auto d : dims_) n *= d;
+  return n;
+}
+
+std::int64_t Shape::operator[](int axis) const {
+  if (axis < 0 || axis >= rank()) throw std::out_of_range("Shape: axis out of range");
+  return dims_[static_cast<std::size_t>(axis)];
+}
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> s(dims_.size(), 1);
+  for (int i = rank() - 2; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] =
+        s[static_cast<std::size_t>(i + 1)] * dims_[static_cast<std::size_t>(i + 1)];
+  }
+  return s;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) out << ", ";
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace blurnet::tensor

@@ -1,0 +1,44 @@
+// Dense row-major shape descriptor. Ranks 0..4 are used throughout the
+// library (scalars, vectors, matrices, and NCHW image batches).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace blurnet::tensor {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  std::int64_t numel() const;
+  std::int64_t operator[](int axis) const;
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Row-major strides (innermost stride 1).
+  std::vector<std::int64_t> strides() const;
+
+  std::string to_string() const;
+
+  /// Convenience constructors for the common layouts.
+  static Shape scalar() { return Shape{}; }
+  static Shape vec(std::int64_t n) { return Shape{n}; }
+  static Shape mat(std::int64_t rows, std::int64_t cols) { return Shape{rows, cols}; }
+  static Shape nchw(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return Shape{n, c, h, w};
+  }
+
+ private:
+  void validate() const;
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace blurnet::tensor

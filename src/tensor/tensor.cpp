@@ -1,0 +1,141 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace blurnet::tensor {
+
+Tensor::Tensor() : Tensor(Shape::scalar()) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      storage_(std::make_shared<std::vector<float>>(
+          static_cast<std::size_t>(shape_.numel()), 0.0f)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values) : shape_(std::move(shape)) {
+  if (static_cast<std::int64_t>(values.size()) != shape_.numel()) {
+    throw std::invalid_argument("Tensor: value count does not match shape " +
+                                shape_.to_string());
+  }
+  storage_ = std::make_shared<std::vector<float>>(std::move(values));
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::scalar(float value) {
+  Tensor t(Shape::scalar());
+  (*t.storage_)[0] = value;
+  return t;
+}
+
+Tensor Tensor::from_vector(std::vector<float> values) {
+  const auto n = static_cast<std::int64_t>(values.size());
+  return Tensor(Shape::vec(n), std::move(values));
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : *t.storage_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : *t.storage_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+std::int64_t Tensor::flat4(std::int64_t n, std::int64_t c, std::int64_t h,
+                           std::int64_t w) const {
+  if (rank() != 4) throw std::logic_error("Tensor::at4 on non-4D tensor " + shape_.to_string());
+  return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+}
+
+float& Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+  return (*storage_)[static_cast<std::size_t>(flat4(n, c, h, w))];
+}
+
+float Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+  return (*storage_)[static_cast<std::size_t>(flat4(n, c, h, w))];
+}
+
+float& Tensor::at2(std::int64_t r, std::int64_t c) {
+  if (rank() != 2) throw std::logic_error("Tensor::at2 on non-2D tensor " + shape_.to_string());
+  return (*storage_)[static_cast<std::size_t>(r * shape_[1] + c)];
+}
+
+float Tensor::at2(std::int64_t r, std::int64_t c) const {
+  if (rank() != 2) throw std::logic_error("Tensor::at2 on non-2D tensor " + shape_.to_string());
+  return (*storage_)[static_cast<std::size_t>(r * shape_[1] + c)];
+}
+
+Tensor Tensor::clone() const {
+  Tensor out(shape_);
+  *out.storage_ = *storage_;
+  return out;
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  if (new_shape.numel() != shape_.numel()) {
+    throw std::invalid_argument("Tensor::reshape: numel mismatch " + shape_.to_string() +
+                                " -> " + new_shape.to_string());
+  }
+  Tensor out = *this;  // shares storage
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+void Tensor::fill(float value) { std::fill(storage_->begin(), storage_->end(), value); }
+
+void Tensor::add_(const Tensor& other) { add_scaled_(other, 1.0f); }
+
+void Tensor::add_scaled_(const Tensor& other, float alpha) {
+  if (other.numel() != numel()) {
+    throw std::invalid_argument("Tensor::add_scaled_: numel mismatch");
+  }
+  float* dst = data();
+  const float* src = other.data();
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void Tensor::scale_(float alpha) {
+  for (auto& v : *storage_) v *= alpha;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (const auto v : *storage_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  return numel() > 0 ? sum() / static_cast<float>(numel()) : 0.0f;
+}
+
+float Tensor::min() const {
+  return *std::min_element(storage_->begin(), storage_->end());
+}
+
+float Tensor::max() const {
+  return *std::max_element(storage_->begin(), storage_->end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (const auto v : *storage_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Tensor::l2_norm() const {
+  double acc = 0.0;
+  for (const auto v : *storage_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace blurnet::tensor

@@ -1,0 +1,90 @@
+// Dense float32 tensor with shared copy-on-nothing storage.
+//
+// Semantics mirror the mainstream DL frameworks: copying a Tensor is cheap
+// and shares the underlying buffer; use clone() for a deep copy. reshape()
+// returns a tensor sharing storage with a different shape. All data is
+// contiguous row-major; NCHW layout for image batches.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/tensor/shape.h"
+#include "src/util/rng.h"
+
+namespace blurnet::tensor {
+
+class Tensor {
+ public:
+  /// Empty scalar-shaped tensor holding a single zero.
+  Tensor();
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Takes ownership of an existing buffer; size must match shape.numel().
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float value);
+  static Tensor scalar(float value);
+  static Tensor from_vector(std::vector<float> values);  // rank-1
+
+  /// I.i.d. N(mean, stddev) entries.
+  static Tensor randn(Shape shape, util::Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor rand_uniform(Shape shape, util::Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  int rank() const { return shape_.rank(); }
+  std::int64_t dim(int axis) const { return shape_[axis]; }
+
+  float* data() { return storage_->data(); }
+  const float* data() const { return storage_->data(); }
+
+  float& operator[](std::int64_t flat_index) { return (*storage_)[static_cast<std::size_t>(flat_index)]; }
+  float operator[](std::int64_t flat_index) const { return (*storage_)[static_cast<std::size_t>(flat_index)]; }
+
+  /// 4-D accessor (NCHW). Bounds are checked in debug-style: throws on rank
+  /// mismatch, asserts indices by flat computation.
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+  /// 2-D accessor.
+  float& at2(std::int64_t r, std::int64_t c);
+  float at2(std::int64_t r, std::int64_t c) const;
+
+  /// Deep copy.
+  Tensor clone() const;
+
+  /// Same storage, new shape (numel must match).
+  Tensor reshape(Shape new_shape) const;
+
+  /// True when two tensors share the same buffer.
+  bool shares_storage_with(const Tensor& other) const { return storage_ == other.storage_; }
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Elementwise in-place helpers used on gradient buffers.
+  void add_(const Tensor& other);            // this += other
+  void add_scaled_(const Tensor& other, float alpha);  // this += alpha * other
+  void scale_(float alpha);                  // this *= alpha
+
+  /// Reductions (full tensor).
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  float abs_max() const;
+  double l2_norm() const;
+
+ private:
+  std::int64_t flat4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+  Shape shape_;
+  std::shared_ptr<std::vector<float>> storage_;
+};
+
+}  // namespace blurnet::tensor

@@ -1,0 +1,88 @@
+#include "src/util/cli.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace blurnet::util {
+
+void CliParser::add_flag(const std::string& name, const std::string& default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = body.find('='); eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    if (!has_value && name.rfind("no-", 0) == 0) {
+      const std::string base = name.substr(3);
+      if (flags_.count(base)) {
+        flags_[base].value = "false";
+        continue;
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) throw std::invalid_argument("unknown flag: --" + name);
+    if (has_value) {
+      it->second.value = value;
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0 &&
+               it->second.default_value != "true" && it->second.default_value != "false") {
+      it->second.value = argv[++i];
+    } else {
+      it->second.value = "true";  // bare boolean flag
+    }
+  }
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::invalid_argument("flag not registered: --" + name);
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const { return find(name).value; }
+
+int CliParser::get_int(const std::string& name) const {
+  return std::stoi(find(name).value);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::stod(find(name).value);
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string& v = find(name).value;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("flag --" + name + " is not a boolean: " + v);
+}
+
+std::string CliParser::help(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name << " (default: " << flag.default_value << ")\n      "
+        << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace blurnet::util

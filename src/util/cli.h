@@ -1,0 +1,50 @@
+// Tiny command-line flag parser for the bench/example binaries.
+//
+// Supported syntax: --name=value, --name value, --flag (bool true),
+// --no-flag (bool false). Unknown flags raise; positional args are collected.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace blurnet::util {
+
+class CliParser {
+ public:
+  /// Register a flag with a default value and help text (all values are
+  /// stored as strings; typed getters convert on access).
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parse argv. Throws std::invalid_argument on unknown/malformed flags.
+  void parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Render a --help message.
+  std::string help(const std::string& program) const;
+
+  /// True if --help was passed.
+  bool help_requested() const { return help_requested_; }
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  const Flag& find(const std::string& name) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace blurnet::util

@@ -1,0 +1,29 @@
+#include "src/util/env.h"
+
+#include <cstdlib>
+
+namespace blurnet::util {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+bool env_flag(const std::string& name) {
+  const auto value = env_string(name);
+  if (!value) return false;
+  return *value == "1" || *value == "true" || *value == "yes" || *value == "on";
+}
+
+int env_int(const std::string& name, int fallback) {
+  const auto value = env_string(name);
+  if (!value || value->empty()) return fallback;
+  try {
+    return std::stoi(*value);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+}  // namespace blurnet::util

@@ -1,0 +1,18 @@
+// Environment-variable helpers implementing the scale knobs documented in
+// DESIGN.md §6 (BLURNET_FAST / BLURNET_PAPER / BLURNET_CACHE_DIR).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace blurnet::util {
+
+std::optional<std::string> env_string(const std::string& name);
+
+/// True when the variable is set to a truthy value ("1", "true", "yes", "on").
+bool env_flag(const std::string& name);
+
+/// Integer env var with fallback.
+int env_int(const std::string& name, int fallback);
+
+}  // namespace blurnet::util

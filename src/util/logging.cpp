@@ -1,0 +1,56 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+namespace blurnet::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_sink_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level: " + name);
+}
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  using clock = std::chrono::system_clock;
+  const auto now = clock::to_time_t(clock::now());
+  std::tm tm_buf{};
+  localtime_r(&now, &tm_buf);
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%H:%M:%S", &tm_buf);
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s %s] %s\n", stamp, level_tag(level), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace blurnet::util

@@ -1,0 +1,45 @@
+#include "src/util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace blurnet::util {
+
+namespace {
+std::atomic<int> g_workers{0};
+}
+
+int parallel_workers() {
+  const int override_count = g_workers.load();
+  if (override_count > 0) return override_count;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 8u));
+}
+
+void set_parallel_workers(int workers) { g_workers.store(workers); }
+
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn,
+                  std::int64_t min_chunk) {
+  if (n <= 0) return;
+  const int workers = parallel_workers();
+  if (workers <= 1 || n < 2 * min_chunk) {
+    fn(0, n);
+    return;
+  }
+  const int chunks = static_cast<int>(std::min<std::int64_t>(workers, (n + min_chunk - 1) / min_chunk));
+  const std::int64_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(chunks));
+  for (int c = 0; c < chunks; ++c) {
+    const std::int64_t begin = c * chunk;
+    const std::int64_t end = std::min<std::int64_t>(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace blurnet::util

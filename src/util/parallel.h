@@ -1,0 +1,27 @@
+// Data-parallel helper used by the convolution / attack kernels.
+//
+// parallel_for splits [0, n) into contiguous chunks across a small number of
+// worker threads. The work function must be safe to run concurrently on
+// disjoint index ranges. For tiny n the call degrades to a serial loop so the
+// threading overhead never dominates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace blurnet::util {
+
+/// Number of worker threads used by parallel_for (defaults to hardware
+/// concurrency, clamped to [1, 8]).
+int parallel_workers();
+
+/// Override the worker count (0 restores the default). Used in tests to
+/// exercise both serial and parallel paths.
+void set_parallel_workers(int workers);
+
+/// Invoke fn(begin, end) over a partition of [0, n).
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn,
+                  std::int64_t min_chunk = 256);
+
+}  // namespace blurnet::util

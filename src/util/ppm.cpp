@@ -1,0 +1,93 @@
+#include "src/util/ppm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace blurnet::util {
+
+ImageU8 quantize_chw(const float* data, int channels, int height, int width) {
+  if (channels != 1 && channels != 3) {
+    throw std::invalid_argument("quantize_chw: channels must be 1 or 3");
+  }
+  ImageU8 image;
+  image.height = height;
+  image.width = width;
+  image.channels = channels;
+  image.pixels.resize(static_cast<std::size_t>(height) * width * channels);
+  const std::int64_t plane = static_cast<std::int64_t>(height) * width;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      for (int c = 0; c < channels; ++c) {
+        const float v = data[c * plane + y * width + x];
+        const float clamped = std::clamp(v, 0.0f, 1.0f);
+        image.pixels[(static_cast<std::size_t>(y) * width + x) * channels + c] =
+            static_cast<std::uint8_t>(std::lround(clamped * 255.0f));
+      }
+    }
+  }
+  return image;
+}
+
+void write_pnm(const std::string& path, const ImageU8& image) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pnm: cannot open " + path);
+  out << (image.channels == 3 ? "P6" : "P5") << "\n"
+      << image.width << " " << image.height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.pixels.data()),
+            static_cast<std::streamsize>(image.pixels.size()));
+  if (!out) throw std::runtime_error("write_pnm: write failed for " + path);
+}
+
+void write_pnm_chw(const std::string& path, const float* data, int channels,
+                   int height, int width) {
+  write_pnm(path, quantize_chw(data, channels, height, width));
+}
+
+namespace {
+int read_pnm_int(std::istream& in) {
+  // Skips whitespace and '#' comments per the PNM spec.
+  while (true) {
+    int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c)) {
+      in.get();
+    } else {
+      break;
+    }
+  }
+  int value = 0;
+  in >> value;
+  return value;
+}
+}  // namespace
+
+ImageU8 read_pnm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pnm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  ImageU8 image;
+  if (magic == "P6") {
+    image.channels = 3;
+  } else if (magic == "P5") {
+    image.channels = 1;
+  } else {
+    throw std::runtime_error("read_pnm: unsupported magic " + magic);
+  }
+  image.width = read_pnm_int(in);
+  image.height = read_pnm_int(in);
+  const int maxval = read_pnm_int(in);
+  if (maxval != 255) throw std::runtime_error("read_pnm: only maxval 255 supported");
+  in.get();  // single whitespace after header
+  image.pixels.resize(static_cast<std::size_t>(image.width) * image.height * image.channels);
+  in.read(reinterpret_cast<char*>(image.pixels.data()),
+          static_cast<std::streamsize>(image.pixels.size()));
+  if (!in) throw std::runtime_error("read_pnm: truncated file " + path);
+  return image;
+}
+
+}  // namespace blurnet::util

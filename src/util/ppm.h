@@ -1,0 +1,33 @@
+// Portable pixmap (PPM/PGM) I/O for dumping rendered signs, adversarial
+// examples, and FFT spectra. Binary P6/P5 format; values are float images in
+// [0, 1] (CHW for colour, HW for grayscale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blurnet::util {
+
+struct ImageU8 {
+  int height = 0;
+  int width = 0;
+  int channels = 0;  // 1 (gray) or 3 (rgb)
+  std::vector<std::uint8_t> pixels;  // HWC order
+};
+
+/// Quantize a CHW float image in [0,1] to an 8-bit HWC image. Values are
+/// clamped; channels must be 1 or 3.
+ImageU8 quantize_chw(const float* data, int channels, int height, int width);
+
+/// Write a binary PPM (channels == 3) or PGM (channels == 1).
+void write_pnm(const std::string& path, const ImageU8& image);
+
+/// Convenience: quantize + write.
+void write_pnm_chw(const std::string& path, const float* data, int channels,
+                   int height, int width);
+
+/// Read a binary P5/P6 file (used by tests for round-tripping).
+ImageU8 read_pnm(const std::string& path);
+
+}  // namespace blurnet::util

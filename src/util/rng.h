@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for every stochastic
+// component in the library (dataset rendering, weight init, batching,
+// augmentation, EOT transform sampling, Monte-Carlo smoothing).
+//
+// We intentionally do not use std::mt19937 / std::normal_distribution because
+// their output is not guaranteed identical across standard-library
+// implementations; reproducibility of experiments is a design requirement
+// (see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace blurnet::util {
+
+/// xoshiro256** PRNG seeded via splitmix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal via Box–Muller (deterministic, caches the spare value).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle of an index vector.
+  void shuffle(std::vector<int>& v);
+
+  /// Derive an independent child generator (for per-worker streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace blurnet::util

@@ -1,0 +1,113 @@
+#include "src/util/serialize.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace blurnet::util {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary), path_(path) {
+  if (!out_) throw std::runtime_error("BinaryWriter: cannot open " + path);
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (out_.is_open()) out_.close();
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_i64(std::int64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_f32(float v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u32(static_cast<std::uint32_t>(s.size()));
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::write_f32_array(const float* data, std::size_t count) {
+  write_i64(static_cast<std::int64_t>(count));
+  out_.write(reinterpret_cast<const char*>(data),
+             static_cast<std::streamsize>(count * sizeof(float)));
+}
+
+void BinaryWriter::write_i64_array(const std::int64_t* data, std::size_t count) {
+  write_i64(static_cast<std::int64_t>(count));
+  out_.write(reinterpret_cast<const char*>(data),
+             static_cast<std::streamsize>(count * sizeof(std::int64_t)));
+}
+
+void BinaryWriter::close() {
+  out_.close();
+  if (out_.fail()) throw std::runtime_error("BinaryWriter: write failed for " + path_);
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) throw std::runtime_error("BinaryReader: cannot open " + path);
+}
+
+void BinaryReader::require(bool ok, const char* what) {
+  if (!ok) throw std::runtime_error(std::string("BinaryReader: ") + what + " in " + path_);
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof v);
+  require(static_cast<bool>(in_), "truncated u32");
+  return v;
+}
+
+std::int64_t BinaryReader::read_i64() {
+  std::int64_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof v);
+  require(static_cast<bool>(in_), "truncated i64");
+  return v;
+}
+
+float BinaryReader::read_f32() {
+  float v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof v);
+  require(static_cast<bool>(in_), "truncated f32");
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const auto n = read_u32();
+  std::string s(n, '\0');
+  in_.read(s.data(), n);
+  require(static_cast<bool>(in_), "truncated string");
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_array() {
+  const auto n = read_i64();
+  require(n >= 0, "negative array length");
+  std::vector<float> v(static_cast<std::size_t>(n));
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+  require(static_cast<bool>(in_), "truncated f32 array");
+  return v;
+}
+
+std::vector<std::int64_t> BinaryReader::read_i64_array() {
+  const auto n = read_i64();
+  require(n >= 0, "negative array length");
+  std::vector<std::int64_t> v(static_cast<std::size_t>(n));
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(std::int64_t)));
+  require(static_cast<bool>(in_), "truncated i64 array");
+  return v;
+}
+
+bool BinaryReader::at_end() {
+  return in_.peek() == std::char_traits<char>::eof();
+}
+
+}  // namespace blurnet::util

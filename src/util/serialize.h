@@ -1,0 +1,53 @@
+// Little binary (de)serializer for model checkpoints and cached artifacts.
+// Format: tagged key/value records; all integers little-endian fixed width.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace blurnet::util {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void write_u32(std::uint32_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_string(const std::string& s);
+  void write_f32_array(const float* data, std::size_t count);
+  void write_i64_array(const std::int64_t* data, std::size_t count);
+
+  /// Flush and close; throws on I/O failure.
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  std::uint32_t read_u32();
+  std::int64_t read_i64();
+  float read_f32();
+  std::string read_string();
+  std::vector<float> read_f32_array();
+  std::vector<std::int64_t> read_i64_array();
+
+  bool at_end();
+
+ private:
+  void require(bool ok, const char* what);
+  std::ifstream in_;
+  std::string path_;
+};
+
+}  // namespace blurnet::util

@@ -1,0 +1,69 @@
+#include "src/util/table.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace blurnet::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count does not match headers");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::pct(double fraction, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << fraction * 100.0 << "%";
+  return out.str();
+}
+
+std::string Table::num(double value, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << value;
+  return out.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(widths[c]))
+          << row[c];
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace blurnet::util

@@ -1,0 +1,34 @@
+// ASCII table rendering for the benchmark harness: every bench prints the
+// same rows the paper's tables report, via this formatter. Also supports CSV
+// dumps so downstream plotting does not need to re-parse aligned text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace blurnet::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Helpers for numeric cells.
+  static std::string pct(double fraction, int decimals = 1);   // 0.175 -> "17.5%"
+  static std::string num(double value, int decimals = 3);
+
+  /// Aligned monospace rendering with a rule under the header.
+  std::string to_string() const;
+
+  /// Comma-separated dump (no alignment padding).
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace blurnet::util

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/data/augment.h"
+#include "src/data/dataset.h"
+#include "src/data/sign_renderer.h"
+
+namespace blurnet::data {
+namespace {
+
+TEST(SignRenderer, DeterministicGivenParams) {
+  const SignRenderer renderer(32);
+  RenderParams params;
+  params.noise_seed = 42;
+  const auto a = renderer.render(0, params);
+  const auto b = renderer.render(0, params);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(SignRenderer, OutputInRangeAndShape) {
+  const SignRenderer renderer(32);
+  util::Rng rng(1);
+  for (int cls = 0; cls < SignRenderer::kNumClasses; ++cls) {
+    const auto image = renderer.render(cls, SignRenderer::sample_params(rng));
+    EXPECT_EQ(image.shape(), (tensor::Shape{3, 32, 32}));
+    EXPECT_GE(image.min(), 0.0f);
+    EXPECT_LE(image.max(), 1.0f);
+  }
+}
+
+TEST(SignRenderer, ClassesAreVisuallyDistinct) {
+  // Same pose, no noise: every pair of classes must differ meaningfully.
+  const SignRenderer renderer(32);
+  RenderParams params;
+  params.noise_std = 0.0;
+  std::vector<tensor::Tensor> renders;
+  for (int cls = 0; cls < SignRenderer::kNumClasses; ++cls) {
+    renders.push_back(renderer.render(cls, params));
+  }
+  for (int a = 0; a < SignRenderer::kNumClasses; ++a) {
+    for (int b = a + 1; b < SignRenderer::kNumClasses; ++b) {
+      double diff = 0;
+      for (std::int64_t i = 0; i < renders[0].numel(); ++i) {
+        diff += std::fabs(renders[static_cast<std::size_t>(a)][i] -
+                          renders[static_cast<std::size_t>(b)][i]);
+      }
+      EXPECT_GT(diff / renders[0].numel(), 0.005)
+          << "classes " << a << " and " << b << " look identical";
+    }
+  }
+}
+
+TEST(SignRenderer, MaskCoversSignCenter) {
+  const SignRenderer renderer(32);
+  RenderParams params;
+  const auto mask = renderer.sign_region_mask(0, params);
+  EXPECT_EQ(mask.shape(), (tensor::Shape{1, 32, 32}));
+  EXPECT_FLOAT_EQ(mask[16 * 32 + 16], 1.0f);  // centre inside the octagon
+  EXPECT_FLOAT_EQ(mask[0], 0.0f);             // corner outside
+  const float coverage = mask.sum() / static_cast<float>(mask.numel());
+  EXPECT_GT(coverage, 0.2f);
+  EXPECT_LT(coverage, 0.8f);
+}
+
+TEST(SignRenderer, InvalidClassThrows) {
+  const SignRenderer renderer(32);
+  RenderParams params;
+  EXPECT_THROW(renderer.render(-1, params), std::invalid_argument);
+  EXPECT_THROW(renderer.render(18, params), std::invalid_argument);
+}
+
+TEST(SignRenderer, ClassNamesCount) {
+  EXPECT_EQ(SignRenderer::class_names().size(),
+            static_cast<std::size_t>(SignRenderer::kNumClasses));
+  EXPECT_EQ(SignRenderer::class_names()[0], "stop");
+}
+
+TEST(Dataset, SynthLisaSizesAndLabels) {
+  SynthLisaOptions options;
+  options.train_per_class = 3;
+  options.test_per_class = 2;
+  const auto lisa = make_synth_lisa(options);
+  EXPECT_EQ(lisa.train.size(), 18 * 3);
+  EXPECT_EQ(lisa.test.size(), 18 * 2);
+  EXPECT_EQ(lisa.train.num_classes, 18);
+  // Per-class counts.
+  std::vector<int> counts(18, 0);
+  for (const int label : lisa.train.labels) counts[static_cast<std::size_t>(label)]++;
+  for (const int c : counts) EXPECT_EQ(c, 3);
+}
+
+TEST(Dataset, DeterministicGivenSeed) {
+  SynthLisaOptions options;
+  options.train_per_class = 2;
+  options.test_per_class = 1;
+  const auto a = make_synth_lisa(options);
+  const auto b = make_synth_lisa(options);
+  for (std::int64_t i = 0; i < a.train.images.numel(); ++i) {
+    ASSERT_FLOAT_EQ(a.train.images[i], b.train.images[i]);
+  }
+}
+
+TEST(Dataset, TrainTestDisjointContent) {
+  SynthLisaOptions options;
+  options.train_per_class = 2;
+  options.test_per_class = 2;
+  const auto lisa = make_synth_lisa(options);
+  // Different RNG streams: first train and first test image must differ.
+  double diff = 0;
+  const std::int64_t stride = 3 * 32 * 32;
+  for (std::int64_t i = 0; i < stride; ++i) {
+    diff += std::fabs(lisa.train.images[i] - lisa.test.images[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  SynthLisaOptions options;
+  options.train_per_class = 2;
+  options.test_per_class = 1;
+  const auto lisa = make_synth_lisa(options);
+  const auto subset = lisa.train.subset({0, 19});
+  EXPECT_EQ(subset.size(), 2);
+  EXPECT_EQ(subset.labels[0], lisa.train.labels[0]);
+  EXPECT_EQ(subset.labels[1], lisa.train.labels[19]);
+  EXPECT_THROW(lisa.train.subset({-1}), std::out_of_range);
+}
+
+TEST(Dataset, BatchesPartitionDataset) {
+  SynthLisaOptions options;
+  options.train_per_class = 2;
+  options.test_per_class = 1;
+  const auto lisa = make_synth_lisa(options);
+  util::Rng rng(3);
+  const auto batches = make_batches(lisa.train, 7, rng);
+  std::int64_t total = 0;
+  for (const auto& batch : batches) {
+    EXPECT_EQ(batch.images.dim(0), static_cast<std::int64_t>(batch.labels.size()));
+    EXPECT_LE(batch.images.dim(0), 7);
+    total += batch.images.dim(0);
+  }
+  EXPECT_EQ(total, lisa.train.size());
+}
+
+TEST(Dataset, BatchesShuffleWithSeed) {
+  SynthLisaOptions options;
+  options.train_per_class = 4;
+  options.test_per_class = 1;
+  const auto lisa = make_synth_lisa(options);
+  util::Rng rng_a(3), rng_b(4);
+  const auto batches_a = make_batches(lisa.train, 16, rng_a);
+  const auto batches_b = make_batches(lisa.train, 16, rng_b);
+  EXPECT_NE(batches_a[0].labels, batches_b[0].labels);
+}
+
+TEST(StopSignSet, ShapesAndMasks) {
+  const auto set = stop_sign_eval_set(5);
+  EXPECT_EQ(set.images.shape(), tensor::Shape::nchw(5, 3, 32, 32));
+  EXPECT_EQ(set.masks.shape(), tensor::Shape::nchw(5, 1, 32, 32));
+  for (std::int64_t i = 0; i < 5; ++i) {
+    float coverage = 0;
+    for (std::int64_t j = 0; j < 32 * 32; ++j) coverage += set.masks[i * 32 * 32 + j];
+    EXPECT_GT(coverage, 50.0f) << "sign region too small for image " << i;
+  }
+}
+
+TEST(StopSignSet, PosesVary) {
+  const auto set = stop_sign_eval_set(4);
+  // Masks should differ between images (different scale/shift/rotation).
+  double diff = 0;
+  for (std::int64_t j = 0; j < 32 * 32; ++j) {
+    diff += std::fabs(set.masks[j] - set.masks[32 * 32 + j]);
+  }
+  EXPECT_GT(diff, 5.0);
+}
+
+TEST(Augment, GaussianNoiseBoundedAndCentered) {
+  auto x = tensor::Tensor::full(tensor::Shape::nchw(1, 3, 16, 16), 0.5f);
+  util::Rng rng(5);
+  const auto noisy = gaussian_noise(x, 0.1, rng);
+  EXPECT_GE(noisy.min(), 0.0f);
+  EXPECT_LE(noisy.max(), 1.0f);
+  EXPECT_NEAR(noisy.mean(), 0.5f, 0.02f);
+  double var = 0;
+  for (std::int64_t i = 0; i < noisy.numel(); ++i) {
+    var += (noisy[i] - 0.5) * (noisy[i] - 0.5);
+  }
+  EXPECT_NEAR(var / static_cast<double>(noisy.numel()), 0.01, 0.003);
+}
+
+TEST(Augment, BrightnessJitterPerImage) {
+  auto x = tensor::Tensor::full(tensor::Shape::nchw(2, 1, 4, 4), 0.5f);
+  util::Rng rng(6);
+  const auto jittered = brightness_jitter(x, 0.3, rng);
+  // Within an image the gain is constant; across images it differs.
+  EXPECT_FLOAT_EQ(jittered[0], jittered[5]);
+  EXPECT_NE(jittered[0], jittered[16]);
+}
+
+}  // namespace
+}  // namespace blurnet::data

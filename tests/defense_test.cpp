@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+
+#include "src/autograd/ops.h"
+#include "src/defense/model_zoo.h"
+#include "src/defense/randomized_smoothing.h"
+#include "src/defense/regularizers.h"
+#include "src/defense/trainer.h"
+#include "src/signal/kernels.h"
+#include "src/signal/spectrum.h"
+#include "tests/test_helpers.h"
+
+namespace blurnet::defense {
+namespace {
+
+using autograd::Variable;
+using blurnet::testing::tiny_dataset;
+using blurnet::testing::tiny_model_config;
+using blurnet::testing::tiny_trained_model;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Regularizers, TikHfOperatorAnnihilatesConstants) {
+  const Tensor l = tik_hf_operator(8);
+  EXPECT_EQ(l.shape(), Shape::mat(8, 8));
+  for (int r = 0; r < 8; ++r) {
+    double row_sum = 0;
+    for (int c = 0; c < 8; ++c) row_sum += l.at2(r, c);
+    EXPECT_NEAR(row_sum, 0.0, 1e-6);  // (I - L_avg) rows sum to zero
+  }
+}
+
+TEST(Regularizers, TikPseudoOperatorShape) {
+  const Tensor p = tik_pseudo_operator(8, 12);
+  EXPECT_EQ(p.shape(), Shape::mat(8, 12));
+  EXPECT_GT(p.abs_max(), 0.0f);
+}
+
+TEST(Regularizers, TermValuesAndKinds) {
+  const auto& model = tiny_trained_model();
+  const auto& lisa = tiny_dataset();
+  const auto forward = model.forward(Variable::constant(lisa.test.images.reshape(
+      lisa.test.images.shape())));
+  for (const auto spec :
+       {RegularizerSpec::tv(1e-3), RegularizerSpec::tik_hf(1e-3), RegularizerSpec::tik_pseudo(1e-3)}) {
+    const auto term = regularization_term(spec, model, forward);
+    ASSERT_TRUE(term.defined());
+    EXPECT_GE(term.scalar_value(), 0.0f);
+    EXPECT_GT(term.scalar_value(), 0.0f);
+  }
+  EXPECT_FALSE(regularization_term(RegularizerSpec::none(), model, forward).defined());
+}
+
+TEST(Regularizers, LinfRequiresDepthwiseLayer) {
+  const auto& model = tiny_trained_model();
+  const auto& lisa = tiny_dataset();
+  const auto forward = model.forward(Variable::constant(lisa.test.images));
+  EXPECT_THROW(regularization_term(RegularizerSpec::linf(0.1), model, forward),
+               std::logic_error);
+}
+
+TEST(Regularizers, NormalizationIsScaleInvariant) {
+  // Scaling the features must not change the normalized TV term (that is the
+  // point of normalization: the network cannot cheat by shrinking amplitude).
+  const auto& model = tiny_trained_model();
+  const auto& lisa = tiny_dataset();
+  auto forward = model.forward(Variable::constant(lisa.test.images));
+  const auto spec = RegularizerSpec::tv(1.0);
+  const float value = regularization_term(spec, model, forward).scalar_value();
+
+  nn::ForwardResult scaled = forward;
+  scaled.features_l1 = autograd::mul_scalar(forward.features_l1, 0.25f);
+  const float scaled_value = regularization_term(spec, model, scaled).scalar_value();
+  EXPECT_NEAR(value, scaled_value, 0.05f * std::max(1.0f, value));
+
+  // Without normalization the term scales linearly.
+  RegularizerSpec raw = spec;
+  raw.normalize = false;
+  const float raw_value = regularization_term(raw, model, forward).scalar_value();
+  const float raw_scaled = regularization_term(raw, model, scaled).scalar_value();
+  EXPECT_NEAR(raw_scaled, 0.25f * raw_value, 0.02f * raw_value);
+}
+
+TEST(Regularizers, ToStringNames) {
+  EXPECT_EQ(to_string(RegularizerKind::kTv), "tv");
+  EXPECT_EQ(to_string(RegularizerKind::kTikHf), "tik_hf");
+  EXPECT_EQ(to_string(RegularizerKind::kNone), "none");
+}
+
+TEST(Trainer, LearnsAboveChance) {
+  nn::LisaCnn model(tiny_model_config());
+  TrainConfig config;
+  config.epochs = 14;
+  config.batch_size = 16;
+  const auto stats = train_classifier(model, tiny_dataset().train, tiny_dataset().test, config);
+  EXPECT_EQ(stats.epochs_run, 14);
+  EXPECT_GT(stats.test_accuracy, 3.0 / 18.0);  // well above chance
+  EXPECT_LT(stats.final_train_loss, 2.5);
+}
+
+TEST(Trainer, TvRegularizationReducesFeatureTv) {
+  // Train with and without the (normalized) TV penalty: the TV-per-activation
+  // of the first-layer maps must come out lower for the regularized model.
+  nn::LisaCnn plain(tiny_model_config());
+  nn::LisaCnn regularized(tiny_model_config());
+  TrainConfig config;
+  config.epochs = 12;
+  config.batch_size = 16;
+  train_classifier(plain, tiny_dataset().train, tiny_dataset().test, config);
+  config.regularizer = RegularizerSpec::tv(3e-3);
+  train_classifier(regularized, tiny_dataset().train, tiny_dataset().test, config);
+
+  auto normalized_tv = [&](const nn::LisaCnn& model) {
+    const auto forward = model.forward(Variable::constant(tiny_dataset().test.images));
+    const auto& f = forward.features_l1.value();
+    double scale = 0;
+    for (std::int64_t i = 0; i < f.numel(); ++i) scale += std::fabs(f[i]);
+    scale /= static_cast<double>(f.numel());
+    return autograd::tv_loss(forward.features_l1).scalar_value() / (scale + 1e-9);
+  };
+  EXPECT_LT(normalized_tv(regularized), normalized_tv(plain));
+}
+
+TEST(Trainer, GaussianAugmentationRunsAndLearns) {
+  nn::LisaCnn model(tiny_model_config());
+  TrainConfig config;
+  config.epochs = 12;
+  config.batch_size = 16;
+  config.gaussian_sigma = 0.1;
+  const auto stats = train_classifier(model, tiny_dataset().train, tiny_dataset().test, config);
+  EXPECT_GT(stats.test_accuracy, 3.0 / 18.0);
+}
+
+TEST(Trainer, AdversarialTrainingRunsAndLearns) {
+  nn::LisaCnn model(tiny_model_config());
+  TrainConfig config;
+  config.epochs = 8;
+  config.batch_size = 16;
+  config.adversarial = true;
+  config.adversarial_pgd.steps = 3;
+  const auto stats = train_classifier(model, tiny_dataset().train, tiny_dataset().test, config);
+  EXPECT_GT(stats.test_accuracy, 2.0 / 18.0);
+}
+
+TEST(Trainer, AccuracyHelperMatchesManualCount) {
+  const auto& model = tiny_trained_model();
+  const auto& test = tiny_dataset().test;
+  const double accuracy = classifier_accuracy(model, test, 16);
+  const auto preds = model.predict(test.images);
+  int correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == test.labels[i]) ++correct;
+  }
+  EXPECT_NEAR(accuracy, static_cast<double>(correct) / static_cast<double>(preds.size()),
+              1e-9);
+}
+
+TEST(Smoothing, CleanAccuracyCloseToBase) {
+  const auto& model = tiny_trained_model();
+  const auto& test = tiny_dataset().test;
+  SmoothingConfig config;
+  config.sigma = 0.05;
+  config.samples = 20;
+  const double smoothed = smoothed_accuracy(model, test.images, test.labels, config);
+  const double plain = classifier_accuracy(model, test);
+  EXPECT_NEAR(smoothed, plain, 0.25);
+}
+
+TEST(Smoothing, DeterministicGivenSeed) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(3);
+  SmoothingConfig config;
+  config.samples = 10;
+  const auto a = smoothed_predict(model, stop_set.images, config);
+  const auto b = smoothed_predict(model, stop_set.images, config);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Smoothing, HighNoiseDegradesGracefully) {
+  const auto& model = tiny_trained_model();
+  const auto& test = tiny_dataset().test;
+  SmoothingConfig config;
+  config.sigma = 1.5;  // absurd noise: accuracy should fall toward chance
+  config.samples = 10;
+  const double smoothed = smoothed_accuracy(model, test.images, test.labels, config);
+  EXPECT_LT(smoothed, classifier_accuracy(model, test));
+}
+
+TEST(FixedBlur, ReducesFeatureHighFrequency) {
+  // The architectural defense claim at unit scale: blurring L1 maps cuts
+  // their high-frequency energy.
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(1);
+  const auto maps =
+      model.forward(Variable::constant(stop_set.images)).features_l1.value();
+  const auto blurred = signal::filter2d_depthwise(maps, signal::make_blur_kernel(5));
+  double hf_before = 0, hf_after = 0;
+  const int h = static_cast<int>(maps.dim(2)), w = static_cast<int>(maps.dim(3));
+  for (std::int64_t c = 0; c < maps.dim(1); ++c) {
+    hf_before += signal::high_frequency_energy_ratio(signal::extract_plane(maps, 0, c), h, w);
+    hf_after +=
+        signal::high_frequency_energy_ratio(signal::extract_plane(blurred, 0, c), h, w);
+  }
+  EXPECT_LT(hf_after, hf_before);
+}
+
+TEST(ModelZoo, SpecsExistForAllVariants) {
+  ModelZoo zoo(default_zoo_config());
+  for (const auto& name : ModelZoo::known_variants()) {
+    EXPECT_NO_THROW(zoo.spec(name)) << name;
+  }
+  EXPECT_THROW(zoo.spec("nonsense"), std::invalid_argument);
+}
+
+TEST(ModelZoo, TrainsCachesAndReloads) {
+  const auto cache_dir =
+      std::filesystem::temp_directory_path() / "blurnet_zoo_test_cache";
+  std::filesystem::remove_all(cache_dir);
+
+  ZooConfig config;
+  config.dataset.train_per_class = 6;
+  config.dataset.test_per_class = 3;
+  config.epochs = 2;
+  config.cache_dir = cache_dir.string();
+
+  util::Rng rng(1);
+  const auto probe = Tensor::randn(Shape::nchw(1, 3, 32, 32), rng);
+  Tensor first_logits;
+  {
+    ModelZoo zoo(config);
+    first_logits = zoo.get("baseline").logits(probe);
+    EXPECT_GT(zoo.test_accuracy("baseline"), 1.5 / 18.0);
+  }
+  // A fresh zoo must load identical weights from the cache (no retraining).
+  {
+    ModelZoo zoo(config);
+    const auto second_logits = zoo.get("baseline").logits(probe);
+    for (std::int64_t i = 0; i < first_logits.numel(); ++i) {
+      EXPECT_FLOAT_EQ(second_logits[i], first_logits[i]);
+    }
+  }
+  std::filesystem::remove_all(cache_dir);
+}
+
+TEST(ModelZoo, EnvironmentScaling) {
+  ::setenv("BLURNET_FAST", "1", 1);
+  const auto fast = default_zoo_config();
+  ::unsetenv("BLURNET_FAST");
+  const auto normal = default_zoo_config();
+  EXPECT_LT(fast.epochs, normal.epochs);
+  EXPECT_LT(fast.dataset.train_per_class, normal.dataset.train_per_class);
+}
+
+}  // namespace
+}  // namespace blurnet::defense

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "src/attack/masks.h"
+#include "src/eval/experiments.h"
+#include "tests/test_helpers.h"
+
+namespace blurnet::eval {
+namespace {
+
+using blurnet::testing::tiny_trained_model;
+
+ExperimentScale tiny_scale() {
+  ExperimentScale scale;
+  scale.eval_images = 3;
+  scale.num_targets = 2;
+  scale.rp2_iterations = 10;
+  return scale;
+}
+
+TEST(Scale, EnvSwitches) {
+  ::setenv("BLURNET_FAST", "1", 1);
+  const auto fast = ExperimentScale::from_env();
+  ::unsetenv("BLURNET_FAST");
+  ::setenv("BLURNET_PAPER", "1", 1);
+  const auto paper = ExperimentScale::from_env();
+  ::unsetenv("BLURNET_PAPER");
+  const auto normal = ExperimentScale::from_env();
+  EXPECT_LT(fast.eval_images, normal.eval_images);
+  EXPECT_EQ(paper.eval_images, 40);
+  EXPECT_EQ(paper.num_targets, 17);
+  EXPECT_EQ(paper.rp2_iterations, 300);
+}
+
+TEST(Scale, TargetClassesExcludeStopAndAreDistinct) {
+  for (const int count : {2, 6, 17}) {
+    ExperimentScale scale;
+    scale.num_targets = count;
+    const auto targets = scale.target_classes();
+    EXPECT_EQ(static_cast<int>(targets.size()), count);
+    std::set<int> unique(targets.begin(), targets.end());
+    EXPECT_EQ(unique.size(), targets.size());
+    for (const int t : targets) {
+      EXPECT_GE(t, 1);
+      EXPECT_LE(t, 17);
+    }
+  }
+}
+
+TEST(Scale, TargetCountClampedToAvailable) {
+  ExperimentScale scale;
+  scale.num_targets = 40;
+  EXPECT_EQ(scale.target_classes().size(), 17u);
+}
+
+TEST(PaperConfig, MatchesPaperHyperparameters) {
+  const auto config = paper_rp2_config(tiny_scale());
+  EXPECT_DOUBLE_EQ(config.lambda, 0.002);
+  EXPECT_EQ(config.iterations, 10);
+  EXPECT_EQ(config.norm, attack::PerturbationNorm::kL2);
+  EXPECT_TRUE(config.shared_perturbation);
+}
+
+TEST(WhiteboxSweep, ProducesConsistentAggregates) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(3);
+  const auto scale = tiny_scale();
+  const auto sweep = whitebox_sweep(model, 0.9, stop_set, scale);
+  EXPECT_DOUBLE_EQ(sweep.legit_accuracy, 0.9);
+  EXPECT_EQ(sweep.per_target.size(), 2u);
+  // Aggregates must match per-target data.
+  double sum = 0, worst = 0;
+  for (const auto& per : sweep.per_target) {
+    sum += per.success_rate;
+    worst = std::max(worst, per.success_rate);
+    EXPECT_GE(per.success_rate, 0.0);
+    EXPECT_LE(per.success_rate, 1.0);
+    EXPECT_GE(per.l2_dissimilarity, 0.0);
+  }
+  EXPECT_NEAR(sweep.average_success, sum / 2.0, 1e-9);
+  EXPECT_NEAR(sweep.worst_success, worst, 1e-9);
+}
+
+TEST(WhiteboxSweep, AdapterIsApplied) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(2);
+  const auto scale = tiny_scale();
+  int adapter_calls = 0;
+  whitebox_sweep(model, 1.0, stop_set, scale,
+                 [&adapter_calls](const attack::Rp2Config& c) {
+                   ++adapter_calls;
+                   attack::Rp2Config out = c;
+                   out.iterations = 2;  // keep it cheap
+                   return out;
+                 });
+  EXPECT_EQ(adapter_calls, scale.num_targets);
+}
+
+TEST(WhiteboxSweep, PredictorOverridesClassification) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(2);
+  const auto scale = tiny_scale();
+  // A constant predictor means no prediction ever changes => ASR 0.
+  const auto sweep = whitebox_sweep(
+      model, 1.0, stop_set, scale, nullptr,
+      [](const tensor::Tensor& x) {
+        return std::vector<int>(static_cast<std::size_t>(x.dim(0)), 0);
+      });
+  EXPECT_DOUBLE_EQ(sweep.average_success, 0.0);
+  EXPECT_DOUBLE_EQ(sweep.worst_success, 0.0);
+}
+
+TEST(Transfer, SelfTransferEqualsWhiteboxEffect) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(3);
+  const auto scale = tiny_scale();
+  const auto result = transfer_attack(model, model, stop_set, scale);
+  EXPECT_GE(result.clean_accuracy, 0.0);
+  EXPECT_LE(result.clean_accuracy, 1.0);
+  EXPECT_GE(result.attack_success, 0.0);
+  EXPECT_LE(result.attack_success, 1.0);
+}
+
+TEST(Results, WriteFileCreatesDirectoryAndContent) {
+  const auto dir = std::filesystem::temp_directory_path() / "blurnet_results_test";
+  std::filesystem::remove_all(dir);
+  ::setenv("BLURNET_OUT_DIR", dir.string().c_str(), 1);
+  EXPECT_EQ(results_dir(), dir.string());
+  write_results_file("probe.csv", "a,b\n1,2\n");
+  ::unsetenv("BLURNET_OUT_DIR");
+
+  std::ifstream in(dir / "probe.csv");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Results, DefaultDirIsResults) {
+  ::unsetenv("BLURNET_OUT_DIR");
+  EXPECT_EQ(results_dir(), "results");
+}
+
+TEST(EvalStopSet, StickeredMasksAreSubsets) {
+  ExperimentScale scale = tiny_scale();
+  const auto set = make_eval_stop_set(scale);
+  EXPECT_EQ(set.images.dim(0), scale.eval_images);
+  EXPECT_EQ(set.masks.dim(0), scale.eval_images);
+  EXPECT_GT(attack::mask_coverage(set.masks), 0.0);
+}
+
+}  // namespace
+}  // namespace blurnet::eval

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/linalg/matrix.h"
+#include "src/linalg/operators.h"
+#include "src/linalg/svd.h"
+#include "src/util/rng.h"
+
+namespace blurnet::linalg {
+namespace {
+
+Matrix random_matrix(int rows, int cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) m.at(r, c) = rng.normal();
+  return m;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  double out = 0;
+  for (int r = 0; r < a.rows(); ++r)
+    for (int c = 0; c < a.cols(); ++c) out = std::max(out, std::fabs(a.at(r, c) - b.at(r, c)));
+  return out;
+}
+
+TEST(Matrix, MultiplyIdentity) {
+  util::Rng rng(1);
+  const Matrix a = random_matrix(4, 4, rng);
+  const Matrix i = Matrix::identity(4);
+  EXPECT_LT(max_abs_diff(a * i, a), 1e-12);
+  EXPECT_LT(max_abs_diff(i * a, a), 1e-12);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  util::Rng rng(2);
+  const Matrix a = random_matrix(3, 5, rng);
+  EXPECT_LT(max_abs_diff(a.transpose().transpose(), a), 1e-15);
+}
+
+TEST(Matrix, ApplyVector) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  const auto y = m.apply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+  EXPECT_NO_THROW(a + b);
+  EXPECT_THROW(a.apply({1.0, 2.0}), std::invalid_argument);
+}
+
+// SVD reconstruction across shapes (property sweep).
+class SvdReconstruction : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SvdReconstruction, UsvtEqualsA) {
+  const auto [rows, cols] = GetParam();
+  util::Rng rng(10 + rows * 7 + cols);
+  const Matrix a = random_matrix(rows, cols, rng);
+  const SvdResult decomposition = svd(a);
+  // Reconstruct A = U diag(sigma) V^T.
+  Matrix reconstructed(rows, cols);
+  for (std::size_t k = 0; k < decomposition.sigma.size(); ++k) {
+    const double s = decomposition.sigma[k];
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < cols; ++c) {
+        reconstructed.at(r, c) +=
+            s * decomposition.u.at(r, static_cast<int>(k)) * decomposition.v.at(c, static_cast<int>(k));
+      }
+  }
+  EXPECT_LT(max_abs_diff(reconstructed, a), 1e-8);
+  // Singular values descending and non-negative.
+  for (std::size_t k = 1; k < decomposition.sigma.size(); ++k) {
+    EXPECT_LE(decomposition.sigma[k], decomposition.sigma[k - 1] + 1e-12);
+    EXPECT_GE(decomposition.sigma[k], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdReconstruction,
+                         ::testing::Values(std::pair{3, 3}, std::pair{5, 3}, std::pair{4, 6},
+                                           std::pair{8, 8}, std::pair{15, 16}));
+
+TEST(Svd, OrthonormalColumns) {
+  util::Rng rng(21);
+  const Matrix a = random_matrix(6, 4, rng);
+  const auto decomposition = svd(a);
+  const Matrix utu = decomposition.u.transpose() * decomposition.u;
+  const Matrix vtv = decomposition.v.transpose() * decomposition.v;
+  EXPECT_LT(max_abs_diff(utu, Matrix::identity(4)), 1e-8);
+  EXPECT_LT(max_abs_diff(vtv, Matrix::identity(4)), 1e-8);
+}
+
+TEST(Pinv, MoorePenroseConditions) {
+  util::Rng rng(31);
+  const Matrix a = random_matrix(5, 3, rng);
+  const Matrix p = pinv(a);
+  EXPECT_EQ(p.rows(), 3);
+  EXPECT_EQ(p.cols(), 5);
+  // A P A = A and P A P = P.
+  EXPECT_LT(max_abs_diff(a * p * a, a), 1e-7);
+  EXPECT_LT(max_abs_diff(p * a * p, p), 1e-7);
+  // A P and P A symmetric.
+  const Matrix ap = a * p;
+  const Matrix pa = p * a;
+  EXPECT_LT(max_abs_diff(ap, ap.transpose()), 1e-7);
+  EXPECT_LT(max_abs_diff(pa, pa.transpose()), 1e-7);
+}
+
+TEST(Pinv, InvertsNonsingularSquare) {
+  Matrix a(2, 2, {2, 0, 0, 4});
+  const Matrix p = pinv(a);
+  EXPECT_NEAR(p.at(0, 0), 0.5, 1e-10);
+  EXPECT_NEAR(p.at(1, 1), 0.25, 1e-10);
+}
+
+TEST(Operators, MovingAverageRowsSumToOne) {
+  for (const int window : {3, 5}) {
+    const Matrix l = moving_average_matrix(8, window);
+    for (int r = 0; r < 8; ++r) {
+      double row_sum = 0;
+      for (int c = 0; c < 8; ++c) row_sum += l.at(r, c);
+      EXPECT_NEAR(row_sum, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Operators, MovingAverageSmoothsConstant) {
+  const Matrix l = moving_average_matrix(6, 3);
+  const auto y = l.apply({2, 2, 2, 2, 2, 2});
+  for (const double v : y) EXPECT_NEAR(v, 2.0, 1e-12);
+}
+
+TEST(Operators, HighFrequencyAnnihilatesConstants) {
+  // L_hf = I - L_avg must map constant vectors to ~0 (constants are the
+  // lowest-frequency signal) and pass sign-alternating ones through.
+  const Matrix l_hf = high_frequency_operator(8, 3);
+  const auto on_constant = l_hf.apply(std::vector<double>(8, 3.0));
+  for (const double v : on_constant) EXPECT_NEAR(v, 0.0, 1e-12);
+
+  std::vector<double> alternating(8);
+  for (int i = 0; i < 8; ++i) alternating[static_cast<std::size_t>(i)] = (i % 2) ? 1.0 : -1.0;
+  const auto on_alternating = l_hf.apply(alternating);
+  double energy = 0;
+  for (const double v : on_alternating) energy += v * v;
+  EXPECT_GT(energy, 1.0);  // high-frequency content passes through
+}
+
+TEST(Operators, DifferenceMatrixComputesDifferences) {
+  const Matrix d = difference_matrix(4);
+  EXPECT_EQ(d.rows(), 3);
+  EXPECT_EQ(d.cols(), 4);
+  const auto y = d.apply({1.0, 3.0, 6.0, 10.0});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 4.0);
+}
+
+TEST(Operators, DifferencePinvIsSmoothing) {
+  // L_diff+ approximates integration: applying it to a high-frequency
+  // alternating signal must shrink its energy (it is a low-pass operator).
+  const int n = 12;
+  const Matrix p = difference_pinv(n);
+  EXPECT_EQ(p.rows(), n);
+  EXPECT_EQ(p.cols(), n - 1);
+  std::vector<double> alternating(static_cast<std::size_t>(n - 1));
+  double in_energy = 0;
+  for (int i = 0; i < n - 1; ++i) {
+    alternating[static_cast<std::size_t>(i)] = (i % 2) ? 1.0 : -1.0;
+    in_energy += 1.0;
+  }
+  const auto smoothed = p.apply(alternating);
+  double out_energy = 0;
+  for (const double v : smoothed) out_energy += v * v;
+  EXPECT_LT(out_energy, in_energy);
+}
+
+TEST(Operators, DctMatrixOrthonormal) {
+  const Matrix d = dct_matrix(8);
+  const Matrix should_be_identity = d * d.transpose();
+  double max_diff = 0;
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) {
+      max_diff = std::max(max_diff,
+                          std::fabs(should_be_identity.at(r, c) - (r == c ? 1.0 : 0.0)));
+    }
+  EXPECT_LT(max_diff, 1e-10);
+}
+
+TEST(Operators, KernelsNormalized) {
+  for (const int width : {3, 5, 7}) {
+    double box_sum = 0, gauss_sum = 0;
+    for (const double t : box_kernel_1d(width)) box_sum += t;
+    for (const double t : gaussian_kernel_1d(width)) gauss_sum += t;
+    EXPECT_NEAR(box_sum, 1.0, 1e-12);
+    EXPECT_NEAR(gauss_sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Operators, GaussianPeaksAtCenter) {
+  const auto taps = gaussian_kernel_1d(5);
+  EXPECT_GT(taps[2], taps[1]);
+  EXPECT_GT(taps[1], taps[0]);
+  EXPECT_NEAR(taps[0], taps[4], 1e-12);
+}
+
+TEST(Operators, InvalidArgumentsThrow) {
+  EXPECT_THROW(moving_average_matrix(0, 3), std::invalid_argument);
+  EXPECT_THROW(moving_average_matrix(8, 4), std::invalid_argument);
+  EXPECT_THROW(difference_matrix(1), std::invalid_argument);
+  EXPECT_THROW(box_kernel_1d(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blurnet::linalg

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace blurnet::tensor {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s.to_string(), "[2, 3, 4]");
+  const auto strides = s.strides();
+  EXPECT_EQ(strides, (std::vector<std::int64_t>{12, 4, 1}));
+}
+
+TEST(Shape, ScalarHasNumelOne) {
+  EXPECT_EQ(Shape::scalar().numel(), 1);
+  EXPECT_EQ(Shape::scalar().rank(), 0);
+}
+
+TEST(Shape, NegativeDimThrows) {
+  EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t(Shape{3, 3});
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, CopySharesStorageCloneDoesNot) {
+  Tensor a = Tensor::full(Shape::vec(4), 2.0f);
+  Tensor shared = a;
+  Tensor deep = a.clone();
+  a[0] = 7.0f;
+  EXPECT_TRUE(shared.shares_storage_with(a));
+  EXPECT_FALSE(deep.shares_storage_with(a));
+  EXPECT_EQ(shared[0], 7.0f);
+  EXPECT_EQ(deep[0], 2.0f);
+}
+
+TEST(Tensor, ReshapeSharesStorageAndChecksNumel) {
+  Tensor a = Tensor::ones(Shape{2, 6});
+  Tensor b = a.reshape(Shape{3, 4});
+  EXPECT_TRUE(b.shares_storage_with(a));
+  EXPECT_THROW(a.reshape(Shape{5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, ValueConstructorChecksSize) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t = Tensor::from_vector({1.0f, -3.0f, 2.0f});
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 0.0f);
+  EXPECT_FLOAT_EQ(t.min(), -3.0f);
+  EXPECT_FLOAT_EQ(t.max(), 2.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 3.0f);
+  EXPECT_NEAR(t.l2_norm(), std::sqrt(14.0), 1e-6);
+}
+
+TEST(TensorOps, ElementwiseArithmetic) {
+  const Tensor a = Tensor::from_vector({1, 2, 3});
+  const Tensor b = Tensor::from_vector({4, 5, 6});
+  EXPECT_FLOAT_EQ(add(a, b)[1], 7.0f);
+  EXPECT_FLOAT_EQ(sub(a, b)[0], -3.0f);
+  EXPECT_FLOAT_EQ(mul(a, b)[2], 18.0f);
+  EXPECT_FLOAT_EQ(div(b, a)[1], 2.5f);
+  EXPECT_FLOAT_EQ(add_scalar(a, 1.0f)[0], 2.0f);
+  EXPECT_FLOAT_EQ(mul_scalar(a, -2.0f)[2], -6.0f);
+}
+
+TEST(TensorOps, ShapeMismatchThrows) {
+  const Tensor a = Tensor::from_vector({1, 2});
+  const Tensor b = Tensor::from_vector({1, 2, 3});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+}
+
+TEST(TensorOps, UnaryFunctions) {
+  const Tensor a = Tensor::from_vector({-2.0f, 0.0f, 3.0f});
+  EXPECT_FLOAT_EQ(abs(a)[0], 2.0f);
+  EXPECT_FLOAT_EQ(sign(a)[0], -1.0f);
+  EXPECT_FLOAT_EQ(sign(a)[1], 0.0f);
+  EXPECT_FLOAT_EQ(relu(a)[0], 0.0f);
+  EXPECT_FLOAT_EQ(relu(a)[2], 3.0f);
+  EXPECT_FLOAT_EQ(relu_mask(a)[2], 1.0f);
+  EXPECT_FLOAT_EQ(square(a)[2], 9.0f);
+  EXPECT_FLOAT_EQ(clamp(a, -1.0f, 1.0f)[0], -1.0f);
+  EXPECT_FLOAT_EQ(maximum(a, Tensor::zeros(a.shape()))[0], 0.0f);
+}
+
+TEST(TensorOps, MatmulMatchesManual) {
+  // [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]]
+  const Tensor a(Shape::mat(2, 2), {1, 2, 3, 4});
+  const Tensor b(Shape::mat(2, 2), {5, 6, 7, 8});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at2(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 50.0f);
+}
+
+TEST(TensorOps, MatmulVariantsAgree) {
+  util::Rng rng(3);
+  const Tensor a = Tensor::randn(Shape::mat(4, 6), rng);
+  const Tensor b = Tensor::randn(Shape::mat(6, 5), rng);
+  const Tensor reference = matmul(a, b);
+  const Tensor via_tn = matmul_tn(transpose2d(a), b);
+  const Tensor via_nt = matmul_nt(a, transpose2d(b));
+  for (std::int64_t i = 0; i < reference.numel(); ++i) {
+    EXPECT_NEAR(reference[i], via_tn[i], 1e-4);
+    EXPECT_NEAR(reference[i], via_nt[i], 1e-4);
+  }
+}
+
+TEST(TensorOps, PadUnpadRoundTrip) {
+  util::Rng rng(5);
+  const Tensor x = Tensor::randn(Shape::nchw(2, 3, 4, 5), rng);
+  const Tensor padded = pad2d(x, 2, 1);
+  EXPECT_EQ(padded.dim(2), 8);
+  EXPECT_EQ(padded.dim(3), 7);
+  EXPECT_FLOAT_EQ(padded.at4(0, 0, 0, 0), 0.0f);
+  const Tensor back = unpad2d(padded, 2, 1);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(back[i], x[i]);
+}
+
+TEST(TensorOps, Im2ColKnownValues) {
+  // 1x1x3x3 image, 2x2 kernel, stride 1 -> 4 patches of 4 values.
+  Tensor x(Shape::nchw(1, 1, 3, 3), {0, 1, 2, 3, 4, 5, 6, 7, 8});
+  const Tensor cols = im2col(x, 2, 2, 1, 1);
+  EXPECT_EQ(cols.shape(), (Shape{1, 4, 4}));
+  // First row of cols = top-left value of each patch: 0,1,3,4.
+  EXPECT_FLOAT_EQ(cols[0], 0.0f);
+  EXPECT_FLOAT_EQ(cols[1], 1.0f);
+  EXPECT_FLOAT_EQ(cols[2], 3.0f);
+  EXPECT_FLOAT_EQ(cols[3], 4.0f);
+}
+
+TEST(TensorOps, Col2ImIsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the adjoint property
+  // the conv2d backward pass relies on.
+  util::Rng rng(7);
+  const Tensor x = Tensor::randn(Shape::nchw(2, 3, 6, 6), rng);
+  const Tensor cols = im2col(x, 3, 3, 2, 2);
+  const Tensor y = Tensor::randn(cols.shape(), rng);
+  const Tensor x_back = col2im(y, 2, 3, 6, 6, 3, 3, 2, 2);
+  EXPECT_NEAR(dot(cols, y), dot(x, x_back), 1e-3);
+}
+
+TEST(TensorOps, SoftmaxRowsSumToOne) {
+  util::Rng rng(9);
+  const Tensor logits = Tensor::randn(Shape::mat(4, 7), rng, 0.0f, 3.0f);
+  const Tensor probs = softmax_rows(logits);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    double row_sum = 0;
+    for (std::int64_t j = 0; j < 7; ++j) {
+      row_sum += probs.at2(i, j);
+      EXPECT_GT(probs.at2(i, j), 0.0f);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-5);
+  }
+}
+
+TEST(TensorOps, LogSoftmaxMatchesLogOfSoftmax) {
+  util::Rng rng(11);
+  const Tensor logits = Tensor::randn(Shape::mat(3, 5), rng, 0.0f, 2.0f);
+  const Tensor log_probs = log_softmax_rows(logits);
+  const Tensor probs = softmax_rows(logits);
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_NEAR(log_probs[i], std::log(probs[i]), 1e-4);
+  }
+}
+
+TEST(TensorOps, ArgmaxRows) {
+  const Tensor logits(Shape::mat(2, 3), {0.1f, 0.9f, 0.3f, 2.0f, -1.0f, 0.0f});
+  const auto preds = argmax_rows(logits);
+  EXPECT_EQ(preds, (std::vector<int>{1, 0}));
+}
+
+TEST(TensorOps, ReduceNhwComputesPerChannelSums) {
+  Tensor x(Shape::nchw(2, 2, 1, 2), {1, 2, 3, 4, 5, 6, 7, 8});
+  const Tensor sums = reduce_nhw(x);
+  EXPECT_FLOAT_EQ(sums[0], 1 + 2 + 5 + 6);
+  EXPECT_FLOAT_EQ(sums[1], 3 + 4 + 7 + 8);
+}
+
+TEST(TensorOps, BroadcastBias) {
+  Tensor x = Tensor::zeros(Shape::nchw(1, 2, 2, 2));
+  const Tensor bias = Tensor::from_vector({1.0f, -1.0f});
+  const Tensor out = broadcast_bias_nchw(x, bias);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 0, 0), -1.0f);
+}
+
+TEST(TensorOps, L2Dissimilarity) {
+  const Tensor natural = Tensor::from_vector({3.0f, 4.0f});  // norm 5
+  const Tensor adv = Tensor::from_vector({3.0f, 5.0f});      // diff norm 1
+  EXPECT_NEAR(l2_dissimilarity(adv, natural), 0.2, 1e-6);
+  EXPECT_NEAR(l2_dissimilarity(natural, natural), 0.0, 1e-9);
+}
+
+TEST(TensorOps, ConvOutSize) {
+  EXPECT_EQ(conv_out_size(32, 5, 1), 28);
+  EXPECT_EQ(conv_out_size(32, 5, 2), 14);
+  EXPECT_EQ(conv_out_size(8, 3, 2), 3);
+}
+
+// Property sweep: im2col/col2im adjointness across kernel/stride combos.
+class Im2ColAdjoint : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Im2ColAdjoint, HoldsForAllConfigs) {
+  const auto [kernel, stride] = GetParam();
+  util::Rng rng(100 + kernel * 10 + stride);
+  const Tensor x = Tensor::randn(Shape::nchw(1, 2, 9, 9), rng);
+  const Tensor cols = im2col(x, kernel, kernel, stride, stride);
+  const Tensor y = Tensor::randn(cols.shape(), rng);
+  const Tensor x_back = col2im(y, 1, 2, 9, 9, kernel, kernel, stride, stride);
+  EXPECT_NEAR(dot(cols, y), dot(x, x_back), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(KernelsAndStrides, Im2ColAdjoint,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace blurnet::tensor

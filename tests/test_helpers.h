@@ -1,0 +1,45 @@
+// Shared fixtures: a tiny synthetic dataset and a lightly trained classifier,
+// built once per test binary (training even a tiny model takes seconds).
+#pragma once
+
+#include "src/data/dataset.h"
+#include "src/defense/trainer.h"
+#include "src/nn/lisa_cnn.h"
+
+namespace blurnet::testing {
+
+inline nn::LisaCnnConfig tiny_model_config() {
+  nn::LisaCnnConfig config;
+  config.conv1_filters = 4;
+  config.conv2_filters = 8;
+  config.conv3_filters = 12;
+  return config;
+}
+
+inline const data::SynthLisa& tiny_dataset() {
+  static const data::SynthLisa lisa = [] {
+    data::SynthLisaOptions options;
+    options.train_per_class = 12;
+    options.test_per_class = 4;
+    return data::make_synth_lisa(options);
+  }();
+  return lisa;
+}
+
+/// A classifier trained for a few epochs — accurate enough (>> chance) to
+/// exercise attacks and defenses meaningfully, cheap enough for unit tests.
+/// (The tiny dataset only yields ~7 batches/epoch, so the epoch count here is
+/// what buys enough Adam steps to converge.)
+inline const nn::LisaCnn& tiny_trained_model() {
+  static const nn::LisaCnn model = [] {
+    nn::LisaCnn m(tiny_model_config());
+    defense::TrainConfig config;
+    config.epochs = 18;
+    config.batch_size = 16;
+    defense::train_classifier(m, tiny_dataset().train, tiny_dataset().test, config);
+    return m;
+  }();
+  return model;
+}
+
+}  // namespace blurnet::testing

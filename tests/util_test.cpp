@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/util/cli.h"
+#include "src/util/env.h"
+#include "src/util/parallel.h"
+#include "src/util/ppm.h"
+#include "src/util/rng.h"
+#include "src/util/serialize.h"
+#include "src/util/table.h"
+
+namespace blurnet::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 12);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIndexUnbiasedCoverage) {
+  Rng rng(9);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) counts[static_cast<std::size_t>(rng.uniform_index(5))]++;
+  for (const int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(17);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Cli, ParsesFlagsAndDefaults) {
+  CliParser cli;
+  cli.add_flag("count", "3", "a count");
+  cli.add_flag("name", "x", "a name");
+  cli.add_flag("fast", "false", "boolean");
+  const char* argv[] = {"prog", "--count=5", "--fast", "pos1"};
+  cli.parse(4, argv);
+  EXPECT_EQ(cli.get_int("count"), 5);
+  EXPECT_EQ(cli.get_string("name"), "x");
+  EXPECT_TRUE(cli.get_bool("fast"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  CliParser cli;
+  cli.add_flag("lr", "0.1", "learning rate");
+  const char* argv[] = {"prog", "--lr", "0.5"};
+  cli.parse(3, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("lr"), 0.5);
+}
+
+TEST(Cli, NoPrefixDisablesBool) {
+  CliParser cli;
+  cli.add_flag("verbose", "true", "verbosity");
+  const char* argv[] = {"prog", "--no-verbose"};
+  cli.parse(2, argv);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser cli;
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table table({"A", "Long header"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "2"});
+  const auto text = table.to_string();
+  EXPECT_NE(text.find("| A "), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  const auto csv = table.to_csv();
+  EXPECT_EQ(csv, "A,Long header\nx,1\nlonger,2\n");
+}
+
+TEST(Table, PctAndNumFormat) {
+  EXPECT_EQ(Table::pct(0.175), "17.5%");
+  EXPECT_EQ(Table::pct(0.9, 0), "90%");
+  EXPECT_EQ(Table::num(0.2071, 3), "0.207");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Serialize, RoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "blurnet_ser_test.bin";
+  {
+    BinaryWriter writer(path.string());
+    writer.write_u32(42);
+    writer.write_i64(-7);
+    writer.write_f32(2.5f);
+    writer.write_string("hello");
+    const float data[] = {1.0f, 2.0f, 3.0f};
+    writer.write_f32_array(data, 3);
+    writer.close();
+  }
+  BinaryReader reader(path.string());
+  EXPECT_EQ(reader.read_u32(), 42u);
+  EXPECT_EQ(reader.read_i64(), -7);
+  EXPECT_FLOAT_EQ(reader.read_f32(), 2.5f);
+  EXPECT_EQ(reader.read_string(), "hello");
+  const auto array = reader.read_f32_array();
+  ASSERT_EQ(array.size(), 3u);
+  EXPECT_FLOAT_EQ(array[2], 3.0f);
+  EXPECT_TRUE(reader.at_end());
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(BinaryReader("/nonexistent/path.bin"), std::runtime_error);
+}
+
+TEST(Ppm, QuantizeClampsAndRoundTrips) {
+  const float data[] = {-0.5f, 0.0f, 0.5f, 1.5f};  // 1 channel, 2x2
+  const auto image = quantize_chw(data, 1, 2, 2);
+  EXPECT_EQ(image.pixels[0], 0);
+  EXPECT_EQ(image.pixels[1], 0);
+  EXPECT_EQ(image.pixels[2], 128);
+  EXPECT_EQ(image.pixels[3], 255);
+
+  const auto path = std::filesystem::temp_directory_path() / "blurnet_ppm_test.pgm";
+  write_pnm(path.string(), image);
+  const auto loaded = read_pnm(path.string());
+  EXPECT_EQ(loaded.width, 2);
+  EXPECT_EQ(loaded.height, 2);
+  EXPECT_EQ(loaded.channels, 1);
+  EXPECT_EQ(loaded.pixels, image.pixels);
+  std::filesystem::remove(path);
+}
+
+TEST(Parallel, CoversRangeOnceSerialAndParallel) {
+  for (const int workers : {1, 4}) {
+    set_parallel_workers(workers);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(1000, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+    }, /*min_chunk=*/16);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  set_parallel_workers(0);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Env, FlagParsing) {
+  ::setenv("BLURNET_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(env_flag("BLURNET_TEST_FLAG"));
+  ::setenv("BLURNET_TEST_FLAG", "off", 1);
+  EXPECT_FALSE(env_flag("BLURNET_TEST_FLAG"));
+  ::unsetenv("BLURNET_TEST_FLAG");
+  EXPECT_FALSE(env_flag("BLURNET_TEST_FLAG"));
+  EXPECT_EQ(env_int("BLURNET_TEST_FLAG", 9), 9);
+}
+
+}  // namespace
+}  // namespace blurnet::util
