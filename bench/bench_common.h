@@ -5,10 +5,21 @@
 #include <string>
 
 #include "src/eval/experiments.h"
+#include "src/serve/engine.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
 
 namespace blurnet::bench {
+
+/// Clean accuracy over a dataset, classified through the serving path: one
+/// batched forward pass per call instead of per-image forwards.
+inline double engine_accuracy(const serve::InferenceEngine& engine,
+                              const data::Dataset& data, bool defended = false) {
+  if (data.size() == 0) return 0.0;
+  const auto predictions =
+      defended ? engine.classify_defended(data.images) : engine.classify(data.images);
+  return serve::accuracy(predictions, data.labels);
+}
 
 /// Print the standard bench banner with the active scale.
 inline void banner(const std::string& title, const eval::ExperimentScale& scale) {

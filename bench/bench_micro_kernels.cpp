@@ -1,14 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the computational kernels the
 // experiments lean on: convolution forward/backward, FFT/DCT transforms,
-// depthwise blur, TV penalty, and a full RP2 attack iteration.
+// depthwise blur, TV penalty, the persistent-pool parallel runtime, and the
+// batched inference engine.
 #include <benchmark/benchmark.h>
 
 #include "src/autograd/ops.h"
 #include "src/nn/lisa_cnn.h"
+#include "src/serve/engine.h"
 #include "src/signal/dct.h"
 #include "src/signal/fft.h"
 #include "src/signal/kernels.h"
 #include "src/tensor/ops.h"
+#include "src/util/parallel.h"
 #include "src/util/rng.h"
 
 using namespace blurnet;
@@ -60,6 +63,108 @@ void BM_DepthwiseBlur(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DepthwiseBlur)->Arg(3)->Arg(5)->Arg(7);
+
+// Many small planes, repeated: the workload that exposed the per-call
+// thread-spawn overhead of the seed runtime. The parallel region is tiny, so
+// with the worker count pinned above 1 the cost used to be dominated by
+// std::thread creation; the persistent pool turns it into a wakeup.
+void BM_DepthwiseBlurManySmallPlanes(benchmark::State& state) {
+  util::set_parallel_workers(static_cast<int>(state.range(0)));
+  const auto x = random_nchw(64, 16, 16, 16);
+  const auto kernel = signal::make_blur_kernel(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::filter2d_depthwise(x, kernel).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 16);
+  util::reset_parallel_workers();
+}
+BENCHMARK(BM_DepthwiseBlurManySmallPlanes)->Arg(1)->Arg(2)->Arg(4);
+
+// Pure parallel-region overhead: a near-empty body over a small range, so the
+// timing is the runtime's dispatch cost rather than useful work.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  util::set_parallel_workers(static_cast<int>(state.range(0)));
+  std::vector<float> sink(1024, 1.0f);
+  for (auto _ : state) {
+    util::parallel_for(1024, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) sink[static_cast<std::size_t>(i)] += 1.0f;
+    }, /*min_chunk=*/64);
+    benchmark::DoNotOptimize(sink.data());
+  }
+  util::reset_parallel_workers();
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(2)->Arg(4);
+
+// The seed runtime's strategy, kept here as the reference point: spawn and
+// join fresh std::threads for every parallel region. Compare against
+// BM_ParallelForDispatch at the same worker count to see what the persistent
+// pool buys on dispatch-bound workloads.
+void spawn_per_call_parallel_for(std::int64_t n, int workers,
+                                 const std::function<void(std::int64_t, std::int64_t)>& fn,
+                                 std::int64_t min_chunk) {
+  const int chunks =
+      static_cast<int>(std::min<std::int64_t>(workers, (n + min_chunk - 1) / min_chunk));
+  const std::int64_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(chunks));
+  for (int c = 0; c < chunks; ++c) {
+    const std::int64_t begin = c * chunk;
+    const std::int64_t end = std::min<std::int64_t>(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void BM_ParallelForDispatchSpawnBaseline(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  std::vector<float> sink(1024, 1.0f);
+  for (auto _ : state) {
+    spawn_per_call_parallel_for(1024, workers, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) sink[static_cast<std::size_t>(i)] += 1.0f;
+    }, /*min_chunk=*/64);
+    benchmark::DoNotOptimize(sink.data());
+  }
+}
+BENCHMARK(BM_ParallelForDispatchSpawnBaseline)->Arg(2)->Arg(4);
+
+void BM_DepthwiseBlurManySmallPlanesSpawnBaseline(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const auto x = random_nchw(64, 16, 16, 16);
+  const auto kernel = signal::make_blur_kernel(3);
+  const std::int64_t planes = 64 * 16, side = 16, hw = side * side;
+  tensor::Tensor out(x.shape());
+  // Same per-plane arithmetic as filter_plane's interior, dispatched the seed
+  // way (fresh threads per call) so only the dispatch strategy differs from
+  // BM_DepthwiseBlurManySmallPlanes.
+  const float* taps = kernel.data();
+  for (auto _ : state) {
+    spawn_per_call_parallel_for(planes, workers, [&](std::int64_t p0, std::int64_t p1) {
+      for (std::int64_t p = p0; p < p1; ++p) {
+        const float* src = x.data() + p * hw;
+        float* dst = out.data() + p * hw;
+        for (std::int64_t y = 0; y < side; ++y) {
+          for (std::int64_t xx = 0; xx < side; ++xx) {
+            double acc = 0.0;
+            for (int fy = 0; fy < 3; ++fy) {
+              const std::int64_t sy = y + fy - 1;
+              if (sy < 0 || sy >= side) continue;
+              for (int fx = 0; fx < 3; ++fx) {
+                const std::int64_t sx = xx + fx - 1;
+                if (sx < 0 || sx >= side) continue;
+                acc += static_cast<double>(taps[fy * 3 + fx]) * src[sy * side + sx];
+              }
+            }
+            dst[y * side + xx] = static_cast<float>(acc);
+          }
+        }
+      }
+    }, /*min_chunk=*/1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * planes);
+}
+BENCHMARK(BM_DepthwiseBlurManySmallPlanesSpawnBaseline)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_Fft2d(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));
@@ -119,6 +224,48 @@ void BM_LisaCnnInference(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_LisaCnnInference)->Arg(1)->Arg(16);
+
+serve::EngineConfig bench_engine_config() {
+  serve::EngineConfig config;
+  config.model.conv1_filters = 8;
+  config.model.conv2_filters = 16;
+  config.model.conv3_filters = 32;
+  config.defense = {nn::FilterPlacement::kAfterLayer1, 5, signal::KernelKind::kBox};
+  return config;
+}
+
+// One coalesced forward pass over the whole batch...
+void BM_EngineClassifyBatched(benchmark::State& state) {
+  const serve::InferenceEngine engine(bench_engine_config());
+  const auto batch = random_nchw(state.range(0), 3, 32, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.classify(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineClassifyBatched)->Arg(16)->Arg(64);
+
+// ...versus the same images pushed through one forward pass each. The batched
+// path should win clearly on a 64-image batch.
+void BM_EngineClassifyPerImage(benchmark::State& state) {
+  const serve::InferenceEngine engine(bench_engine_config());
+  const auto n = state.range(0);
+  const auto batch = random_nchw(n, 3, 32, 32);
+  const std::int64_t stride = 3 * 32 * 32;
+  std::vector<tensor::Tensor> images;
+  for (std::int64_t i = 0; i < n; ++i) {
+    tensor::Tensor image(tensor::Shape{3, 32, 32});
+    std::copy(batch.data() + i * stride, batch.data() + (i + 1) * stride, image.data());
+    images.push_back(std::move(image));
+  }
+  for (auto _ : state) {
+    for (const auto& image : images) {
+      benchmark::DoNotOptimize(engine.classify(image));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineClassifyPerImage)->Arg(16)->Arg(64);
 
 }  // namespace
 

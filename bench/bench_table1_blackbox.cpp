@@ -7,21 +7,9 @@
 // (90% -> 17.5% ASR for 5x5 on L1 maps vs 67.5% for 5x5 on the input).
 #include "bench/bench_common.h"
 #include "src/defense/blurnet.h"
+#include "src/serve/engine.h"
 
 using namespace blurnet;
-
-namespace {
-
-nn::LisaCnn wrap_with_filter(const nn::LisaCnn& base, nn::FilterPlacement placement,
-                             int kernel) {
-  nn::LisaCnnConfig config = base.config();
-  config.fixed_filter = {placement, kernel, signal::KernelKind::kBox};
-  nn::LisaCnn wrapped(config);
-  wrapped.copy_weights_from(base);
-  return wrapped;
-}
-
-}  // namespace
 
 int main() {
   const auto scale = eval::ExperimentScale::from_env();
@@ -31,22 +19,28 @@ int main() {
   nn::LisaCnn& baseline = zoo.get("baseline");
   const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
 
+  // Each row is the baseline's weights served behind a different fixed-filter
+  // defense; the InferenceEngine builds the filter-wrapped model exactly the
+  // way a deployment would.
   struct Row {
     std::string name;
-    nn::LisaCnn model;
+    nn::FixedFilterSpec defense;
   };
-  std::vector<Row> rows;
-  rows.push_back({"Baseline", wrap_with_filter(baseline, nn::FilterPlacement::kNone, 0)});
-  rows.push_back({"Input filter 3x3", wrap_with_filter(baseline, nn::FilterPlacement::kInput, 3)});
-  rows.push_back({"Input filter 5x5", wrap_with_filter(baseline, nn::FilterPlacement::kInput, 5)});
-  rows.push_back(
-      {"3x3 filter on L1 maps", wrap_with_filter(baseline, nn::FilterPlacement::kAfterLayer1, 3)});
-  rows.push_back(
-      {"5x5 filter on L1 maps", wrap_with_filter(baseline, nn::FilterPlacement::kAfterLayer1, 5)});
+  const std::vector<Row> rows = {
+      {"Baseline", {}},
+      {"Input filter 3x3", {nn::FilterPlacement::kInput, 3, signal::KernelKind::kBox}},
+      {"Input filter 5x5", {nn::FilterPlacement::kInput, 5, signal::KernelKind::kBox}},
+      {"3x3 filter on L1 maps",
+       {nn::FilterPlacement::kAfterLayer1, 3, signal::KernelKind::kBox}},
+      {"5x5 filter on L1 maps",
+       {nn::FilterPlacement::kAfterLayer1, 5, signal::KernelKind::kBox}},
+  };
 
   util::Table table({"Model", "Accuracy", "Attack Success Rate"});
-  for (auto& row : rows) {
-    const auto result = eval::transfer_attack(baseline, row.model, stop_set, scale);
+  for (const auto& row : rows) {
+    serve::InferenceEngine engine(baseline, row.defense);
+    const auto result =
+        eval::transfer_attack(baseline, engine.defended_model(), stop_set, scale);
     table.add_row({row.name, util::Table::pct(result.clean_accuracy),
                    util::Table::pct(result.attack_success)});
   }

@@ -57,7 +57,10 @@ int main() {
       const auto& test = zoo.dataset().test;
       legit = defense::smoothed_accuracy(model, test.images, test.labels, smoothing);
     } else {
-      legit = zoo.test_accuracy(row.variant);
+      // Clean accuracy through the batched serving path: the whole test set
+      // goes through one coalesced forward pass instead of per-image calls.
+      const serve::InferenceEngine engine(model, {});
+      legit = bench::engine_accuracy(engine, zoo.dataset().test);
     }
     const auto sweep =
         eval::whitebox_sweep(model, legit, stop_set, scale, nullptr, predictor);

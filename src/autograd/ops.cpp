@@ -1,5 +1,6 @@
 #include "src/autograd/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -63,6 +64,21 @@ void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t m, std::
       for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
     }
   }
+}
+
+// Per-thread scratch reused across inference-only conv2d calls. The padded
+// input and im2col matrix are the two big per-forward allocations; serving
+// runs the same shapes over and over, so keeping the buffers warm per thread
+// removes the allocator from the hot path. Gradient-tracking calls cannot use
+// this: their column matrix must outlive the forward for the backward GEMMs.
+struct ConvScratch {
+  std::vector<float> padded;
+  std::vector<float> cols;
+};
+
+ConvScratch& conv_scratch() {
+  thread_local ConvScratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -266,29 +282,62 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b, int str
     throw std::invalid_argument("conv2d: bias size mismatch");
   }
 
-  const Tensor xp = tensor::pad2d(x.value(), pad, pad);
-  const std::int64_t hp = xp.dim(2), wp = xp.dim(3);
+  const std::int64_t h = x.shape()[2], wdim = x.shape()[3];
+  const std::int64_t hp = h + 2 * pad, wp = wdim + 2 * pad;
   const std::int64_t oh = tensor::conv_out_size(hp, kh, stride);
   const std::int64_t ow = tensor::conv_out_size(wp, kw, stride);
   const std::int64_t patch = c * kh * kw;
-  const Tensor cols = tensor::im2col(xp, kh, kw, stride, stride);  // [n, patch, oh*ow]
 
-  Tensor out(Shape::nchw(n, f, oh, ow));
+  const bool needs_grad =
+      grad_enabled() && (x.requires_grad() || w.requires_grad() ||
+                         (b.defined() && b.requires_grad()));
   const float* wdata = w.value().data();
-  util::parallel_for(n, [&](std::int64_t n0, std::int64_t n1) {
-    for (std::int64_t in = n0; in < n1; ++in) {
-      gemm_nn_acc(wdata, cols.data() + in * patch * oh * ow,
-                  out.data() + in * f * oh * ow, f, patch, oh * ow);
-    }
-  }, /*min_chunk=*/1);
-  if (b.defined()) {
+
+  auto add_bias = [&](Tensor& out) {
+    if (!b.defined()) return;
     const float* bias = b.value().data();
     for (std::int64_t in = 0; in < n; ++in)
       for (std::int64_t ic = 0; ic < f; ++ic) {
         float* plane = out.data() + (in * f + ic) * oh * ow;
         for (std::int64_t i = 0; i < oh * ow; ++i) plane[i] += bias[ic];
       }
+  };
+  auto gemm_batch = [&](const float* cols_data, Tensor& out) {
+    util::parallel_for(n, [&](std::int64_t n0, std::int64_t n1) {
+      for (std::int64_t in = n0; in < n1; ++in) {
+        gemm_nn_acc(wdata, cols_data + in * patch * oh * ow,
+                    out.data() + in * f * oh * ow, f, patch, oh * ow);
+      }
+    }, /*min_chunk=*/1);
+  };
+
+  if (!needs_grad) {
+    // Inference-only path: no graph is built and the backward GEMMs never
+    // run, so the padded/column buffers can live in per-thread scratch
+    // instead of being allocated (and retained by the closure) per call.
+    auto& scratch = conv_scratch();
+    const float* padded = x.value().data();
+    if (pad > 0) {
+      scratch.padded.resize(static_cast<std::size_t>(n * c * hp * wp));
+      // Reused scratch holds stale values; pad2d_into only writes the
+      // interior, so the border must be re-zeroed here.
+      std::fill(scratch.padded.begin(), scratch.padded.end(), 0.0f);
+      tensor::pad2d_into(x.value(), pad, pad, scratch.padded.data());
+      padded = scratch.padded.data();
+    }
+    scratch.cols.resize(static_cast<std::size_t>(n * patch * oh * ow));
+    tensor::im2col_into(padded, n, c, hp, wp, kh, kw, stride, stride, scratch.cols.data());
+    Tensor out(Shape::nchw(n, f, oh, ow));
+    gemm_batch(scratch.cols.data(), out);
+    add_bias(out);
+    return Variable::constant(std::move(out));
   }
+
+  const Tensor xp = tensor::pad2d(x.value(), pad, pad);
+  const Tensor cols = tensor::im2col(xp, kh, kw, stride, stride);  // [n, patch, oh*ow]
+  Tensor out(Shape::nchw(n, f, oh, ow));
+  gemm_batch(cols.data(), out);
+  add_bias(out);
 
   return make_op(
       "conv2d", std::move(out), {x, w, b},

@@ -5,6 +5,15 @@
 
 namespace blurnet::autograd {
 
+namespace {
+thread_local bool t_grad_enabled = true;
+}
+
+bool grad_enabled() { return t_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(t_grad_enabled) { t_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { t_grad_enabled = previous_; }
+
 tensor::Tensor& Node::grad() {
   if (!grad_allocated_) {
     grad_ = tensor::Tensor(value_.shape());
@@ -40,10 +49,12 @@ float Variable::scalar_value() const {
 Variable make_op(const std::string& name, tensor::Tensor value,
                  std::vector<Variable> parents, std::function<void(Node&)> backward_fn) {
   bool any_requires = false;
-  for (const auto& p : parents) {
-    if (p.defined() && p.requires_grad()) {
-      any_requires = true;
-      break;
+  if (grad_enabled()) {
+    for (const auto& p : parents) {
+      if (p.defined() && p.requires_grad()) {
+        any_requires = true;
+        break;
+      }
     }
   }
   auto node = std::make_shared<Node>(std::move(value), any_requires, name);

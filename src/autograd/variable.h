@@ -85,6 +85,25 @@ class Variable {
   NodePtr node_;
 };
 
+/// Thread-local gradient mode. While disabled, make_op produces plain
+/// constants — no parents, no closure — even when inputs are requires_grad
+/// leaves, so inference over trained parameters builds no graph and ops may
+/// take allocation-free fast paths. Enabled by default.
+bool grad_enabled();
+
+/// RAII scope that disables gradient tracking on this thread (used by
+/// LisaCnn::logits and the serving engine).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Run the backward sweep from a scalar root (seeds d(root)/d(root) = 1).
 void backward(const Variable& root);
 

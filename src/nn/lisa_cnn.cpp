@@ -107,6 +107,9 @@ ForwardResult LisaCnn::forward(const Variable& x) const {
 }
 
 Tensor LisaCnn::logits(const Tensor& x) const {
+  // Inference only: with gradients off the forward builds no graph and the
+  // convolution kernels may reuse per-thread scratch buffers.
+  autograd::NoGradGuard no_grad;
   return forward(Variable::constant(x)).logits.value();
 }
 

@@ -1,0 +1,219 @@
+#include "src/serve/engine.h"
+
+#include <algorithm>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "src/tensor/ops.h"
+
+namespace blurnet::serve {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+/// Normalize a CHW image or NCHW batch to NCHW, validating against the model.
+Tensor as_batch(const Tensor& images, const nn::LisaCnnConfig& config) {
+  Tensor batch = images;
+  if (images.rank() == 3) {
+    batch = images.reshape(Shape::nchw(1, images.dim(0), images.dim(1), images.dim(2)));
+  } else if (images.rank() != 4) {
+    throw std::invalid_argument("InferenceEngine: expected CHW image or NCHW batch");
+  }
+  if (batch.dim(1) != config.in_channels || batch.dim(2) != config.image_size ||
+      batch.dim(3) != config.image_size) {
+    throw std::invalid_argument("InferenceEngine: image shape " + batch.shape().to_string() +
+                                " does not match the model input");
+  }
+  return batch;
+}
+
+std::optional<nn::LisaCnn> make_defended(const nn::LisaCnn& base,
+                                         const nn::FixedFilterSpec& defense) {
+  if (defense.placement == nn::FilterPlacement::kNone || defense.kernel <= 0) {
+    return std::nullopt;
+  }
+  nn::LisaCnnConfig config = base.config();
+  config.fixed_filter = defense;
+  nn::LisaCnn defended(config);
+  defended.copy_weights_from(base);
+  return defended;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(EngineConfig config)
+    : InferenceEngine(nn::LisaCnn(config.model), config.defense, config.max_batch) {}
+
+InferenceEngine::InferenceEngine(nn::LisaCnn model, nn::FixedFilterSpec defense,
+                                 int max_batch)
+    : model_(std::move(model)),
+      defended_model_(make_defended(model_, defense)),
+      max_batch_(max_batch) {
+  if (max_batch_ < 1) throw std::invalid_argument("InferenceEngine: max_batch must be >= 1");
+}
+
+InferenceEngine::~InferenceEngine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+const nn::LisaCnn& InferenceEngine::defended_model() const {
+  return defended_model_ ? *defended_model_ : model_;
+}
+
+void InferenceEngine::refresh_defended_weights() {
+  if (defended_model_) defended_model_->copy_weights_from(model_);
+}
+
+const nn::LisaCnn& InferenceEngine::route(bool defended) const {
+  return defended ? defended_model() : model_;
+}
+
+std::vector<Prediction> InferenceEngine::run_batch(const nn::LisaCnn& model,
+                                                   const Tensor& batch) const {
+  // Bound each forward pass (and therefore the im2col scratch footprint) by
+  // max_batch_: callers may hand classify() a whole dataset. Per-image
+  // results are independent, so slicing cannot change them.
+  if (batch.dim(0) > max_batch_) {
+    const std::int64_t n = batch.dim(0);
+    const std::int64_t image_size = batch.numel() / n;
+    std::vector<Prediction> predictions;
+    predictions.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t begin = 0; begin < n; begin += max_batch_) {
+      const std::int64_t count = std::min<std::int64_t>(max_batch_, n - begin);
+      Tensor slice(Shape::nchw(count, batch.dim(1), batch.dim(2), batch.dim(3)));
+      std::copy(batch.data() + begin * image_size,
+                batch.data() + (begin + count) * image_size, slice.data());
+      auto part = run_batch(model, slice);
+      predictions.insert(predictions.end(), std::make_move_iterator(part.begin()),
+                         std::make_move_iterator(part.end()));
+    }
+    return predictions;
+  }
+  const Tensor logits = model.logits(batch);
+  const Tensor probabilities = tensor::softmax_rows(logits);
+  const std::vector<int> labels = tensor::argmax_rows(logits);
+  const std::int64_t n = logits.dim(0), k = logits.dim(1);
+  std::vector<Prediction> predictions(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    Prediction& p = predictions[static_cast<std::size_t>(i)];
+    p.label = labels[static_cast<std::size_t>(i)];
+    p.confidence = probabilities.at2(i, p.label);
+    p.logits.assign(logits.data() + i * k, logits.data() + (i + 1) * k);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.images += n;
+  }
+  return predictions;
+}
+
+std::vector<Prediction> InferenceEngine::classify(const Tensor& images) const {
+  return run_batch(model_, as_batch(images, model_.config()));
+}
+
+std::vector<Prediction> InferenceEngine::classify_defended(const Tensor& images) const {
+  return run_batch(defended_model(), as_batch(images, model_.config()));
+}
+
+std::future<Prediction> InferenceEngine::submit(Tensor image, bool defended) {
+  Tensor batch = as_batch(image, model_.config());  // validates the shape
+  if (batch.dim(0) != 1) {
+    throw std::invalid_argument("InferenceEngine::submit: expected a single image");
+  }
+  Request request;
+  // Deep-copy: the caller may reuse its buffer before the batcher runs.
+  request.image = batch.reshape(Shape{batch.dim(1), batch.dim(2), batch.dim(3)}).clone();
+  request.defended = defended;
+  std::future<Prediction> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stop_) throw std::runtime_error("InferenceEngine::submit: engine is shutting down");
+    // The batcher thread is only needed by the queued path; engines used
+    // purely through classify() never pay for it.
+    if (!batcher_.joinable()) batcher_ = std::thread([this] { batcher_loop(); });
+    pending_.push_back(std::move(request));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void InferenceEngine::batcher_loop() {
+  for (;;) {
+    std::vector<Request> coalesced;
+    bool defended = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stop requested and queue drained
+      // Coalesce the head-of-line request with every compatible pending
+      // request (same model route), up to max_batch images.
+      defended = pending_.front().defended;
+      coalesced.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+      for (auto it = pending_.begin();
+           it != pending_.end() && coalesced.size() < static_cast<std::size_t>(max_batch_);) {
+        if (it->defended == defended) {
+          coalesced.push_back(std::move(*it));
+          it = pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    const std::int64_t count = static_cast<std::int64_t>(coalesced.size());
+    try {
+      const Tensor& first = coalesced.front().image;
+      Tensor batch(Shape::nchw(count, first.dim(0), first.dim(1), first.dim(2)));
+      const std::int64_t stride = first.numel();
+      for (std::int64_t i = 0; i < count; ++i) {
+        const Tensor& image = coalesced[static_cast<std::size_t>(i)].image;
+        std::copy(image.data(), image.data() + stride, batch.data() + i * stride);
+      }
+      std::vector<Prediction> predictions = run_batch(route(defended), batch);
+      {
+        // Count the batch before fulfilling the promises: a caller observing
+        // its future resolve must see this batch reflected in stats().
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.requests += count;
+        stats_.batches += 1;
+        stats_.largest_batch = std::max(stats_.largest_batch, count);
+      }
+      for (std::int64_t i = 0; i < count; ++i) {
+        coalesced[static_cast<std::size_t>(i)].promise.set_value(
+            std::move(predictions[static_cast<std::size_t>(i)]));
+      }
+    } catch (...) {
+      for (auto& request : coalesced) {
+        request.promise.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+EngineStats InferenceEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+double accuracy(const std::vector<Prediction>& predictions, const std::vector<int>& labels) {
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("serve::accuracy: size mismatch");
+  }
+  if (predictions.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i].label == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+}  // namespace blurnet::serve

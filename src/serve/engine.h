@@ -1,0 +1,124 @@
+// Batched inference engine: the serving layer above the classifier.
+//
+// An InferenceEngine owns a LisaCnn plus the BlurNet FixedFilterSpec used as
+// its deployed defense, and exposes two ways in:
+//
+//   * classify() / classify_defended(): synchronous batched classification of
+//     a CHW image or an NCHW batch. One forward pass per call, however many
+//     images the batch holds. Thread-safe; concurrent callers are fine.
+//   * submit(): queue a single image and get a future. A background batcher
+//     coalesces queued requests into one forward pass of up to max_batch
+//     images, which is how independent callers amortize the per-forward cost
+//     without coordinating with each other.
+//
+// The defended path wraps the same trained weights in a model whose forward
+// applies the fixed blur filter (Table I protocol: transfer the weights into
+// the filtered architecture). Per-image results are bitwise identical whether
+// an image is classified alone, inside a batch, or through the queue — the
+// convolution kernels accumulate per image — so batching is purely a
+// throughput decision.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/nn/lisa_cnn.h"
+
+namespace blurnet::serve {
+
+struct EngineConfig {
+  nn::LisaCnnConfig model;
+  /// Defense applied by classify_defended(); kNone/kernel 0 disables it, in
+  /// which case the defended path is the plain model.
+  nn::FixedFilterSpec defense;
+  /// Largest coalesced forward pass the batcher will build.
+  int max_batch = 64;
+};
+
+struct Prediction {
+  int label = -1;
+  float confidence = 0.0f;     // softmax probability of `label`
+  std::vector<float> logits;   // raw scores, size num_classes
+};
+
+struct EngineStats {
+  std::int64_t requests = 0;       // images queued through submit()
+  std::int64_t batches = 0;        // coalesced forward passes run for the queue
+  std::int64_t images = 0;         // images through classify*/submit in total
+  std::int64_t largest_batch = 0;  // biggest coalesced batch so far
+};
+
+class InferenceEngine {
+ public:
+  /// Fresh (untrained) model from the config. Useful for tests and benches.
+  explicit InferenceEngine(EngineConfig config);
+  /// Adopt an already-trained classifier. The engine shares the model's
+  /// parameters (Variable handles), so it serves whatever was trained; the
+  /// defended wrapper clones the weights at construction — call
+  /// refresh_defended_weights() if the base model is retrained afterwards.
+  InferenceEngine(nn::LisaCnn model, nn::FixedFilterSpec defense, int max_batch = 64);
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  nn::LisaCnn& model() { return model_; }
+  const nn::LisaCnn& model() const { return model_; }
+  /// The model actually used by the defended path (== model() when the
+  /// defense is disabled).
+  const nn::LisaCnn& defended_model() const;
+  bool defense_enabled() const { return defended_model_.has_value(); }
+
+  /// Re-copy the base model's weights into the defended wrapper.
+  void refresh_defended_weights();
+
+  /// Classify a CHW image or an NCHW batch in one forward pass. Returns one
+  /// Prediction per image, in input order.
+  std::vector<Prediction> classify(const tensor::Tensor& images) const;
+  /// Same, through the blur-defended model.
+  std::vector<Prediction> classify_defended(const tensor::Tensor& images) const;
+
+  /// Queue one CHW (or [1,C,H,W]) image for coalesced classification. The
+  /// background batcher thread is spawned lazily on the first call, so
+  /// classify()-only engines never pay for it.
+  std::future<Prediction> submit(tensor::Tensor image, bool defended = false);
+
+  EngineStats stats() const;
+
+ private:
+  struct Request {
+    tensor::Tensor image;  // CHW
+    bool defended = false;
+    std::promise<Prediction> promise;
+  };
+
+  const nn::LisaCnn& route(bool defended) const;
+  std::vector<Prediction> run_batch(const nn::LisaCnn& model,
+                                    const tensor::Tensor& batch) const;
+  void batcher_loop();
+
+  nn::LisaCnn model_;
+  std::optional<nn::LisaCnn> defended_model_;
+  int max_batch_ = 64;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> pending_;
+  bool stop_ = false;
+  std::thread batcher_;
+
+  mutable std::mutex stats_mutex_;
+  mutable EngineStats stats_;
+};
+
+/// Fraction of predictions whose label matches the ground truth. Throws when
+/// the sizes disagree.
+double accuracy(const std::vector<Prediction>& predictions, const std::vector<int>& labels);
+
+}  // namespace blurnet::serve

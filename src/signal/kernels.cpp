@@ -1,5 +1,7 @@
 #include "src/signal/kernels.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "src/linalg/operators.h"
@@ -25,23 +27,74 @@ tensor::Tensor make_blur_kernel(int size, KernelKind kind, double sigma) {
 
 namespace {
 
+// One output pixel whose kernel window may hang off the plane. The window is
+// renormalized by the in-bounds kernel mass so a blur of a constant plane
+// stays constant at the borders instead of darkening (the zero-padding taps
+// otherwise swallow part of a unit-mass kernel). Renormalization only applies
+// when both masses are meaningfully nonzero: a ~zero-sum kernel (e.g. a
+// Laplacian) must be left as computed — scaling by total/inbounds would
+// annihilate its border response — and a ~zero in-bounds mass would explode.
+void filter_border_pixel(const float* src, float* dst, std::int64_t h, std::int64_t w,
+                         const float* kernel, int kh, int kw, double total_mass,
+                         std::int64_t y, std::int64_t x) {
+  const int pad_h = kh / 2;
+  const int pad_w = kw / 2;
+  double acc = 0.0;
+  double inbounds_mass = 0.0;
+  for (int fy = 0; fy < kh; ++fy) {
+    const std::int64_t sy = y + fy - pad_h;
+    if (sy < 0 || sy >= h) continue;
+    for (int fx = 0; fx < kw; ++fx) {
+      const std::int64_t sx = x + fx - pad_w;
+      if (sx < 0 || sx >= w) continue;
+      const double tap = kernel[fy * kw + fx];
+      acc += tap * src[sy * w + sx];
+      inbounds_mass += tap;
+    }
+  }
+  if (std::fabs(total_mass) > 1e-12 && std::fabs(inbounds_mass) > 1e-12) {
+    acc *= total_mass / inbounds_mass;
+  }
+  dst[y * w + x] = static_cast<float>(acc);
+}
+
 void filter_plane(const float* src, float* dst, std::int64_t h, std::int64_t w,
                   const float* kernel, int kh, int kw) {
   const int pad_h = kh / 2;
   const int pad_w = kw / 2;
-  for (std::int64_t y = 0; y < h; ++y) {
-    for (std::int64_t x = 0; x < w; ++x) {
+  double total_mass = 0.0;
+  for (int i = 0; i < kh * kw; ++i) total_mass += kernel[i];
+
+  // Interior pass: every tap is in bounds, no renormalization bookkeeping.
+  for (std::int64_t y = pad_h; y < h - pad_h; ++y) {
+    for (std::int64_t x = pad_w; x < w - pad_w; ++x) {
       double acc = 0.0;
+      const float* window = src + (y - pad_h) * w + (x - pad_w);
       for (int fy = 0; fy < kh; ++fy) {
-        const std::int64_t sy = y + fy - pad_h;
-        if (sy < 0 || sy >= h) continue;
+        const float* row = window + fy * w;
         for (int fx = 0; fx < kw; ++fx) {
-          const std::int64_t sx = x + fx - pad_w;
-          if (sx < 0 || sx >= w) continue;
-          acc += static_cast<double>(kernel[fy * kw + fx]) * src[sy * w + sx];
+          acc += static_cast<double>(kernel[fy * kw + fx]) * row[fx];
         }
       }
       dst[y * w + x] = static_cast<float>(acc);
+    }
+  }
+
+  // Border pass: the top/bottom bands plus the left/right edges of the
+  // interior rows (covers everything when the kernel exceeds the plane).
+  for (std::int64_t y = 0; y < h; ++y) {
+    const bool full_row = y < pad_h || y >= h - pad_h;
+    if (full_row) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        filter_border_pixel(src, dst, h, w, kernel, kh, kw, total_mass, y, x);
+      }
+    } else {
+      for (std::int64_t x = 0; x < std::min<std::int64_t>(pad_w, w); ++x) {
+        filter_border_pixel(src, dst, h, w, kernel, kh, kw, total_mass, y, x);
+      }
+      for (std::int64_t x = std::max<std::int64_t>(w - pad_w, pad_w); x < w; ++x) {
+        filter_border_pixel(src, dst, h, w, kernel, kh, kw, total_mass, y, x);
+      }
     }
   }
 }

@@ -13,8 +13,11 @@ enum class KernelKind { kBox, kGaussian };
 tensor::Tensor make_blur_kernel(int size, KernelKind kind = KernelKind::kBox,
                                 double sigma = -1.0);
 
-/// Depthwise 2-D correlation with same (zero) padding: each channel of the
-/// NCHW input is filtered independently with `kernel` (rank-2). Stride 1.
+/// Depthwise 2-D correlation with same padding: each channel of the NCHW
+/// input is filtered independently with `kernel` (rank-2). Stride 1. Border
+/// windows are renormalized by the in-bounds kernel mass, so a unit-mass blur
+/// of a constant plane returns the constant everywhere (plain zero padding
+/// would darken the edges).
 tensor::Tensor filter2d_depthwise(const tensor::Tensor& x, const tensor::Tensor& kernel);
 
 /// Per-channel kernels variant: `kernels` is [C, kh, kw]; channel c of the

@@ -2,44 +2,85 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <stdexcept>
 #include <thread>
-#include <vector>
+
+#include "src/util/thread_pool.h"
 
 namespace blurnet::util {
 
 namespace {
 std::atomic<int> g_workers{0};
+// BLURNET_WORKERS, read once at first use and cached: getenv on the dispatch
+// hot path would both cost a linear environ scan per parallel region and race
+// (UB) against any concurrent setenv. -1 = not read yet; 0 = unset/invalid.
+std::atomic<int> g_env_workers{-1};
+
+int read_env_workers() {
+  if (const char* raw = std::getenv("BLURNET_WORKERS")) {
+    const int value = std::atoi(raw);
+    if (value > 0) return value;
+  }
+  return 0;
 }
+}  // namespace
 
 int parallel_workers() {
-  const int override_count = g_workers.load();
+  const int override_count = g_workers.load(std::memory_order_relaxed);
   if (override_count > 0) return override_count;
+  int from_env = g_env_workers.load(std::memory_order_relaxed);
+  if (from_env < 0) {
+    from_env = read_env_workers();
+    g_env_workers.store(from_env, std::memory_order_relaxed);
+  }
+  if (from_env > 0) return from_env;
   const unsigned hw = std::thread::hardware_concurrency();
-  return static_cast<int>(std::clamp(hw, 1u, 8u));
+  return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-void set_parallel_workers(int workers) { g_workers.store(workers); }
+void set_parallel_workers(int workers) {
+  if (workers <= 0) {
+    throw std::invalid_argument("set_parallel_workers: workers must be positive");
+  }
+  g_workers.store(workers);
+}
+
+void reset_parallel_workers() {
+  g_workers.store(0);
+  // Re-read the environment so tests (and long-lived processes) can refresh
+  // the cached BLURNET_WORKERS value at a safe point.
+  g_env_workers.store(read_env_workers(), std::memory_order_relaxed);
+}
 
 void parallel_for(std::int64_t n,
                   const std::function<void(std::int64_t, std::int64_t)>& fn,
                   std::int64_t min_chunk) {
   if (n <= 0) return;
+  if (min_chunk < 1) min_chunk = 1;
   const int workers = parallel_workers();
-  if (workers <= 1 || n < 2 * min_chunk) {
+  if (workers <= 1 || n < 2 * min_chunk || ThreadPool::on_worker_thread()) {
     fn(0, n);
     return;
   }
-  const int chunks = static_cast<int>(std::min<std::int64_t>(workers, (n + min_chunk - 1) / min_chunk));
-  const std::int64_t chunk = (n + chunks - 1) / chunks;
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(chunks));
-  for (int c = 0; c < chunks; ++c) {
+  // Oversplit relative to the lane count so uneven chunks load-balance, but
+  // derive the chunk size from n/min_chunk alone: the split (and therefore
+  // any accumulation order inside fn) is identical for every worker count.
+  const std::int64_t wanted = (n + min_chunk - 1) / min_chunk;
+  const std::int64_t chunk = std::max<std::int64_t>(
+      min_chunk, (n + wanted - 1) / wanted);
+  const std::int64_t chunks = (n + chunk - 1) / chunk;
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  auto& pool = ThreadPool::instance();
+  pool.ensure_parallelism(workers);
+  pool.run(chunks, [&](std::int64_t c) {
     const std::int64_t begin = c * chunk;
     const std::int64_t end = std::min<std::int64_t>(n, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
-  }
-  for (auto& t : threads) t.join();
+    if (begin < end) fn(begin, end);
+  });
 }
 
 }  // namespace blurnet::util

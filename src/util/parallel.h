@@ -1,9 +1,11 @@
 // Data-parallel helper used by the convolution / attack kernels.
 //
-// parallel_for splits [0, n) into contiguous chunks across a small number of
-// worker threads. The work function must be safe to run concurrently on
-// disjoint index ranges. For tiny n the call degrades to a serial loop so the
-// threading overhead never dominates.
+// parallel_for splits [0, n) into contiguous chunks and executes them on the
+// persistent process-wide ThreadPool (src/util/thread_pool.h). The work
+// function must be safe to run concurrently on disjoint index ranges. For
+// tiny n the call degrades to a serial loop so the threading overhead never
+// dominates, and chunk boundaries depend only on n and min_chunk — never on
+// the worker count — so results are reproducible under any parallelism.
 #pragma once
 
 #include <cstdint>
@@ -11,13 +13,19 @@
 
 namespace blurnet::util {
 
-/// Number of worker threads used by parallel_for (defaults to hardware
-/// concurrency, clamped to [1, 8]).
+/// Number of worker lanes used by parallel_for. Resolution order: the
+/// set_parallel_workers override, then the BLURNET_WORKERS environment
+/// variable (read once at first use and cached), then
+/// std::thread::hardware_concurrency() (uncapped).
 int parallel_workers();
 
-/// Override the worker count (0 restores the default). Used in tests to
-/// exercise both serial and parallel paths.
+/// Override the worker count. Throws std::invalid_argument when workers is
+/// not positive; use reset_parallel_workers() to restore the default.
 void set_parallel_workers(int workers);
+
+/// Drop any override and return to the environment/hardware default. Also
+/// re-reads BLURNET_WORKERS, so call this after changing it at runtime.
+void reset_parallel_workers();
 
 /// Invoke fn(begin, end) over a partition of [0, n).
 void parallel_for(std::int64_t n,

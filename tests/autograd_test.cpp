@@ -28,6 +28,41 @@ TEST(Variable, ScalarValueThrowsOnNonScalar) {
   EXPECT_THROW(v.scalar_value(), std::logic_error);
 }
 
+TEST(Variable, NoGradGuardDisablesGraphBuilding) {
+  auto w = Variable::leaf(Tensor::scalar(2.0f), true);
+  {
+    // Under the guard, ops over requires-grad leaves must come out as plain
+    // constants — this is what makes the conv2d inference fast path (and the
+    // graph-free serving forward) reachable with trained parameters.
+    NoGradGuard no_grad;
+    EXPECT_FALSE(grad_enabled());
+    auto y = mul(w, w);
+    EXPECT_FALSE(y.requires_grad());
+    EXPECT_FLOAT_EQ(y.scalar_value(), 4.0f);
+  }
+  EXPECT_TRUE(grad_enabled());
+  auto y = mul(w, w);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(Ops, Conv2dInferencePathMatchesGradPath) {
+  util::Rng rng(21);
+  const auto x = Tensor::randn(Shape::nchw(2, 3, 8, 8), rng);
+  const auto w = Tensor::randn(Shape{4, 3, 3, 3}, rng, 0.0f, 0.2f);
+  const auto b = Tensor::randn(Shape::vec(4), rng);
+  const auto weights = Variable::leaf(w.clone(), true);
+  const auto bias = Variable::leaf(b.clone(), true);
+  const auto grad_path = conv2d(Variable::constant(x), weights, bias, 1, 1).value();
+  Tensor fast_path;
+  {
+    NoGradGuard no_grad;
+    fast_path = conv2d(Variable::constant(x), weights, bias, 1, 1).value();
+  }
+  for (std::int64_t i = 0; i < grad_path.numel(); ++i) {
+    EXPECT_EQ(fast_path[i], grad_path[i]);  // bitwise: same arithmetic, reused scratch
+  }
+}
+
 TEST(Backward, SimpleChain) {
   // y = (2x + 1)^2 summed; dy/dx = 2 * (2x+1) * 2.
   auto x = Variable::leaf(Tensor::from_vector({1.0f, -2.0f}));
@@ -135,8 +170,11 @@ TEST(Ops, DepthwiseIdentityKernelIsIdentity) {
   }
 }
 
-TEST(Ops, DepthwiseMatchesSignalFilter) {
-  // Depthwise conv with a shared box kernel == signal::filter2d_depthwise.
+TEST(Ops, DepthwiseMatchesSignalFilterInterior) {
+  // Depthwise conv with a shared box kernel == signal::filter2d_depthwise in
+  // the interior. Borders differ by design: the autograd op zero-pads (it
+  // must stay linear for gradcheck) while the signal filter renormalizes by
+  // the in-bounds kernel mass.
   util::Rng rng(8);
   auto x = Tensor::randn(Shape::nchw(1, 2, 8, 8), rng);
   Tensor kernel_stack(Shape{2, 3, 3});
@@ -145,9 +183,11 @@ TEST(Ops, DepthwiseMatchesSignalFilter) {
   const auto via_op = depthwise_conv2d_same(Variable::constant(x),
                                             Variable::constant(kernel_stack), Variable());
   const auto via_signal = signal::filter2d_depthwise(x, signal::make_blur_kernel(3));
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    EXPECT_NEAR(via_op.value()[i], via_signal[i], 1e-5);
-  }
+  for (std::int64_t c = 0; c < 2; ++c)
+    for (std::int64_t y = 1; y < 7; ++y)
+      for (std::int64_t xx = 1; xx < 7; ++xx) {
+        EXPECT_NEAR(via_op.value().at4(0, c, y, xx), via_signal.at4(0, c, y, xx), 1e-5);
+      }
 }
 
 TEST(Ops, MaxPoolForward) {

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/serve/engine.h"
+#include "src/tensor/ops.h"
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+
+namespace blurnet::serve {
+namespace {
+
+nn::LisaCnnConfig small_model_config() {
+  nn::LisaCnnConfig config;
+  config.conv1_filters = 8;
+  config.conv2_filters = 16;
+  config.conv3_filters = 32;
+  return config;
+}
+
+EngineConfig small_engine_config() {
+  EngineConfig config;
+  config.model = small_model_config();
+  config.defense = {nn::FilterPlacement::kAfterLayer1, 3, signal::KernelKind::kBox};
+  return config;
+}
+
+tensor::Tensor random_batch(std::int64_t n, std::uint64_t seed = 5) {
+  util::Rng rng(seed);
+  return tensor::Tensor::rand_uniform(tensor::Shape::nchw(n, 3, 32, 32), rng);
+}
+
+tensor::Tensor single_image(const tensor::Tensor& batch, std::int64_t i) {
+  const std::int64_t stride = batch.dim(1) * batch.dim(2) * batch.dim(3);
+  tensor::Tensor image(tensor::Shape{batch.dim(1), batch.dim(2), batch.dim(3)});
+  std::copy(batch.data() + i * stride, batch.data() + (i + 1) * stride, image.data());
+  return image;
+}
+
+TEST(Engine, BatchMatchesSingleImageBitwise) {
+  const InferenceEngine engine(small_engine_config());
+  const auto batch = random_batch(8);
+  const auto batched = engine.classify(batch);
+  ASSERT_EQ(batched.size(), 8u);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    const auto single = engine.classify(single_image(batch, i));
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(single[0].label, batched[static_cast<std::size_t>(i)].label);
+    ASSERT_EQ(single[0].logits.size(), batched[static_cast<std::size_t>(i)].logits.size());
+    for (std::size_t k = 0; k < single[0].logits.size(); ++k) {
+      // Bitwise agreement: batching must be purely a throughput decision.
+      EXPECT_EQ(single[0].logits[k], batched[static_cast<std::size_t>(i)].logits[k]);
+    }
+  }
+}
+
+TEST(Engine, DeterministicForAnyWorkerCount) {
+  const InferenceEngine engine(small_engine_config());
+  const auto batch = random_batch(6, 7);
+  const auto reference = engine.classify_defended(batch);
+  for (const int workers : {1, 2, 5, 16}) {
+    util::set_parallel_workers(workers);
+    const auto result = engine.classify_defended(batch);
+    ASSERT_EQ(result.size(), reference.size());
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      EXPECT_EQ(result[i].label, reference[i].label);
+      for (std::size_t k = 0; k < result[i].logits.size(); ++k) {
+        EXPECT_EQ(result[i].logits[k], reference[i].logits[k]) << "workers " << workers;
+      }
+    }
+  }
+  util::reset_parallel_workers();
+}
+
+TEST(Engine, ConcurrentClassifyFromManyThreads) {
+  const InferenceEngine engine(small_engine_config());
+  const auto batch = random_batch(4, 11);
+  const auto reference = engine.classify(batch);
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 5; ++round) {
+        const auto result = engine.classify(batch);
+        for (std::size_t i = 0; i < result.size(); ++i) {
+          if (result[i].label != reference[i].label ||
+              result[i].logits != reference[i].logits) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Engine, SubmitCoalescesAndMatchesClassify) {
+  InferenceEngine engine(small_engine_config());
+  const auto batch = random_batch(16, 13);
+  const auto reference = engine.classify(batch);
+
+  std::vector<std::future<Prediction>> futures;
+  for (std::int64_t i = 0; i < 16; ++i) {
+    futures.push_back(engine.submit(single_image(batch, i)));
+  }
+  for (std::int64_t i = 0; i < 16; ++i) {
+    const auto prediction = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(prediction.label, reference[static_cast<std::size_t>(i)].label);
+    EXPECT_EQ(prediction.logits, reference[static_cast<std::size_t>(i)].logits);
+  }
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.requests, 16);
+  EXPECT_GE(stats.batches, 1);
+  EXPECT_LE(stats.batches, 16);  // at least some coalescing is permitted
+  EXPECT_GE(stats.largest_batch, 1);
+  EXPECT_GE(stats.images, 16);
+}
+
+TEST(Engine, OversizedBatchIsSlicedBitwiseEqual) {
+  // classify() bounds each forward pass by max_batch; slicing must not change
+  // any per-image result.
+  EngineConfig config = small_engine_config();
+  config.max_batch = 4;
+  const InferenceEngine sliced(config);
+  const InferenceEngine whole(small_engine_config());  // max_batch 64
+  const auto batch = random_batch(11, 37);
+  const auto a = sliced.classify(batch);
+  const auto b = whole.classify(batch);
+  ASSERT_EQ(a.size(), 11u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].logits, b[i].logits);
+  }
+}
+
+TEST(Engine, DefendedRouteUsesFilteredModel) {
+  const InferenceEngine engine(small_engine_config());
+  ASSERT_TRUE(engine.defense_enabled());
+  EXPECT_EQ(engine.defended_model().config().fixed_filter.kernel, 3);
+  EXPECT_EQ(engine.model().config().fixed_filter.kernel, 0);
+
+  // The blur on the first-layer maps must actually change the logits.
+  const auto batch = random_batch(2, 17);
+  const auto plain = engine.classify(batch);
+  const auto defended = engine.classify_defended(batch);
+  bool any_difference = false;
+  for (std::size_t k = 0; k < plain[0].logits.size(); ++k) {
+    if (plain[0].logits[k] != defended[0].logits[k]) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Engine, DisabledDefenseRoutesToBaseModel) {
+  EngineConfig config;
+  config.model = small_model_config();
+  config.defense = {};  // kNone
+  const InferenceEngine engine(config);
+  EXPECT_FALSE(engine.defense_enabled());
+  const auto batch = random_batch(2, 19);
+  const auto plain = engine.classify(batch);
+  const auto defended = engine.classify_defended(batch);
+  EXPECT_EQ(plain[0].logits, defended[0].logits);
+}
+
+TEST(Engine, SubmitThroughDefendedRouteMatchesClassifyDefended) {
+  InferenceEngine engine(small_engine_config());
+  const auto batch = random_batch(3, 23);
+  const auto reference = engine.classify_defended(batch);
+  std::vector<std::future<Prediction>> futures;
+  for (std::int64_t i = 0; i < 3; ++i) {
+    futures.push_back(engine.submit(single_image(batch, i), /*defended=*/true));
+  }
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get().logits,
+              reference[static_cast<std::size_t>(i)].logits);
+  }
+}
+
+TEST(Engine, RejectsWrongInputShape) {
+  const InferenceEngine engine(small_engine_config());
+  util::Rng rng(29);
+  EXPECT_THROW(engine.classify(tensor::Tensor::zeros(tensor::Shape::mat(4, 4))),
+               std::invalid_argument);
+  EXPECT_THROW(engine.classify(tensor::Tensor::zeros(tensor::Shape::nchw(1, 3, 16, 16))),
+               std::invalid_argument);
+}
+
+TEST(Engine, ConfidenceIsSoftmaxOfPredictedLabel) {
+  const InferenceEngine engine(small_engine_config());
+  const auto prediction = engine.classify(random_batch(1, 31))[0];
+  EXPECT_GE(prediction.confidence, 1.0f / 18.0f - 1e-6f);  // at least uniform mass
+  EXPECT_LE(prediction.confidence, 1.0f);
+  EXPECT_EQ(prediction.logits.size(), 18u);
+}
+
+}  // namespace
+}  // namespace blurnet::serve

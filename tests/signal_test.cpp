@@ -217,12 +217,33 @@ TEST(Kernels, BlurKernelSumsToOne) {
 TEST(Kernels, EvenSizeThrows) { EXPECT_THROW(make_blur_kernel(4), std::invalid_argument); }
 
 TEST(Kernels, FilterPreservesConstant) {
-  // Same-padding blur of a constant image equals the constant in the interior
-  // (borders lose mass to zero padding).
+  // Border windows are renormalized by the in-bounds kernel mass, so a blur
+  // of a constant image is the constant everywhere — including corners and
+  // edges, which plain zero padding would darken.
   auto x = tensor::Tensor::full(tensor::Shape::nchw(1, 1, 9, 9), 2.0f);
-  const auto blurred = filter2d_depthwise(x, make_blur_kernel(3));
-  EXPECT_NEAR(blurred.at4(0, 0, 4, 4), 2.0f, 1e-5);
-  EXPECT_LT(blurred.at4(0, 0, 0, 0), 2.0f);
+  for (const int size : {3, 5, 7}) {
+    for (const auto kind : {KernelKind::kBox, KernelKind::kGaussian}) {
+      const auto blurred = filter2d_depthwise(x, make_blur_kernel(size, kind));
+      for (std::int64_t i = 0; i < blurred.numel(); ++i) {
+        ASSERT_NEAR(blurred[i], 2.0f, 1e-5) << "size " << size << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(Kernels, ZeroSumKernelBorderNotAnnihilated) {
+  // Border renormalization must not apply to ~zero-sum kernels (total mass
+  // ~0): a Laplacian's border response would otherwise be scaled to zero.
+  tensor::Tensor laplacian(tensor::Shape::mat(3, 3),
+                           {0.0f, -1.0f, 0.0f, -1.0f, 4.0f, -1.0f, 0.0f, -1.0f, 0.0f});
+  util::Rng rng(55);
+  const auto x = tensor::Tensor::rand_uniform(tensor::Shape::nchw(1, 1, 7, 7), rng);
+  const auto out = filter2d_depthwise(x, laplacian);
+  // Corner (0,0): taps that land in bounds are centre 4*x00, right -x01,
+  // down -x10 — the raw zero-padded correlation, left untouched.
+  const float expected =
+      4.0f * x.at4(0, 0, 0, 0) - x.at4(0, 0, 0, 1) - x.at4(0, 0, 1, 0);
+  EXPECT_NEAR(out.at4(0, 0, 0, 0), expected, 1e-5);
 }
 
 TEST(Kernels, PerChannelFilterUsesDistinctKernels) {

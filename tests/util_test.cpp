@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
 #include "src/util/cli.h"
 #include "src/util/env.h"
@@ -10,6 +12,7 @@
 #include "src/util/rng.h"
 #include "src/util/serialize.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 
 namespace blurnet::util {
 namespace {
@@ -190,13 +193,101 @@ TEST(Parallel, CoversRangeOnceSerialAndParallel) {
     }, /*min_chunk=*/16);
     for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
   }
-  set_parallel_workers(0);
+  reset_parallel_workers();
 }
 
 TEST(Parallel, EmptyRangeIsNoop) {
   bool called = false;
   parallel_for(0, [&](std::int64_t, std::int64_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(Parallel, SetWorkersRejectsNonPositive) {
+  EXPECT_THROW(set_parallel_workers(0), std::invalid_argument);
+  EXPECT_THROW(set_parallel_workers(-3), std::invalid_argument);
+}
+
+TEST(Parallel, NoArtificialWorkerCap) {
+  // The seed clamped the worker count to 8; large overrides must stick.
+  set_parallel_workers(33);
+  EXPECT_EQ(parallel_workers(), 33);
+  reset_parallel_workers();
+}
+
+TEST(Parallel, WorkerCountFromEnvironment) {
+  // The env value is cached; reset_parallel_workers() re-reads it.
+  ::setenv("BLURNET_WORKERS", "12", 1);
+  reset_parallel_workers();
+  EXPECT_EQ(parallel_workers(), 12);
+  ::unsetenv("BLURNET_WORKERS");
+  reset_parallel_workers();
+  EXPECT_GE(parallel_workers(), 1);
+}
+
+TEST(Parallel, OverrideBeatsEnvironment) {
+  ::setenv("BLURNET_WORKERS", "12", 1);
+  set_parallel_workers(2);
+  EXPECT_EQ(parallel_workers(), 2);
+  ::unsetenv("BLURNET_WORKERS");
+  reset_parallel_workers();
+}
+
+TEST(ThreadPoolTest, RunsEveryChunkExactlyOnce) {
+  ThreadPool::instance().ensure_parallelism(4);
+  std::vector<std::atomic<int>> hits(64);
+  ThreadPool::instance().run(64, [&](std::int64_t chunk) {
+    hits[static_cast<std::size_t>(chunk)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedRunFallsBackToInline) {
+  ThreadPool::instance().ensure_parallelism(4);
+  std::atomic<int> total{0};
+  ThreadPool::instance().run(4, [&](std::int64_t) {
+    // A nested region must execute inline on this thread, not deadlock.
+    ThreadPool::instance().run(8, [&](std::int64_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  ThreadPool::instance().ensure_parallelism(4);
+  EXPECT_THROW(ThreadPool::instance().run(16, [&](std::int64_t chunk) {
+    if (chunk == 3) throw std::runtime_error("boom");
+  }), std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> total{0};
+  ThreadPool::instance().run(8, [&](std::int64_t) { ++total; });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ThreadPoolTest, ResizeKeepsWorking) {
+  auto& pool = ThreadPool::instance();
+  for (const int parallelism : {1, 2, 6, 3}) {
+    pool.ensure_parallelism(parallelism);
+    EXPECT_EQ(pool.parallelism(), parallelism);
+    std::atomic<int> total{0};
+    pool.run(32, [&](std::int64_t) { ++total; });
+    EXPECT_EQ(total.load(), 32);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentProducersAllComplete) {
+  ThreadPool::instance().ensure_parallelism(4);
+  std::vector<std::thread> producers;
+  std::atomic<int> total{0};
+  for (int t = 0; t < 6; ++t) {
+    producers.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        parallel_for(512, [&](std::int64_t lo, std::int64_t hi) {
+          total += static_cast<int>(hi - lo);
+        }, /*min_chunk=*/16);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(total.load(), 6 * 20 * 512);
 }
 
 TEST(Env, FlagParsing) {
