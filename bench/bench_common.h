@@ -11,13 +11,13 @@
 
 namespace blurnet::bench {
 
-/// Clean accuracy over a dataset, classified through the serving path: one
-/// batched forward pass per call instead of per-image forwards.
+/// Clean accuracy over a dataset, classified through the serving path (one
+/// batched forward pass per max_batch slice) via the named engine variant.
 inline double engine_accuracy(const serve::InferenceEngine& engine,
-                              const data::Dataset& data, bool defended = false) {
+                              const data::Dataset& data,
+                              const std::string& variant = serve::kBaseVariant) {
   if (data.size() == 0) return 0.0;
-  const auto predictions =
-      defended ? engine.classify_defended(data.images) : engine.classify(data.images);
+  const auto predictions = engine.classify(data.images, serve::Options{variant});
   return serve::accuracy(predictions, data.labels);
 }
 

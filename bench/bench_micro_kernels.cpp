@@ -4,6 +4,9 @@
 // batched inference engine.
 #include <benchmark/benchmark.h>
 
+#include <future>
+#include <vector>
+
 #include "src/autograd/ops.h"
 #include "src/nn/lisa_cnn.h"
 #include "src/serve/engine.h"
@@ -266,6 +269,39 @@ void BM_EngineClassifyPerImage(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EngineClassifyPerImage)->Arg(16)->Arg(64);
+
+// Submit-path throughput under a replica sweep: 64 single-image requests are
+// queued at once; each replica's worker coalesces up to max_batch of them
+// into one forward pass, so with R replicas up to R batches are in flight
+// concurrently. The 1 -> 2 -> 4 progression shows the scaling headroom of the
+// sharded router (on a multicore host; a 1-CPU cgroup flattens wall clock).
+void BM_EngineSubmitThroughput(benchmark::State& state) {
+  serve::EngineConfig config = bench_engine_config();
+  config.replicas = static_cast<int>(state.range(0));
+  config.max_batch = 16;
+  serve::InferenceEngine engine(config);
+  constexpr std::int64_t kImages = 64;
+  const auto batch = random_nchw(kImages, 3, 32, 32, 9);
+  const std::int64_t stride = 3 * 32 * 32;
+  std::vector<tensor::Tensor> images;
+  for (std::int64_t i = 0; i < kImages; ++i) {
+    tensor::Tensor image(tensor::Shape{3, 32, 32});
+    std::copy(batch.data() + i * stride, batch.data() + (i + 1) * stride, image.data());
+    images.push_back(std::move(image));
+  }
+  for (auto _ : state) {
+    std::vector<std::future<serve::Prediction>> futures;
+    futures.reserve(static_cast<std::size_t>(kImages));
+    for (const auto& image : images) {
+      futures.push_back(engine.submit(image, serve::Options{serve::kDefendedVariant}));
+    }
+    for (auto& future : futures) {
+      benchmark::DoNotOptimize(future.get().label);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kImages);
+}
+BENCHMARK(BM_EngineSubmitThroughput)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 

@@ -20,8 +20,10 @@ int main() {
   const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
 
   // Each row is the baseline's weights served behind a different fixed-filter
-  // defense; the InferenceEngine builds the filter-wrapped model exactly the
-  // way a deployment would.
+  // defense. One engine holds every row as a registered variant — the
+  // weight-transfer into the filtered architecture happens at registration,
+  // exactly the way a deployment would roll out a new defense next to the
+  // live model.
   struct Row {
     std::string name;
     nn::FixedFilterSpec defense;
@@ -36,11 +38,17 @@ int main() {
        {nn::FilterPlacement::kAfterLayer1, 5, signal::KernelKind::kBox}},
   };
 
+  serve::InferenceEngine engine(baseline, {});
+  for (const auto& row : rows) {
+    nn::LisaCnnConfig variant_config = baseline.config();
+    variant_config.fixed_filter = row.defense;
+    engine.register_variant(row.name, variant_config);
+  }
+
   util::Table table({"Model", "Accuracy", "Attack Success Rate"});
   for (const auto& row : rows) {
-    serve::InferenceEngine engine(baseline, row.defense);
     const auto result =
-        eval::transfer_attack(baseline, engine.defended_model(), stop_set, scale);
+        eval::transfer_attack(baseline, engine.variant(row.name), stop_set, scale);
     table.add_row({row.name, util::Table::pct(result.clean_accuracy),
                    util::Table::pct(result.attack_success)});
   }

@@ -58,9 +58,10 @@ int main() {
       legit = defense::smoothed_accuracy(model, test.images, test.labels, smoothing);
     } else {
       // Clean accuracy through the batched serving path: the whole test set
-      // goes through one coalesced forward pass instead of per-image calls.
+      // goes through the engine's "base" variant in coalesced forward passes
+      // instead of per-image calls.
       const serve::InferenceEngine engine(model, {});
-      legit = bench::engine_accuracy(engine, zoo.dataset().test);
+      legit = bench::engine_accuracy(engine, zoo.dataset().test, serve::kBaseVariant);
     }
     const auto sweep =
         eval::whitebox_sweep(model, legit, stop_set, scale, nullptr, predictor);

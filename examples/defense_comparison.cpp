@@ -46,12 +46,13 @@ int main(int argc, char** argv) {
   util::Table table({"Variant", "Legit Acc.", "Avg ASR", "Worst ASR", "L2 Dissim"});
   for (const auto& name : variants) {
     nn::LisaCnn& model = zoo.get(name);
-    // Clean accuracy through the serving path: the batched engine classifies
-    // the whole test set in coalesced forward passes, exactly like production
-    // traffic would see the model.
+    // Clean accuracy through the serving path: the engine's "base" variant
+    // classifies the whole test set in coalesced forward passes, exactly like
+    // production traffic would see the model.
     const serve::InferenceEngine engine(model, {});
     const auto& test = zoo.dataset().test;
-    const double acc = serve::accuracy(engine.classify(test.images), test.labels);
+    const double acc = serve::accuracy(
+        engine.classify(test.images, serve::Options{serve::kBaseVariant}), test.labels);
     const auto sweep = eval::whitebox_sweep(model, acc, stop_set, scale);
     table.add_row({name, util::Table::pct(sweep.legit_accuracy),
                    util::Table::pct(sweep.average_success),

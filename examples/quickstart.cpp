@@ -4,7 +4,11 @@
 // batched inference engine.
 //
 //   ./examples/quickstart [--epochs N] [--images N] [--iters N]
+#include <algorithm>
 #include <cstdio>
+#include <future>
+#include <utility>
+#include <vector>
 
 #include "src/defense/blurnet.h"
 #include "src/eval/experiments.h"
@@ -76,12 +80,15 @@ int main(int argc, char** argv) {
               sweep_defended.mean_l2);
   std::printf("\nLower success on the BlurNet row is the paper's headline effect.\n");
 
-  // 4. Serving: wrap the trained baseline in the batched inference engine with
-  // a 5x5 feature-map blur as the deployed defense (Table I's strongest row).
-  // classify() runs one forward pass per batch however many images it holds;
-  // classify_defended() routes through the blur-wrapped weights.
+  // 4. Serving: wrap the trained baseline in the replica-sharded inference
+  // engine with a 5x5 feature-map blur as the deployed defense (Table I's
+  // strongest row). Every variant ("base", "defended", plus anything
+  // registered) is served by two bitwise-identical replicas; classify() routes
+  // each call to the least-loaded one and slices it into coalesced forward
+  // passes.
   serve::InferenceEngine engine(
-      baseline, {nn::FilterPlacement::kAfterLayer1, 5, signal::KernelKind::kBox});
+      baseline, {nn::FilterPlacement::kAfterLayer1, 5, signal::KernelKind::kBox},
+      /*max_batch=*/64, /*replicas=*/2);
   const auto& test = lisa.test;
 
   util::Timer timer;
@@ -89,16 +96,53 @@ int main(int argc, char** argv) {
   const double batched_ms = timer.milliseconds();
 
   timer.reset();
-  const double defended_acc =
-      serve::accuracy(engine.classify_defended(test.images), test.labels);
+  const double defended_acc = serve::accuracy(
+      engine.classify(test.images, serve::Options{serve::kDefendedVariant}), test.labels);
   const double defended_ms = timer.milliseconds();
 
   const auto count = static_cast<double>(test.size());
   std::printf("\nbatched serving (%lld test images through InferenceEngine):\n",
               static_cast<long long>(test.size()));
-  std::printf("  plain    : accuracy %.1f%%  (%.1f ms, %.0f img/s)\n",
+  std::printf("  base     : accuracy %.1f%%  (%.1f ms, %.0f img/s)\n",
               100.0 * plain_acc, batched_ms, 1e3 * count / batched_ms);
   std::printf("  defended : accuracy %.1f%%  (%.1f ms, %.0f img/s, 5x5 blur on L1 maps)\n",
               100.0 * defended_acc, defended_ms, 1e3 * count / defended_ms);
+
+  // 5. Async traffic: push the test set image-by-image through submit(), the
+  // way independent callers would. Worker threads coalesce the queue into
+  // batches and load-balance them across the defended variant's replicas.
+  timer.reset();
+  std::vector<std::future<serve::Prediction>> futures;
+  futures.reserve(static_cast<std::size_t>(test.size()));
+  const std::int64_t image_numel = 3LL * 32 * 32;
+  for (std::int64_t i = 0; i < test.size(); ++i) {
+    tensor::Tensor image(tensor::Shape{3, 32, 32});
+    std::copy(test.images.data() + i * image_numel,
+              test.images.data() + (i + 1) * image_numel, image.data());
+    futures.push_back(engine.submit(std::move(image), serve::Options{serve::kDefendedVariant}));
+  }
+  std::size_t correct = 0;
+  for (std::int64_t i = 0; i < test.size(); ++i) {
+    if (futures[static_cast<std::size_t>(i)].get().label ==
+        test.labels[static_cast<std::size_t>(i)]) {
+      ++correct;
+    }
+  }
+  const double submit_ms = timer.milliseconds();
+  const auto stats = engine.stats();
+  std::printf("  submit() : accuracy %.1f%%  (%.1f ms, %.0f img/s; %lld requests coalesced "
+              "into %lld batches, largest %lld)\n",
+              100.0 * static_cast<double>(correct) / count, submit_ms,
+              1e3 * count / submit_ms, static_cast<long long>(stats.requests),
+              static_cast<long long>(stats.batches),
+              static_cast<long long>(stats.largest_batch));
+  for (const auto& vs : stats.variants) {
+    for (std::size_t r = 0; r < vs.replicas.size(); ++r) {
+      if (vs.replicas[r].images == 0) continue;
+      std::printf("    %-8s replica %zu: %lld images, %lld queued batches\n",
+                  vs.variant.c_str(), r, static_cast<long long>(vs.replicas[r].images),
+                  static_cast<long long>(vs.replicas[r].batches));
+    }
+  }
   return 0;
 }

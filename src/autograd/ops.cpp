@@ -66,7 +66,8 @@ void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t m, std::
   }
 }
 
-// Per-thread scratch reused across inference-only conv2d calls. The padded
+// Per-thread scratch reused across inference-only convolution calls (conv2d
+// and the depthwise kernel share the padded buffer sequentially). The padded
 // input and im2col matrix are the two big per-forward allocations; serving
 // runs the same shapes over and over, so keeping the buffers warm per thread
 // removes the allocator from the hot path. Gradient-tracking calls cannot use
@@ -319,9 +320,6 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b, int str
     const float* padded = x.value().data();
     if (pad > 0) {
       scratch.padded.resize(static_cast<std::size_t>(n * c * hp * wp));
-      // Reused scratch holds stale values; pad2d_into only writes the
-      // interior, so the border must be re-zeroed here.
-      std::fill(scratch.padded.begin(), scratch.padded.end(), 0.0f);
       tensor::pad2d_into(x.value(), pad, pad, scratch.padded.data());
       padded = scratch.padded.data();
     }
@@ -377,9 +375,51 @@ Variable depthwise_conv2d_same(const Variable& x, const Variable& w, const Varia
   const std::int64_t n = x.shape()[0], c = x.shape()[1], h = x.shape()[2],
                      wdim = x.shape()[3];
   if (w.shape()[0] != c) throw std::invalid_argument("depthwise_conv2d_same: channel mismatch");
+  if (b.defined() && b.value().numel() != c) {
+    throw std::invalid_argument("depthwise_conv2d_same: bias size mismatch");
+  }
   const int kh = static_cast<int>(w.shape()[1]);
   const int kw = static_cast<int>(w.shape()[2]);
   const int ph = kh / 2, pw = kw / 2;
+
+  const bool needs_grad =
+      grad_enabled() && (x.requires_grad() || w.requires_grad() ||
+                         (b.defined() && b.requires_grad()));
+  if (!needs_grad) {
+    // Inference-only path, mirroring the conv2d fast path: pad the input into
+    // per-thread scratch once so the tap loops need no border checks. The
+    // padding contributes exact ±0.0 terms, which leave every partial sum
+    // bitwise unchanged, so this path matches the checked path bit for bit.
+    const std::int64_t hp = h + 2 * ph, wp = wdim + 2 * pw;
+    auto& scratch = conv_scratch();
+    scratch.padded.resize(static_cast<std::size_t>(n * c * hp * wp));
+    tensor::pad2d_into(x.value(), ph, pw, scratch.padded.data());
+    const float* padded = scratch.padded.data();
+    Tensor out(x.shape());
+    const float* wv = w.value().data();
+    util::parallel_for(n * c, [&](std::int64_t p0, std::int64_t p1) {
+      for (std::int64_t p = p0; p < p1; ++p) {
+        const std::int64_t ic = p % c;
+        const float* src = padded + p * hp * wp;
+        const float* ker = wv + ic * kh * kw;
+        float* dst = out.data() + p * h * wdim;
+        for (std::int64_t y = 0; y < h; ++y) {
+          for (std::int64_t xx = 0; xx < wdim; ++xx) {
+            double acc = 0.0;
+            for (int fy = 0; fy < kh; ++fy) {
+              const float* row = src + (y + fy) * wp + xx;
+              for (int fx = 0; fx < kw; ++fx) {
+                acc += static_cast<double>(ker[fy * kw + fx]) * row[fx];
+              }
+            }
+            dst[y * wdim + xx] = static_cast<float>(acc);
+          }
+        }
+      }
+    }, /*min_chunk=*/1);
+    if (b.defined()) out = tensor::broadcast_bias_nchw(out, b.value());
+    return Variable::constant(std::move(out));
+  }
 
   Tensor out(x.shape());
   const float* xv = x.value().data();
@@ -408,9 +448,6 @@ Variable depthwise_conv2d_same(const Variable& x, const Variable& w, const Varia
     }
   }, /*min_chunk=*/1);
   if (b.defined()) {
-    if (b.value().numel() != c) {
-      throw std::invalid_argument("depthwise_conv2d_same: bias size mismatch");
-    }
     out = tensor::broadcast_bias_nchw(out, b.value());
   }
 

@@ -148,6 +148,14 @@ void LisaCnn::copy_weights_from(const LisaCnn& other) {
   }
 }
 
+LisaCnn LisaCnn::clone() const { return clone_with_config(config_); }
+
+LisaCnn LisaCnn::clone_with_config(const LisaCnnConfig& config) const {
+  LisaCnn copy(config);
+  copy.copy_weights_from(*this);
+  return copy;
+}
+
 void LisaCnn::save(const std::string& path) const { save_parameters(path, named_parameters()); }
 
 void LisaCnn::load(const std::string& path) {

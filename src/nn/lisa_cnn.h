@@ -88,6 +88,15 @@ class LisaCnn {
   /// trained weights into a differently-filtered architecture, Table I).
   void copy_weights_from(const LisaCnn& other);
 
+  /// Deep copy: same architecture, independently-owned parameter storage.
+  /// (The copy constructor shares Variable handles; clone() does not.)
+  LisaCnn clone() const;
+  /// Table I weight transfer as a constructor: build `config`'s architecture
+  /// and copy every matching-name parameter from this model. Parameters that
+  /// only exist in the new architecture (e.g. a learnable depthwise layer)
+  /// keep their deterministic seed initialization.
+  LisaCnn clone_with_config(const LisaCnnConfig& config) const;
+
   void save(const std::string& path) const;
   void load(const std::string& path);
 

@@ -1,7 +1,6 @@
 #include "src/serve/engine.h"
 
 #include <algorithm>
-#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -14,45 +13,69 @@ using tensor::Tensor;
 
 namespace {
 
-/// Normalize a CHW image or NCHW batch to NCHW, validating against the model.
-Tensor as_batch(const Tensor& images, const nn::LisaCnnConfig& config) {
+/// Normalize a CHW image or NCHW batch to NCHW, rejecting anything that
+/// would otherwise fail deep inside conv2d with a cryptic error.
+Tensor as_batch(const Tensor& images, const nn::LisaCnnConfig& config,
+                const std::string& op) {
+  if (images.rank() != 3 && images.rank() != 4) {
+    throw std::invalid_argument(op + ": expected a CHW image (rank 3) or NCHW batch (rank 4), got rank " +
+                                std::to_string(images.rank()) + " with shape " +
+                                images.shape().to_string());
+  }
   Tensor batch = images;
   if (images.rank() == 3) {
     batch = images.reshape(Shape::nchw(1, images.dim(0), images.dim(1), images.dim(2)));
-  } else if (images.rank() != 4) {
-    throw std::invalid_argument("InferenceEngine: expected CHW image or NCHW batch");
   }
-  if (batch.dim(1) != config.in_channels || batch.dim(2) != config.image_size ||
-      batch.dim(3) != config.image_size) {
-    throw std::invalid_argument("InferenceEngine: image shape " + batch.shape().to_string() +
-                                " does not match the model input");
+  if (batch.dim(0) < 1) {
+    throw std::invalid_argument(op + ": batch holds no images (shape " +
+                                images.shape().to_string() + ")");
+  }
+  if (batch.dim(1) != config.in_channels) {
+    throw std::invalid_argument(op + ": expected " + std::to_string(config.in_channels) +
+                                " input channels, got " + std::to_string(batch.dim(1)) +
+                                " (shape " + images.shape().to_string() + ")");
+  }
+  if (batch.dim(2) != config.image_size || batch.dim(3) != config.image_size) {
+    throw std::invalid_argument(op + ": expected " + std::to_string(config.image_size) + "x" +
+                                std::to_string(config.image_size) + " spatial dims, got " +
+                                std::to_string(batch.dim(2)) + "x" + std::to_string(batch.dim(3)) +
+                                " (shape " + images.shape().to_string() + ")");
   }
   return batch;
 }
 
-std::optional<nn::LisaCnn> make_defended(const nn::LisaCnn& base,
-                                         const nn::FixedFilterSpec& defense) {
-  if (defense.placement == nn::FilterPlacement::kNone || defense.kernel <= 0) {
-    return std::nullopt;
+int effective_max_batch(const Options& options, int engine_default, const std::string& op) {
+  if (options.max_batch < 0) {
+    throw std::invalid_argument(op + ": Options::max_batch must be >= 0 (0 = engine default), got " +
+                                std::to_string(options.max_batch));
   }
-  nn::LisaCnnConfig config = base.config();
-  config.fixed_filter = defense;
-  nn::LisaCnn defended(config);
-  defended.copy_weights_from(base);
-  return defended;
+  return options.max_batch > 0 ? options.max_batch : engine_default;
 }
 
 }  // namespace
 
 InferenceEngine::InferenceEngine(EngineConfig config)
-    : InferenceEngine(nn::LisaCnn(config.model), config.defense, config.max_batch) {}
+    : InferenceEngine(nn::LisaCnn(config.model), config.defense, config.max_batch,
+                      config.replicas) {}
 
 InferenceEngine::InferenceEngine(nn::LisaCnn model, nn::FixedFilterSpec defense,
-                                 int max_batch)
-    : model_(std::move(model)),
-      defended_model_(make_defended(model_, defense)),
-      max_batch_(max_batch) {
+                                 int max_batch, int replicas)
+    : model_(std::move(model)), max_batch_(max_batch), default_replicas_(replicas) {
   if (max_batch_ < 1) throw std::invalid_argument("InferenceEngine: max_batch must be >= 1");
+  if (default_replicas_ < 1) {
+    throw std::invalid_argument("InferenceEngine: replicas must be >= 1");
+  }
+  register_variant_locked(kBaseVariant, model_.config(), default_replicas_);
+  defense_enabled_ = defense.placement != nn::FilterPlacement::kNone && defense.kernel > 0;
+  if (defense_enabled_) {
+    nn::LisaCnnConfig defended = model_.config();
+    defended.fixed_filter = defense;
+    register_variant_locked(kDefendedVariant, defended, default_replicas_);
+  } else {
+    // No filter to wrap: serve "defended" from the base shard instead of
+    // cloning a second, identical set of replicas.
+    aliases_.emplace_back(kDefendedVariant, shards_.front().get());
+  }
 }
 
 InferenceEngine::~InferenceEngine() {
@@ -60,116 +83,196 @@ InferenceEngine::~InferenceEngine() {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     stop_ = true;
   }
-  queue_cv_.notify_all();
-  if (batcher_.joinable()) batcher_.join();
-}
-
-const nn::LisaCnn& InferenceEngine::defended_model() const {
-  return defended_model_ ? *defended_model_ : model_;
-}
-
-void InferenceEngine::refresh_defended_weights() {
-  if (defended_model_) defended_model_->copy_weights_from(model_);
-}
-
-const nn::LisaCnn& InferenceEngine::route(bool defended) const {
-  return defended ? defended_model() : model_;
-}
-
-std::vector<Prediction> InferenceEngine::run_batch(const nn::LisaCnn& model,
-                                                   const Tensor& batch) const {
-  // Bound each forward pass (and therefore the im2col scratch footprint) by
-  // max_batch_: callers may hand classify() a whole dataset. Per-image
-  // results are independent, so slicing cannot change them.
-  if (batch.dim(0) > max_batch_) {
-    const std::int64_t n = batch.dim(0);
-    const std::int64_t image_size = batch.numel() / n;
-    std::vector<Prediction> predictions;
-    predictions.reserve(static_cast<std::size_t>(n));
-    for (std::int64_t begin = 0; begin < n; begin += max_batch_) {
-      const std::int64_t count = std::min<std::int64_t>(max_batch_, n - begin);
-      Tensor slice(Shape::nchw(count, batch.dim(1), batch.dim(2), batch.dim(3)));
-      std::copy(batch.data() + begin * image_size,
-                batch.data() + (begin + count) * image_size, slice.data());
-      auto part = run_batch(model, slice);
-      predictions.insert(predictions.end(), std::make_move_iterator(part.begin()),
-                         std::make_move_iterator(part.end()));
-    }
-    return predictions;
-  }
-  const Tensor logits = model.logits(batch);
-  const Tensor probabilities = tensor::softmax_rows(logits);
-  const std::vector<int> labels = tensor::argmax_rows(logits);
-  const std::int64_t n = logits.dim(0), k = logits.dim(1);
-  std::vector<Prediction> predictions(static_cast<std::size_t>(n));
-  for (std::int64_t i = 0; i < n; ++i) {
-    Prediction& p = predictions[static_cast<std::size_t>(i)];
-    p.label = labels[static_cast<std::size_t>(i)];
-    p.confidence = probabilities.at2(i, p.label);
-    p.logits.assign(logits.data() + i * k, logits.data() + (i + 1) * k);
-  }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.images += n;
+    std::lock_guard<std::mutex> lock(shards_mutex_);
+    for (auto& shard : shards_) shard->cv.notify_all();
   }
-  return predictions;
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
-std::vector<Prediction> InferenceEngine::classify(const Tensor& images) const {
-  return run_batch(model_, as_batch(images, model_.config()));
+void InferenceEngine::register_variant_locked(const std::string& name,
+                                              const nn::LisaCnnConfig& config,
+                                              int replicas) {
+  if (name.empty()) throw std::invalid_argument("register_variant: name must be non-empty");
+  if (find_shard_locked(name) != nullptr) {
+    throw std::invalid_argument("register_variant: variant \"" + name +
+                                "\" is already registered");
+  }
+  if (config.in_channels != model_.config().in_channels ||
+      config.image_size != model_.config().image_size) {
+    throw std::invalid_argument("register_variant: variant \"" + name +
+                                "\" input shape does not match the base model");
+  }
+  if (replicas == 0) replicas = default_replicas_;
+  if (replicas < 1) throw std::invalid_argument("register_variant: replicas must be >= 1");
+  auto shard = std::make_unique<VariantShard>();
+  shard->name = name;
+  shard->config = config;
+  shard->replicas.reserve(static_cast<std::size_t>(replicas));
+  for (int i = 0; i < replicas; ++i) {
+    shard->replicas.push_back(std::make_unique<Replica>(model_, config));
+  }
+  shards_.push_back(std::move(shard));
 }
 
-std::vector<Prediction> InferenceEngine::classify_defended(const Tensor& images) const {
-  return run_batch(defended_model(), as_batch(images, model_.config()));
+void InferenceEngine::register_variant(const std::string& name,
+                                       const nn::LisaCnnConfig& config, int replicas) {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  register_variant_locked(name, config, replicas);
 }
 
-std::future<Prediction> InferenceEngine::submit(Tensor image, bool defended) {
-  Tensor batch = as_batch(image, model_.config());  // validates the shape
+void InferenceEngine::refresh_variant(const std::string& name) {
+  VariantShard& shard = require_shard(name);
+  for (auto& replica : shard.replicas) replica->refresh_from(model_);
+}
+
+InferenceEngine::VariantShard* InferenceEngine::find_shard_locked(
+    const std::string& name) const {
+  for (const auto& shard : shards_) {
+    if (shard->name == name) return shard.get();
+  }
+  for (const auto& alias : aliases_) {
+    if (alias.first == name) return alias.second;
+  }
+  return nullptr;
+}
+
+InferenceEngine::VariantShard& InferenceEngine::require_shard_locked(
+    const std::string& name) const {
+  if (VariantShard* shard = find_shard_locked(name)) return *shard;
+  std::string known;
+  for (const auto& shard : shards_) {
+    if (!known.empty()) known += ", ";
+    known += shard->name;
+  }
+  for (const auto& alias : aliases_) {
+    known += ", " + alias.first;
+  }
+  throw std::invalid_argument("InferenceEngine: unknown variant \"" + name +
+                              "\" (registered: " + known + ")");
+}
+
+InferenceEngine::VariantShard& InferenceEngine::require_shard(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  return require_shard_locked(name);
+}
+
+std::vector<std::string> InferenceEngine::variant_names() const {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::vector<std::string> names;
+  names.reserve(shards_.size() + aliases_.size());
+  for (const auto& shard : shards_) names.push_back(shard->name);
+  for (const auto& alias : aliases_) names.push_back(alias.first);
+  return names;
+}
+
+bool InferenceEngine::has_variant(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  return find_shard_locked(name) != nullptr;
+}
+
+const nn::LisaCnn& InferenceEngine::variant(const std::string& name) const {
+  return require_shard(name).replicas.front()->model();
+}
+
+int InferenceEngine::replica_count(const std::string& name) const {
+  return static_cast<int>(require_shard(name).replicas.size());
+}
+
+Replica& InferenceEngine::route_locked(VariantShard& shard) const {
+  // Least-loaded with a round-robin cursor as the tiebreak: concurrent
+  // callers spread across idle replicas, and repeated single-caller traffic
+  // still rotates instead of hammering replica 0. The replica's in-flight
+  // count is claimed under the lock so two callers can't both pick the same
+  // "idle" replica.
+  const std::size_t n = shard.replicas.size();
+  std::size_t best = shard.next_replica % n;
+  int best_load = shard.replicas[best]->in_flight();
+  for (std::size_t step = 1; step < n && best_load > 0; ++step) {
+    const std::size_t candidate = (shard.next_replica + step) % n;
+    const int load = shard.replicas[candidate]->in_flight();
+    if (load < best_load) {
+      best = candidate;
+      best_load = load;
+    }
+  }
+  shard.next_replica = (best + 1) % n;
+  Replica& replica = *shard.replicas[best];
+  replica.begin_call();
+  return replica;
+}
+
+std::vector<Prediction> InferenceEngine::classify(const Tensor& images,
+                                                  const Options& options) const {
+  const int cap = effective_max_batch(options, max_batch_, "InferenceEngine::classify");
+  const Tensor batch = as_batch(images, model_.config(), "InferenceEngine::classify");
+  Replica* replica;
+  {
+    // One acquisition covers both the name lookup and the routing pick.
+    std::lock_guard<std::mutex> lock(shards_mutex_);
+    replica = &route_locked(require_shard_locked(options.variant));
+  }
+  struct CallGuard {
+    Replica& replica;
+    ~CallGuard() { replica.end_call(); }
+  } guard{*replica};
+  return replica->run(batch, cap);
+}
+
+std::future<Prediction> InferenceEngine::submit(Tensor image, Options options) {
+  VariantShard& shard = require_shard(options.variant);
+  const int cap = effective_max_batch(options, max_batch_, "InferenceEngine::submit");
+  Tensor batch = as_batch(image, model_.config(), "InferenceEngine::submit");
   if (batch.dim(0) != 1) {
-    throw std::invalid_argument("InferenceEngine::submit: expected a single image");
+    throw std::invalid_argument("InferenceEngine::submit: expected a single image, got a batch of " +
+                                std::to_string(batch.dim(0)));
   }
   Request request;
-  // Deep-copy: the caller may reuse its buffer before the batcher runs.
+  // Deep-copy: the caller may reuse its buffer before a worker runs.
   request.image = batch.reshape(Shape{batch.dim(1), batch.dim(2), batch.dim(3)}).clone();
-  request.defended = defended;
+  request.max_batch = cap;
   std::future<Prediction> future = request.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stop_) throw std::runtime_error("InferenceEngine::submit: engine is shutting down");
-    // The batcher thread is only needed by the queued path; engines used
-    // purely through classify() never pay for it.
-    if (!batcher_.joinable()) batcher_ = std::thread([this] { batcher_loop(); });
-    pending_.push_back(std::move(request));
+    // Workers are spawned lazily, per variant, on its first queued request:
+    // classify()-only engines and never-submitted variants pay for nothing.
+    if (!shard.workers_spawned) {
+      for (auto& replica : shard.replicas) {
+        workers_.emplace_back([this, s = &shard, r = replica.get()] { worker_loop(s, r); });
+      }
+      shard.workers_spawned = true;
+    }
+    shard.pending.push_back(std::move(request));
   }
-  queue_cv_.notify_one();
+  shard.cv.notify_one();
   return future;
 }
 
-void InferenceEngine::batcher_loop() {
+void InferenceEngine::worker_loop(VariantShard* shard, Replica* replica) {
   for (;;) {
     std::vector<Request> coalesced;
-    bool defended = false;
+    int cap = max_batch_;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
-      if (pending_.empty()) return;  // stop requested and queue drained
-      // Coalesce the head-of-line request with every compatible pending
-      // request (same model route), up to max_batch images.
-      defended = pending_.front().defended;
-      coalesced.push_back(std::move(pending_.front()));
-      pending_.pop_front();
-      for (auto it = pending_.begin();
-           it != pending_.end() && coalesced.size() < static_cast<std::size_t>(max_batch_);) {
-        if (it->defended == defended) {
-          coalesced.push_back(std::move(*it));
-          it = pending_.erase(it);
-        } else {
-          ++it;
-        }
-      }
+      shard->cv.wait(lock, [&] { return stop_ || !shard->pending.empty(); });
+      // Empty is only reachable with stop_ set and this variant's queue
+      // drained (a sibling replica may have taken the last batch).
+      if (shard->pending.empty()) return;
+      // Coalesce the head-of-line request with the pending requests behind
+      // it, up to the batch cap the head asked for.
+      cap = shard->pending.front().max_batch;
+      do {
+        coalesced.push_back(std::move(shard->pending.front()));
+        shard->pending.pop_front();
+      } while (!shard->pending.empty() &&
+               coalesced.size() < static_cast<std::size_t>(cap));
     }
 
     const std::int64_t count = static_cast<std::int64_t>(coalesced.size());
+    replica->begin_call();  // queued batches count toward the router's load
     try {
       const Tensor& first = coalesced.front().image;
       Tensor batch(Shape::nchw(count, first.dim(0), first.dim(1), first.dim(2)));
@@ -178,15 +281,9 @@ void InferenceEngine::batcher_loop() {
         const Tensor& image = coalesced[static_cast<std::size_t>(i)].image;
         std::copy(image.data(), image.data() + stride, batch.data() + i * stride);
       }
-      std::vector<Prediction> predictions = run_batch(route(defended), batch);
-      {
-        // Count the batch before fulfilling the promises: a caller observing
-        // its future resolve must see this batch reflected in stats().
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.requests += count;
-        stats_.batches += 1;
-        stats_.largest_batch = std::max(stats_.largest_batch, count);
-      }
+      // Stats are counted inside run(), before the promises resolve: a caller
+      // observing its future must see its batch reflected in stats().
+      std::vector<Prediction> predictions = replica->run(batch, cap, /*queued=*/true);
       for (std::int64_t i = 0; i < count; ++i) {
         coalesced[static_cast<std::size_t>(i)].promise.set_value(
             std::move(predictions[static_cast<std::size_t>(i)]));
@@ -196,12 +293,29 @@ void InferenceEngine::batcher_loop() {
         request.promise.set_exception(std::current_exception());
       }
     }
+    replica->end_call();
   }
 }
 
 EngineStats InferenceEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  EngineStats stats;
+  stats.variants.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    VariantStats per_variant;
+    per_variant.variant = shard->name;
+    per_variant.replicas.reserve(shard->replicas.size());
+    for (const auto& replica : shard->replicas) {
+      ReplicaStats rs = replica->stats();
+      stats.requests += rs.requests;
+      stats.batches += rs.batches;
+      stats.images += rs.images;
+      stats.largest_batch = std::max(stats.largest_batch, rs.largest_batch);
+      per_variant.replicas.push_back(std::move(rs));
+    }
+    stats.variants.push_back(std::move(per_variant));
+  }
+  return stats;
 }
 
 double accuracy(const std::vector<Prediction>& predictions, const std::vector<int>& labels) {

@@ -1,120 +1,185 @@
-// Batched inference engine: the serving layer above the classifier.
+// Replica-sharded inference engine: the serving layer above the classifier.
 //
-// An InferenceEngine owns a LisaCnn plus the BlurNet FixedFilterSpec used as
-// its deployed defense, and exposes two ways in:
+// An InferenceEngine owns a *base* model plus N serving replicas for every
+// **named variant** of it. A variant is an architecture the base weights are
+// transferred into (the Table I protocol of the paper): by default the engine
+// registers
 //
-//   * classify() / classify_defended(): synchronous batched classification of
-//     a CHW image or an NCHW batch. One forward pass per call, however many
-//     images the batch holds. Thread-safe; concurrent callers are fine.
-//   * submit(): queue a single image and get a future. A background batcher
-//     coalesces queued requests into one forward pass of up to max_batch
-//     images, which is how independent callers amortize the per-forward cost
-//     without coordinating with each other.
+//   * "base"     — the adopted weights served as-is, and
+//   * "defended" — the same weights wrapped in the deployed FixedFilterSpec
+//                  (identical to "base" when the defense is disabled),
 //
-// The defended path wraps the same trained weights in a model whose forward
-// applies the fixed blur filter (Table I protocol: transfer the weights into
-// the filtered architecture). Per-image results are bitwise identical whether
-// an image is classified alone, inside a batch, or through the queue — the
-// convolution kernels accumulate per image — so batching is purely a
-// throughput decision.
+// and arbitrary further variants — any LisaCnnConfig, e.g. other filter
+// placements/kernels or a learnable-depthwise architecture, mirroring the
+// ModelZoo variant names — can be added with register_variant(). A disabled
+// defense makes "defended" an alias of the base shard (same replicas, no
+// extra weight clones), so stats() then reports a single "base" entry.
+//
+// Two ways in, both routed by Options::variant:
+//
+//   * classify(images, options): synchronous batched classification of a CHW
+//     image or an NCHW batch. One forward pass per max_batch slice. The
+//     router picks the least-loaded replica of the variant, so independent
+//     callers spread across replicas instead of queueing on one model.
+//   * submit(image, options): queue a single image and get a future. Each
+//     replica runs a worker that coalesces compatible queued requests (same
+//     variant) into one forward pass of up to max_batch images; with R
+//     replicas, R coalesced batches of a variant can be in flight at once.
+//
+// Every replica is a deep clone of the base weights (LisaCnn::clone), so
+// per-image results are bitwise identical for any replica count, batch
+// split, or routing order — sharding and batching are purely throughput
+// decisions. refresh_variant() re-transfers the base weights after
+// retraining; like retraining itself, it must not race in-flight requests.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/nn/lisa_cnn.h"
+#include "src/serve/replica.h"
 
 namespace blurnet::serve {
 
+/// Default variant names registered by every engine.
+inline constexpr const char* kBaseVariant = "base";
+inline constexpr const char* kDefendedVariant = "defended";
+
 struct EngineConfig {
   nn::LisaCnnConfig model;
-  /// Defense applied by classify_defended(); kNone/kernel 0 disables it, in
-  /// which case the defended path is the plain model.
+  /// Architecture of the "defended" variant; kNone/kernel 0 disables it, in
+  /// which case "defended" serves the plain architecture.
   nn::FixedFilterSpec defense;
-  /// Largest coalesced forward pass the batcher will build.
+  /// Largest forward pass a classify() slice or coalesced queue batch holds.
   int max_batch = 64;
+  /// Serving replicas per variant (>= 1).
+  int replicas = 1;
 };
 
-struct Prediction {
-  int label = -1;
-  float confidence = 0.0f;     // softmax probability of `label`
-  std::vector<float> logits;   // raw scores, size num_classes
+/// Per-request routing knobs.
+struct Options {
+  std::string variant = kBaseVariant;
+  /// Override of EngineConfig::max_batch for this request; 0 = engine default.
+  /// For submit() it caps the coalesced batch this request leads.
+  int max_batch = 0;
+};
+
+struct VariantStats {
+  std::string variant;
+  std::vector<ReplicaStats> replicas;  // one entry per replica, index order
 };
 
 struct EngineStats {
-  std::int64_t requests = 0;       // images queued through submit()
-  std::int64_t batches = 0;        // coalesced forward passes run for the queue
+  std::int64_t requests = 0;       // images served through the submit() queue
+  std::int64_t batches = 0;        // coalesced queue batches run
   std::int64_t images = 0;         // images through classify*/submit in total
-  std::int64_t largest_batch = 0;  // biggest coalesced batch so far
+  std::int64_t largest_batch = 0;  // biggest coalesced queue batch so far
+  std::vector<VariantStats> variants;  // exact per-replica breakdown
 };
 
 class InferenceEngine {
  public:
   /// Fresh (untrained) model from the config. Useful for tests and benches.
   explicit InferenceEngine(EngineConfig config);
-  /// Adopt an already-trained classifier. The engine shares the model's
-  /// parameters (Variable handles), so it serves whatever was trained; the
-  /// defended wrapper clones the weights at construction — call
-  /// refresh_defended_weights() if the base model is retrained afterwards.
-  InferenceEngine(nn::LisaCnn model, nn::FixedFilterSpec defense, int max_batch = 64);
+  /// Adopt an already-trained classifier. The engine shares the base model's
+  /// parameters (Variable handles) with the caller, but every serving replica
+  /// deep-clones the weights at registration — call refresh_variant() if the
+  /// base model is retrained afterwards.
+  InferenceEngine(nn::LisaCnn model, nn::FixedFilterSpec defense, int max_batch = 64,
+                  int replicas = 1);
   ~InferenceEngine();
 
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
+  /// The adopted base weights (shared handles; retrain through this, then
+  /// refresh_variant()).
   nn::LisaCnn& model() { return model_; }
   const nn::LisaCnn& model() const { return model_; }
-  /// The model actually used by the defended path (== model() when the
-  /// defense is disabled).
-  const nn::LisaCnn& defended_model() const;
-  bool defense_enabled() const { return defended_model_.has_value(); }
 
-  /// Re-copy the base model's weights into the defended wrapper.
-  void refresh_defended_weights();
+  /// Register a named variant: `config`'s architecture serving the base
+  /// weights (matching-name transfer). `replicas` 0 means the engine default.
+  /// Throws std::invalid_argument if the name is empty or already taken.
+  void register_variant(const std::string& name, const nn::LisaCnnConfig& config,
+                        int replicas = 0);
+  /// Re-copy the (possibly retrained) base weights into every replica of the
+  /// named variant. Must not race in-flight requests for that variant.
+  void refresh_variant(const std::string& name);
 
-  /// Classify a CHW image or an NCHW batch in one forward pass. Returns one
-  /// Prediction per image, in input order.
-  std::vector<Prediction> classify(const tensor::Tensor& images) const;
-  /// Same, through the blur-defended model.
-  std::vector<Prediction> classify_defended(const tensor::Tensor& images) const;
+  std::vector<std::string> variant_names() const;
+  bool has_variant(const std::string& name) const;
+  /// The model served by the named variant (replica 0; all replicas are
+  /// bitwise-identical clones).
+  const nn::LisaCnn& variant(const std::string& name) const;
+  int replica_count(const std::string& name) const;
+  /// True when the "defended" variant actually wraps a filter.
+  bool defense_enabled() const { return defense_enabled_; }
 
-  /// Queue one CHW (or [1,C,H,W]) image for coalesced classification. The
-  /// background batcher thread is spawned lazily on the first call, so
-  /// classify()-only engines never pay for it.
-  std::future<Prediction> submit(tensor::Tensor image, bool defended = false);
+  /// Classify a CHW image or an NCHW batch through the named variant.
+  /// Returns one Prediction per image, in input order. Thread-safe.
+  std::vector<Prediction> classify(const tensor::Tensor& images,
+                                   const Options& options = {}) const;
+
+  /// Queue one CHW (or [1,C,H,W]) image for coalesced classification through
+  /// the named variant. Replica workers are spawned lazily on the first call,
+  /// so classify()-only engines never pay for them.
+  std::future<Prediction> submit(tensor::Tensor image, Options options = {});
 
   EngineStats stats() const;
 
  private:
   struct Request {
     tensor::Tensor image;  // CHW
-    bool defended = false;
+    int max_batch = 0;  // cap for the coalesced batch this request leads
     std::promise<Prediction> promise;
   };
 
-  const nn::LisaCnn& route(bool defended) const;
-  std::vector<Prediction> run_batch(const nn::LisaCnn& model,
-                                    const tensor::Tensor& batch) const;
-  void batcher_loop();
+  struct VariantShard {
+    std::string name;
+    nn::LisaCnnConfig config;
+    std::vector<std::unique_ptr<Replica>> replicas;
+    std::size_t next_replica = 0;  // round-robin tiebreak; guarded by shards_mutex_
+    // Queued path, all guarded by the engine-wide queue_mutex_. Each shard
+    // has its own queue and condition variable so a submit() wakes only this
+    // variant's workers and the head lookup is O(1).
+    std::deque<Request> pending;
+    std::condition_variable cv;
+    bool workers_spawned = false;
+  };
+
+  /// _locked variants assume shards_mutex_ is held by the caller.
+  VariantShard* find_shard_locked(const std::string& name) const;
+  VariantShard& require_shard_locked(const std::string& name) const;
+  VariantShard& require_shard(const std::string& name) const;
+  Replica& route_locked(VariantShard& shard) const;
+  void register_variant_locked(const std::string& name, const nn::LisaCnnConfig& config,
+                               int replicas);
+  void worker_loop(VariantShard* shard, Replica* replica);
 
   nn::LisaCnn model_;
-  std::optional<nn::LisaCnn> defended_model_;
   int max_batch_ = 64;
+  int default_replicas_ = 1;
+  bool defense_enabled_ = false;
+
+  /// Guards shards_/aliases_ layout and the router's round-robin cursors.
+  /// Shards are held by pointer so registration never invalidates replicas a
+  /// worker or an in-flight classify() is using.
+  mutable std::mutex shards_mutex_;
+  std::vector<std::unique_ptr<VariantShard>> shards_;
+  /// Extra names resolving to an existing shard (e.g. "defended" -> base
+  /// when the defense is disabled).
+  std::vector<std::pair<std::string, VariantShard*>> aliases_;
 
   mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Request> pending_;
   bool stop_ = false;
-  std::thread batcher_;
-
-  mutable std::mutex stats_mutex_;
-  mutable EngineStats stats_;
+  std::vector<std::thread> workers_;
 };
 
 /// Fraction of predictions whose label matches the ground truth. Throws when

@@ -1,0 +1,75 @@
+#include "src/serve/replica.h"
+
+#include <algorithm>
+#include <iterator>
+#include <stdexcept>
+
+#include "src/tensor/ops.h"
+
+namespace blurnet::serve {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Replica::Replica(const nn::LisaCnn& source, const nn::LisaCnnConfig& config)
+    : model_(source.clone_with_config(config)) {}
+
+void Replica::refresh_from(const nn::LisaCnn& source) {
+  model_.copy_weights_from(source);
+}
+
+std::vector<Prediction> Replica::forward(const Tensor& batch) {
+  const Tensor logits = model_.logits(batch);
+  const Tensor probabilities = tensor::softmax_rows(logits);
+  const std::vector<int> labels = tensor::argmax_rows(logits);
+  const std::int64_t n = logits.dim(0), k = logits.dim(1);
+  std::vector<Prediction> predictions(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    Prediction& p = predictions[static_cast<std::size_t>(i)];
+    p.label = labels[static_cast<std::size_t>(i)];
+    p.confidence = probabilities.at2(i, p.label);
+    p.logits.assign(logits.data() + i * k, logits.data() + (i + 1) * k);
+  }
+  return predictions;
+}
+
+std::vector<Prediction> Replica::run(const Tensor& batch, int max_batch, bool queued) {
+  if (max_batch < 1) throw std::invalid_argument("Replica::run: max_batch must be >= 1");
+  // Bound each forward pass (and therefore the im2col scratch footprint) by
+  // max_batch: callers may hand classify() a whole dataset. Per-image results
+  // are independent, so slicing cannot change them.
+  const std::int64_t n = batch.dim(0);
+  std::vector<Prediction> predictions;
+  predictions.reserve(static_cast<std::size_t>(n));
+  if (n <= max_batch) {
+    predictions = forward(batch);
+  } else {
+    const std::int64_t image_size = batch.numel() / n;
+    for (std::int64_t begin = 0; begin < n; begin += max_batch) {
+      const std::int64_t count = std::min<std::int64_t>(max_batch, n - begin);
+      Tensor slice(Shape::nchw(count, batch.dim(1), batch.dim(2), batch.dim(3)));
+      std::copy(batch.data() + begin * image_size,
+                batch.data() + (begin + count) * image_size, slice.data());
+      auto part = forward(slice);
+      predictions.insert(predictions.end(), std::make_move_iterator(part.begin()),
+                         std::make_move_iterator(part.end()));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.images += n;
+    if (queued) {
+      stats_.requests += n;
+      stats_.batches += 1;
+      stats_.largest_batch = std::max(stats_.largest_batch, n);
+    }
+  }
+  return predictions;
+}
+
+ReplicaStats Replica::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace blurnet::serve

@@ -195,13 +195,18 @@ void pad2d_into(const Tensor& x, int pad_h, int pad_w, float* out) {
   if (x.rank() != 4) throw std::invalid_argument("pad2d_into: expected NCHW");
   const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const std::int64_t hp = h + 2 * pad_h, wp = w + 2 * pad_w;
-  for (std::int64_t in = 0; in < n; ++in)
-    for (std::int64_t ic = 0; ic < c; ++ic)
-      for (std::int64_t ih = 0; ih < h; ++ih) {
-        const float* src = x.data() + ((in * c + ic) * h + ih) * w;
-        float* dst = out + ((in * c + ic) * hp + ih + pad_h) * wp + pad_w;
-        std::copy(src, src + w, dst);
-      }
+  for (std::int64_t p = 0; p < n * c; ++p) {
+    float* plane = out + p * hp * wp;
+    std::fill(plane, plane + pad_h * wp, 0.0f);
+    for (std::int64_t ih = 0; ih < h; ++ih) {
+      const float* src = x.data() + (p * h + ih) * w;
+      float* dst = plane + (ih + pad_h) * wp;
+      std::fill(dst, dst + pad_w, 0.0f);
+      std::copy(src, src + w, dst + pad_w);
+      std::fill(dst + pad_w + w, dst + wp, 0.0f);
+    }
+    std::fill(plane + (pad_h + h) * wp, plane + hp * wp, 0.0f);
+  }
 }
 
 Tensor unpad2d(const Tensor& x, int pad_h, int pad_w) {

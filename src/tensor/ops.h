@@ -52,9 +52,9 @@ Tensor im2col(const Tensor& x, int kh, int kw, int stride_h, int stride_w);
 /// pad2d / im2col but writing into caller-owned buffers (sized
 /// n*c*(h+2*pad_h)*(w+2*pad_w) and n*(c*kh*kw)*(out_h*out_w) respectively),
 /// so repeated forward passes reuse one allocation instead of mallocing per
-/// call. pad2d_into writes only the interior — the caller must hand it a
-/// zeroed border (fresh zero-initialized tensor, or std::fill on reused
-/// scratch). im2col_into reads a raw padded NCHW buffer of the given dims.
+/// call. pad2d_into writes the entire padded buffer — zero border plus copied
+/// interior — in one pass, so reused scratch needs no pre-clearing.
+/// im2col_into reads a raw padded NCHW buffer of the given dims.
 void pad2d_into(const Tensor& x, int pad_h, int pad_w, float* out);
 void im2col_into(const float* x, std::int64_t n, std::int64_t c, std::int64_t h,
                  std::int64_t w, int kh, int kw, int stride_h, int stride_w, float* out);

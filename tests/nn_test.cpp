@@ -7,6 +7,7 @@
 #include "src/nn/lisa_cnn.h"
 #include "src/nn/model_io.h"
 #include "src/nn/optim.h"
+#include "src/tensor/ops.h"
 #include "src/util/rng.h"
 
 namespace blurnet::nn {
@@ -82,6 +83,38 @@ TEST(LisaCnn, ParameterInventory) {
   EXPECT_EQ(with_dw.parameters().size(), 9u);
   EXPECT_TRUE(with_dw.depthwise_weights().defined());
   EXPECT_EQ(with_dw.depthwise_weights().shape(), (Shape{4, 3, 3}));
+}
+
+TEST(LisaCnn, CloneIsDeepAndBitwise) {
+  LisaCnn original(tiny_config());
+  const LisaCnn copy = original.clone();
+  util::Rng rng(13);
+  const auto x = Tensor::randn(Shape::nchw(2, 3, 32, 32), rng);
+  const auto la = original.logits(x);
+  const auto lb = copy.logits(x);
+  for (std::int64_t i = 0; i < la.numel(); ++i) EXPECT_EQ(la[i], lb[i]);
+
+  // Deep: mutating the original's weights must not move the clone.
+  auto params = original.parameters();
+  params[0].mutable_value() = tensor::mul_scalar(params[0].value(), 2.0f);
+  const auto after = copy.logits(x);
+  for (std::int64_t i = 0; i < lb.numel(); ++i) EXPECT_EQ(after[i], lb[i]);
+}
+
+TEST(LisaCnn, CloneWithConfigTransfersWeightsIntoFilteredArchitecture) {
+  LisaCnnConfig config = tiny_config();
+  const LisaCnn base(config);
+  config.fixed_filter = {FilterPlacement::kAfterLayer1, 5, signal::KernelKind::kBox};
+  const LisaCnn transferred = base.clone_with_config(config);
+  EXPECT_EQ(transferred.config().fixed_filter.kernel, 5);
+  // Identical to the manual copy_weights_from transfer (Table I protocol).
+  LisaCnn manual(config);
+  manual.copy_weights_from(base);
+  util::Rng rng(14);
+  const auto x = Tensor::randn(Shape::nchw(1, 3, 32, 32), rng);
+  const auto la = transferred.logits(x);
+  const auto lb = manual.logits(x);
+  for (std::int64_t i = 0; i < la.numel(); ++i) EXPECT_EQ(la[i], lb[i]);
 }
 
 TEST(LisaCnn, FixedFilterChangesOutputs) {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,10 +22,11 @@ nn::LisaCnnConfig small_model_config() {
   return config;
 }
 
-EngineConfig small_engine_config() {
+EngineConfig small_engine_config(int replicas = 1) {
   EngineConfig config;
   config.model = small_model_config();
   config.defense = {nn::FilterPlacement::kAfterLayer1, 3, signal::KernelKind::kBox};
+  config.replicas = replicas;
   return config;
 }
 
@@ -40,6 +42,28 @@ tensor::Tensor single_image(const tensor::Tensor& batch, std::int64_t i) {
   return image;
 }
 
+void expect_bitwise_equal(const Prediction& a, const Prediction& b,
+                          const std::string& context) {
+  EXPECT_EQ(a.label, b.label) << context;
+  ASSERT_EQ(a.logits.size(), b.logits.size()) << context;
+  for (std::size_t k = 0; k < a.logits.size(); ++k) {
+    EXPECT_EQ(a.logits[k], b.logits[k]) << context << " logit " << k;
+  }
+}
+
+TEST(Engine, RegistersBaseAndDefendedVariants) {
+  const InferenceEngine engine(small_engine_config(2));
+  EXPECT_TRUE(engine.has_variant(kBaseVariant));
+  EXPECT_TRUE(engine.has_variant(kDefendedVariant));
+  EXPECT_FALSE(engine.has_variant("nope"));
+  const auto names = engine.variant_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], kBaseVariant);
+  EXPECT_EQ(names[1], kDefendedVariant);
+  EXPECT_EQ(engine.replica_count(kBaseVariant), 2);
+  EXPECT_EQ(engine.replica_count(kDefendedVariant), 2);
+}
+
 TEST(Engine, BatchMatchesSingleImageBitwise) {
   const InferenceEngine engine(small_engine_config());
   const auto batch = random_batch(8);
@@ -48,35 +72,29 @@ TEST(Engine, BatchMatchesSingleImageBitwise) {
   for (std::int64_t i = 0; i < 8; ++i) {
     const auto single = engine.classify(single_image(batch, i));
     ASSERT_EQ(single.size(), 1u);
-    EXPECT_EQ(single[0].label, batched[static_cast<std::size_t>(i)].label);
-    ASSERT_EQ(single[0].logits.size(), batched[static_cast<std::size_t>(i)].logits.size());
-    for (std::size_t k = 0; k < single[0].logits.size(); ++k) {
-      // Bitwise agreement: batching must be purely a throughput decision.
-      EXPECT_EQ(single[0].logits[k], batched[static_cast<std::size_t>(i)].logits[k]);
-    }
+    // Bitwise agreement: batching must be purely a throughput decision.
+    expect_bitwise_equal(single[0], batched[static_cast<std::size_t>(i)],
+                         "image " + std::to_string(i));
   }
 }
 
 TEST(Engine, DeterministicForAnyWorkerCount) {
   const InferenceEngine engine(small_engine_config());
   const auto batch = random_batch(6, 7);
-  const auto reference = engine.classify_defended(batch);
+  const auto reference = engine.classify(batch, Options{kDefendedVariant});
   for (const int workers : {1, 2, 5, 16}) {
     util::set_parallel_workers(workers);
-    const auto result = engine.classify_defended(batch);
+    const auto result = engine.classify(batch, Options{kDefendedVariant});
     ASSERT_EQ(result.size(), reference.size());
     for (std::size_t i = 0; i < result.size(); ++i) {
-      EXPECT_EQ(result[i].label, reference[i].label);
-      for (std::size_t k = 0; k < result[i].logits.size(); ++k) {
-        EXPECT_EQ(result[i].logits[k], reference[i].logits[k]) << "workers " << workers;
-      }
+      expect_bitwise_equal(result[i], reference[i], "workers " + std::to_string(workers));
     }
   }
   util::reset_parallel_workers();
 }
 
-TEST(Engine, ConcurrentClassifyFromManyThreads) {
-  const InferenceEngine engine(small_engine_config());
+TEST(Engine, ConcurrentClassifySpreadsAcrossReplicas) {
+  const InferenceEngine engine(small_engine_config(2));
   const auto batch = random_batch(4, 11);
   const auto reference = engine.classify(batch);
   std::vector<std::thread> threads;
@@ -96,6 +114,20 @@ TEST(Engine, ConcurrentClassifyFromManyThreads) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(mismatches.load(), 0);
+  // The router balanced the 41 calls over both base replicas: each served
+  // some, and together they served everything.
+  const auto stats = engine.stats();
+  ASSERT_EQ(stats.variants[0].variant, kBaseVariant);
+  ASSERT_EQ(stats.variants[0].replicas.size(), 2u);
+  std::int64_t base_images = 0;
+  for (const auto& rs : stats.variants[0].replicas) {
+    // The first two routed calls always land on different replicas (the
+    // round-robin cursor advances past a freshly-picked replica), so both
+    // must have served.
+    EXPECT_GT(rs.images, 0);
+    base_images += rs.images;
+  }
+  EXPECT_EQ(base_images, 41 * 4);
 }
 
 TEST(Engine, SubmitCoalescesAndMatchesClassify) {
@@ -108,9 +140,9 @@ TEST(Engine, SubmitCoalescesAndMatchesClassify) {
     futures.push_back(engine.submit(single_image(batch, i)));
   }
   for (std::int64_t i = 0; i < 16; ++i) {
-    const auto prediction = futures[static_cast<std::size_t>(i)].get();
-    EXPECT_EQ(prediction.label, reference[static_cast<std::size_t>(i)].label);
-    EXPECT_EQ(prediction.logits, reference[static_cast<std::size_t>(i)].logits);
+    expect_bitwise_equal(futures[static_cast<std::size_t>(i)].get(),
+                         reference[static_cast<std::size_t>(i)],
+                         "queued image " + std::to_string(i));
   }
 
   const auto stats = engine.stats();
@@ -123,7 +155,7 @@ TEST(Engine, SubmitCoalescesAndMatchesClassify) {
 
 TEST(Engine, OversizedBatchIsSlicedBitwiseEqual) {
   // classify() bounds each forward pass by max_batch; slicing must not change
-  // any per-image result.
+  // any per-image result, whether the cap comes from the engine or the call.
   EngineConfig config = small_engine_config();
   config.max_batch = 4;
   const InferenceEngine sliced(config);
@@ -131,23 +163,26 @@ TEST(Engine, OversizedBatchIsSlicedBitwiseEqual) {
   const auto batch = random_batch(11, 37);
   const auto a = sliced.classify(batch);
   const auto b = whole.classify(batch);
+  const auto c = whole.classify(batch, Options{kBaseVariant, /*max_batch=*/3});
   ASSERT_EQ(a.size(), 11u);
+  ASSERT_EQ(c.size(), 11u);
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].label, b[i].label);
-    EXPECT_EQ(a[i].logits, b[i].logits);
+    expect_bitwise_equal(a[i], b[i], "engine-cap slice, image " + std::to_string(i));
+    expect_bitwise_equal(c[i], b[i], "per-call-cap slice, image " + std::to_string(i));
   }
 }
 
-TEST(Engine, DefendedRouteUsesFilteredModel) {
+TEST(Engine, DefendedVariantUsesFilteredModel) {
   const InferenceEngine engine(small_engine_config());
   ASSERT_TRUE(engine.defense_enabled());
-  EXPECT_EQ(engine.defended_model().config().fixed_filter.kernel, 3);
+  EXPECT_EQ(engine.variant(kDefendedVariant).config().fixed_filter.kernel, 3);
+  EXPECT_EQ(engine.variant(kBaseVariant).config().fixed_filter.kernel, 0);
   EXPECT_EQ(engine.model().config().fixed_filter.kernel, 0);
 
   // The blur on the first-layer maps must actually change the logits.
   const auto batch = random_batch(2, 17);
   const auto plain = engine.classify(batch);
-  const auto defended = engine.classify_defended(batch);
+  const auto defended = engine.classify(batch, Options{kDefendedVariant});
   bool any_difference = false;
   for (std::size_t k = 0; k < plain[0].logits.size(); ++k) {
     if (plain[0].logits[k] != defended[0].logits[k]) any_difference = true;
@@ -155,39 +190,197 @@ TEST(Engine, DefendedRouteUsesFilteredModel) {
   EXPECT_TRUE(any_difference);
 }
 
-TEST(Engine, DisabledDefenseRoutesToBaseModel) {
+TEST(Engine, DisabledDefenseServesBaseWeightsAsDefended) {
   EngineConfig config;
   config.model = small_model_config();
   config.defense = {};  // kNone
   const InferenceEngine engine(config);
   EXPECT_FALSE(engine.defense_enabled());
+  // "defended" aliases the base shard: same replicas, no extra weight clones,
+  // and stats report a single variant entry.
+  EXPECT_TRUE(engine.has_variant(kDefendedVariant));
+  EXPECT_EQ(engine.replica_count(kDefendedVariant), engine.replica_count(kBaseVariant));
+  EXPECT_EQ(engine.stats().variants.size(), 1u);
   const auto batch = random_batch(2, 19);
   const auto plain = engine.classify(batch);
-  const auto defended = engine.classify_defended(batch);
+  const auto defended = engine.classify(batch, Options{kDefendedVariant});
   EXPECT_EQ(plain[0].logits, defended[0].logits);
 }
 
-TEST(Engine, SubmitThroughDefendedRouteMatchesClassifyDefended) {
+TEST(Engine, SubmitThroughDefendedVariantMatchesClassify) {
   InferenceEngine engine(small_engine_config());
   const auto batch = random_batch(3, 23);
-  const auto reference = engine.classify_defended(batch);
+  const auto reference = engine.classify(batch, Options{kDefendedVariant});
   std::vector<std::future<Prediction>> futures;
   for (std::int64_t i = 0; i < 3; ++i) {
-    futures.push_back(engine.submit(single_image(batch, i), /*defended=*/true));
+    futures.push_back(engine.submit(single_image(batch, i), Options{kDefendedVariant}));
   }
   for (std::int64_t i = 0; i < 3; ++i) {
-    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get().logits,
-              reference[static_cast<std::size_t>(i)].logits);
+    expect_bitwise_equal(futures[static_cast<std::size_t>(i)].get(),
+                         reference[static_cast<std::size_t>(i)],
+                         "queued defended image " + std::to_string(i));
   }
 }
 
-TEST(Engine, RejectsWrongInputShape) {
+// The router satellite: concurrent submit() across replica counts must be
+// bitwise-equal to single-replica single-image classification, regardless of
+// which replica a request lands on or how batches were coalesced, and the
+// per-replica counters must account for every request exactly.
+TEST(Engine, ConcurrentSubmitBitwiseEqualAcrossReplicaCounts) {
+  const auto batch = random_batch(24, 41);
+  const InferenceEngine reference_engine(small_engine_config(1));
+  std::vector<Prediction> reference_base, reference_defended;
+  for (std::int64_t i = 0; i < 24; ++i) {
+    reference_base.push_back(reference_engine.classify(single_image(batch, i))[0]);
+    reference_defended.push_back(
+        reference_engine.classify(single_image(batch, i), Options{kDefendedVariant})[0]);
+  }
+
+  for (const int replicas : {1, 2, 4}) {
+    InferenceEngine engine(small_engine_config(replicas));
+    std::vector<std::future<Prediction>> base_futures(24), defended_futures(24);
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 4; ++t) {
+      producers.emplace_back([&, t] {
+        // Interleave variants so coalescing and routing orders differ between
+        // runs — the results must not.
+        for (std::int64_t i = t; i < 24; i += 4) {
+          base_futures[static_cast<std::size_t>(i)] = engine.submit(single_image(batch, i));
+          defended_futures[static_cast<std::size_t>(i)] =
+              engine.submit(single_image(batch, i), Options{kDefendedVariant});
+        }
+      });
+    }
+    for (auto& producer : producers) producer.join();
+    for (std::int64_t i = 0; i < 24; ++i) {
+      expect_bitwise_equal(base_futures[static_cast<std::size_t>(i)].get(),
+                           reference_base[static_cast<std::size_t>(i)],
+                           "replicas " + std::to_string(replicas) + " base image " +
+                               std::to_string(i));
+      expect_bitwise_equal(defended_futures[static_cast<std::size_t>(i)].get(),
+                           reference_defended[static_cast<std::size_t>(i)],
+                           "replicas " + std::to_string(replicas) + " defended image " +
+                               std::to_string(i));
+    }
+
+    // Per-replica stats account for every queued request and sum to totals.
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.requests, 48);
+    EXPECT_EQ(stats.images, 48);
+    std::int64_t replica_requests = 0, replica_images = 0, replica_batches = 0;
+    for (const auto& vs : stats.variants) {
+      EXPECT_EQ(vs.replicas.size(), static_cast<std::size_t>(replicas));
+      std::int64_t variant_requests = 0;
+      for (const auto& rs : vs.replicas) {
+        replica_requests += rs.requests;
+        replica_images += rs.images;
+        replica_batches += rs.batches;
+        variant_requests += rs.requests;
+        EXPECT_LE(rs.largest_batch, stats.largest_batch);
+      }
+      EXPECT_EQ(variant_requests, 24) << "variant " << vs.variant;
+    }
+    EXPECT_EQ(replica_requests, stats.requests);
+    EXPECT_EQ(replica_images, stats.images);
+    EXPECT_EQ(replica_batches, stats.batches);
+  }
+}
+
+TEST(Engine, RegisterCustomVariantServesTransferredWeights) {
+  InferenceEngine engine(small_engine_config());
+  nn::LisaCnnConfig blur7 = small_model_config();
+  blur7.fixed_filter = {nn::FilterPlacement::kAfterLayer1, 7, signal::KernelKind::kBox};
+  engine.register_variant("blur7", blur7, /*replicas=*/2);
+  EXPECT_TRUE(engine.has_variant("blur7"));
+  EXPECT_EQ(engine.replica_count("blur7"), 2);
+  EXPECT_EQ(engine.variant("blur7").config().fixed_filter.kernel, 7);
+
+  // The variant serves the base weights behind the 7x7 filter: identical to a
+  // hand-built transfer of the same weights into the same architecture.
+  const auto batch = random_batch(3, 43);
+  const nn::LisaCnn expected = engine.model().clone_with_config(blur7);
+  const auto via_engine = engine.classify(batch, Options{"blur7"});
+  const auto expected_logits = expected.logits(batch);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t k = 0; k < expected_logits.dim(1); ++k) {
+      EXPECT_EQ(via_engine[static_cast<std::size_t>(i)].logits[static_cast<std::size_t>(k)],
+                expected_logits.at2(i, k));
+    }
+  }
+
+  // Queued traffic reaches registered variants too.
+  auto future = engine.submit(single_image(batch, 0), Options{"blur7"});
+  expect_bitwise_equal(future.get(), via_engine[0], "queued blur7");
+
+  EXPECT_THROW(engine.register_variant("blur7", blur7), std::invalid_argument);
+  EXPECT_THROW(engine.register_variant("", blur7), std::invalid_argument);
+}
+
+TEST(Engine, RefreshVariantPicksUpRetrainedBaseWeights) {
+  InferenceEngine engine(small_engine_config());
+  const auto batch = random_batch(2, 47);
+  const auto before = engine.classify(batch);
+
+  // "Retrain" the adopted base model: the engine shares its parameter
+  // handles, but the serving replicas hold deep clones — they must not move
+  // until refresh_variant() re-transfers the weights.
+  auto params = engine.model().parameters();
+  params[0].mutable_value() = tensor::mul_scalar(params[0].value(), 0.5f);
+  const auto stale = engine.classify(batch);
+  EXPECT_EQ(stale[0].logits, before[0].logits);
+
+  engine.refresh_variant(kBaseVariant);
+  engine.refresh_variant(kDefendedVariant);
+  const auto refreshed = engine.classify(batch);
+  EXPECT_NE(refreshed[0].logits, before[0].logits);
+  // And the refreshed replicas serve exactly the mutated weights.
+  const auto expected = engine.model().logits(batch);
+  for (std::int64_t k = 0; k < expected.dim(1); ++k) {
+    EXPECT_EQ(refreshed[0].logits[static_cast<std::size_t>(k)], expected.at2(0, k));
+  }
+}
+
+TEST(Engine, UnknownVariantThrowsDescriptively) {
   const InferenceEngine engine(small_engine_config());
-  util::Rng rng(29);
-  EXPECT_THROW(engine.classify(tensor::Tensor::zeros(tensor::Shape::mat(4, 4))),
-               std::invalid_argument);
-  EXPECT_THROW(engine.classify(tensor::Tensor::zeros(tensor::Shape::nchw(1, 3, 16, 16))),
-               std::invalid_argument);
+  const auto batch = random_batch(1, 53);
+  try {
+    engine.classify(batch, Options{"no-such-variant"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("no-such-variant"), std::string::npos) << message;
+    EXPECT_NE(message.find("base"), std::string::npos) << message;
+  }
+}
+
+TEST(Engine, RejectsMalformedInputsWithDescriptiveErrors) {
+  InferenceEngine engine(small_engine_config());
+  const auto check = [](const auto& fn, const std::string& fragment) {
+    try {
+      fn();
+      FAIL() << "expected std::invalid_argument mentioning \"" << fragment << "\"";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos) << e.what();
+    }
+  };
+  // Wrong rank: neither CHW nor NCHW.
+  check([&] { engine.classify(tensor::Tensor::zeros(tensor::Shape::mat(4, 4))); }, "rank");
+  // Wrong channel count.
+  check([&] { engine.classify(tensor::Tensor::zeros(tensor::Shape::nchw(1, 4, 32, 32))); },
+        "channels");
+  // Wrong spatial dims.
+  check([&] { engine.classify(tensor::Tensor::zeros(tensor::Shape::nchw(1, 3, 16, 16))); },
+        "spatial");
+  // Empty batch.
+  check([&] { engine.classify(tensor::Tensor::zeros(tensor::Shape::nchw(0, 3, 32, 32))); },
+        "no images");
+  // submit() rejects whole batches and bad shapes the same way.
+  check([&] { engine.submit(tensor::Tensor::zeros(tensor::Shape::nchw(2, 3, 32, 32))); },
+        "single image");
+  check([&] { engine.submit(tensor::Tensor::zeros(tensor::Shape::nchw(1, 3, 8, 8))); },
+        "spatial");
+  // Negative per-call max_batch.
+  check([&] { engine.classify(random_batch(1), Options{kBaseVariant, -1}); }, "max_batch");
 }
 
 TEST(Engine, ConfidenceIsSoftmaxOfPredictedLabel) {
