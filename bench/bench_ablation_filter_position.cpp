@@ -11,12 +11,8 @@
 using namespace blurnet;
 
 int main() {
-  const auto scale = eval::ExperimentScale::from_env();
-  bench::banner("Ablation: blur filter position (supplementary A)", scale);
-
-  defense::ModelZoo zoo(defense::default_zoo_config());
-  nn::LisaCnn& baseline = zoo.get("baseline");
-  const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
+  bench::EvalEnv env;
+  bench::banner("Ablation: blur filter position (supplementary A)", env.scale);
 
   struct Row {
     std::string label;
@@ -30,21 +26,32 @@ int main() {
       {"after layer 3", nn::FilterPlacement::kAfterLayer3},
   };
 
-  util::Table table({"Filter position", "Test accuracy", "Transfer ASR"});
+  // Every filter position is the baseline's weights served behind a different
+  // wrap — weight-transfer variants of the harness engine.
+  std::vector<std::string> victims;
   for (const auto& row : rows) {
-    nn::LisaCnnConfig config = baseline.config();
+    nn::LisaCnnConfig config = env.harness.engine().model().config();
     config.fixed_filter = {row.placement, row.placement == nn::FilterPlacement::kNone ? 0 : 5,
                            signal::KernelKind::kBox};
-    nn::LisaCnn wrapped(config);
-    wrapped.copy_weights_from(baseline);
-    const double accuracy = defense::classifier_accuracy(wrapped, zoo.dataset().test);
-    const auto transfer = eval::transfer_attack(baseline, wrapped, stop_set, scale);
-    table.add_row({row.label, util::Table::pct(accuracy),
-                   util::Table::pct(transfer.attack_success)});
-    std::printf("  [done] %s\n", row.label.c_str());
+    env.harness.add_variant_victim(row.label, config);
+    victims.push_back(row.label);
+  }
+  env.harness.adopt_variant(serve::kBaseVariant);
+
+  const auto transfers =
+      eval::TransferMatrix{env.scale}.run(env.harness, serve::kBaseVariant, victims,
+                                          env.stop_set);
+
+  util::Table table({"Filter position", "Test accuracy", "Transfer ASR"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double accuracy = env.victim_accuracy(rows[i].label);
+    table.add_row({rows[i].label, util::Table::pct(accuracy),
+                   util::Table::pct(transfers[i].attack_success)});
+    bench::done(rows[i].label);
   }
   std::printf("\n");
   bench::emit(table, "ablation_filter_position.csv");
+  bench::print_serving_stats(env.harness);
   std::printf("\nexpected shape (paper): blurring after layer 1 trades a little accuracy for\n"
               "robustness; blurring higher layers costs much more accuracy for less benefit.\n");
   return 0;

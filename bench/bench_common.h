@@ -1,25 +1,69 @@
 // Shared scaffolding for the table/figure bench binaries.
+//
+// Every attack-evaluation bench builds an EvalEnv: the model zoo, the
+// stop-sign eval set at the active scale, and an engine-backed eval::Harness.
+// Victims are registered as engine variants and every clean/adversarial
+// classification batch rides the replica-sharded serving path — results are
+// bitwise identical for any BLURNET_EVAL_REPLICAS value.
 #pragma once
 
 #include <cstdio>
 #include <string>
 
-#include "src/eval/experiments.h"
-#include "src/serve/engine.h"
+#include "src/defense/model_zoo.h"
+#include "src/eval/harness.h"
+#include "src/util/env.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
 
 namespace blurnet::bench {
 
-/// Clean accuracy over a dataset, classified through the serving path (one
-/// batched forward pass per max_batch slice) via the named engine variant.
-inline double engine_accuracy(const serve::InferenceEngine& engine,
-                              const data::Dataset& data,
-                              const std::string& variant = serve::kBaseVariant) {
-  if (data.size() == 0) return 0.0;
-  const auto predictions = engine.classify(data.images, serve::Options{variant});
-  return serve::accuracy(predictions, data.labels);
-}
+/// Serving replicas per victim variant in the bench harnesses
+/// (BLURNET_EVAL_REPLICAS, default 1). Per-image predictions and every table
+/// number are bitwise identical for any value; higher counts fan the
+/// per-target RP2 crafting runs out in parallel.
+inline int eval_replicas() { return util::env_int("BLURNET_EVAL_REPLICAS", 1); }
+
+/// Zoo + eval set + engine-backed harness, the boilerplate previously
+/// copy-pasted across the bench_table* binaries.
+struct EvalEnv {
+  eval::ExperimentScale scale;
+  defense::ModelZoo zoo;
+  data::StopSignSet stop_set;
+  eval::Harness harness;
+
+  /// `base_variant` is the zoo model adopted as the engine's base weights
+  /// (trained or loaded from cache on construction).
+  explicit EvalEnv(const std::string& base_variant = "baseline")
+      : scale(eval::ExperimentScale::from_env()),
+        zoo(defense::default_zoo_config()),
+        stop_set(data::stop_sign_eval_set(scale.eval_images)),
+        harness(zoo.get(base_variant), eval_replicas()),
+        base_variant_(base_variant) {}
+
+  /// Train (or load) zoo variant `zoo_name` and register it as a victim
+  /// named `victim` (defaults to the zoo name). The engine's own base model
+  /// is served through an alias of the "base" shard instead of deep-cloning
+  /// a second, identical replica set.
+  void add_zoo_victim(const std::string& zoo_name, const eval::VictimSpec& spec = {},
+                      const std::string& victim = "") {
+    const std::string name = victim.empty() ? zoo_name : victim;
+    if (zoo_name == base_variant_ && spec.replicas == 0) {
+      harness.engine().alias_variant(name, serve::kBaseVariant);
+      harness.adopt_variant(name, spec);
+    } else {
+      harness.add_victim(name, zoo.get(zoo_name), spec);
+    }
+  }
+
+  /// Clean test-set accuracy of a victim through the batched serving path.
+  double victim_accuracy(const std::string& victim) {
+    return harness.dataset_accuracy(victim, zoo.dataset().test);
+  }
+
+ private:
+  std::string base_variant_;
+};
 
 /// Print the standard bench banner with the active scale.
 inline void banner(const std::string& title, const eval::ExperimentScale& scale) {
@@ -29,11 +73,27 @@ inline void banner(const std::string& title, const eval::ExperimentScale& scale)
               scale.eval_images, scale.num_targets, scale.rp2_iterations);
 }
 
+/// Progress line after each completed protocol row.
+inline void done(const std::string& label) { std::printf("  [done] %s\n", label.c_str()); }
+
 /// Print a table and persist the CSV next to it.
 inline void emit(const util::Table& table, const std::string& csv_name) {
   std::printf("%s\n", table.to_string().c_str());
   eval::write_results_file(csv_name, table.to_csv());
   std::printf("csv written to %s/%s\n", eval::results_dir().c_str(), csv_name.c_str());
+}
+
+/// Serving-stats footer: how many images each victim variant classified
+/// during the protocol (exact sums of the per-replica counters), with the
+/// variant's own replica count — victims may be sharded differently.
+inline void print_serving_stats(const eval::Harness& harness) {
+  std::printf("served images per victim variant (name=images/replicas):");
+  for (const auto& name : harness.victim_names()) {
+    std::printf(" %s=%lld/r%d", name.c_str(),
+                static_cast<long long>(harness.images_served(name)),
+                harness.replica_count(name));
+  }
+  std::printf("\n");
 }
 
 }  // namespace blurnet::bench

@@ -8,24 +8,23 @@
 using namespace blurnet;
 
 int main() {
-  const auto scale = eval::ExperimentScale::from_env();
-  bench::banner("Fig. 3: DCT mask dimension vs adaptive ASR (7x7 conv)", scale);
+  bench::EvalEnv env;
+  bench::banner("Fig. 3: DCT mask dimension vs adaptive ASR (7x7 conv)", env.scale);
 
-  defense::ModelZoo zoo(defense::default_zoo_config());
-  nn::LisaCnn& model = zoo.get("dw7");
-  const double legit = zoo.test_accuracy("dw7");
-  const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
+  env.add_zoo_victim("dw7");
+  const double legit = env.victim_accuracy("dw7");
 
   util::Table table({"DCT mask dim", "Avg Success", "Worst Success", "L2 Dissimilarity"});
   for (const int dim : {4, 8, 16, 32}) {
-    const auto sweep = eval::whitebox_sweep(
-        model, legit, stop_set, scale,
-        [dim](const attack::Rp2Config& c) { return attack::low_frequency_config(c, dim); });
+    const auto sweep =
+        eval::AdaptiveSweep{env.scale, attack::low_frequency_adapter(dim)}.run(
+            env.harness, "dw7", legit, env.stop_set);
     table.add_row({std::to_string(dim), util::Table::pct(sweep.average_success),
                    util::Table::pct(sweep.worst_success), util::Table::num(sweep.mean_l2)});
-    std::printf("  [done] dim=%d\n", dim);
+    bench::done("dim=" + std::to_string(dim));
   }
   std::printf("\n");
   bench::emit(table, "fig3_dct_dim_sweep.csv");
+  bench::print_serving_stats(env.harness);
   return 0;
 }

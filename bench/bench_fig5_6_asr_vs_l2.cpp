@@ -9,11 +9,8 @@
 using namespace blurnet;
 
 int main() {
-  const auto scale = eval::ExperimentScale::from_env();
-  bench::banner("Figs. 5/6: per-target ASR vs L2 dissimilarity", scale);
-
-  defense::ModelZoo zoo(defense::default_zoo_config());
-  const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
+  bench::EvalEnv env;
+  bench::banner("Figs. 5/6: per-target ASR vs L2 dissimilarity", env.scale);
 
   const std::vector<std::pair<std::string, std::string>> fig5 = {
       {"conv3x3", "dw3"}, {"conv5x5", "dw5"}, {"conv7x7", "dw7"},
@@ -22,19 +19,20 @@ int main() {
       {"Tik_hf", "tik_hf"},     {"Tik_pseudo", "tik_pseudo"}, {"Gaussian 0.1", "gauss0.1"},
       {"Gaussian 0.2", "gauss0.2"}, {"Gaussian 0.3", "gauss0.3"}};
 
+  const eval::WhiteboxSweep protocol{env.scale};
   auto run = [&](const std::vector<std::pair<std::string, std::string>>& series,
                  const std::string& figure, const std::string& csv) {
     util::Table table({"Series", "Target", "L2 Dissimilarity", "Attack Success Rate"});
     for (const auto& [label, variant] : series) {
-      nn::LisaCnn& model = zoo.get(variant);
-      const auto sweep =
-          eval::whitebox_sweep(model, zoo.test_accuracy(variant), stop_set, scale);
+      env.add_zoo_victim(variant);
+      const auto sweep = protocol.run(env.harness, variant,
+                                      env.victim_accuracy(variant), env.stop_set);
       for (const auto& point : sweep.per_target) {
         table.add_row({label, std::to_string(point.target),
                        util::Table::num(point.l2_dissimilarity),
                        util::Table::pct(point.success_rate)});
       }
-      std::printf("  [done] %s / %s\n", figure.c_str(), label.c_str());
+      bench::done(figure + " / " + label);
     }
     std::printf("\n");
     bench::emit(table, csv);
@@ -42,6 +40,7 @@ int main() {
 
   run(fig5, "Fig.5", "fig5_asr_vs_l2.csv");
   run(fig6, "Fig.6", "fig6_asr_vs_l2.csv");
+  bench::print_serving_stats(env.harness);
   std::printf("\nplot each CSV as a scatter (x = L2 dissimilarity, y = ASR); lower-right\n"
               "is better for the defender.\n");
   return 0;

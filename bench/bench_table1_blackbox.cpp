@@ -7,23 +7,16 @@
 // (90% -> 17.5% ASR for 5x5 on L1 maps vs 67.5% for 5x5 on the input).
 #include "bench/bench_common.h"
 #include "src/defense/blurnet.h"
-#include "src/serve/engine.h"
 
 using namespace blurnet;
 
 int main() {
-  const auto scale = eval::ExperimentScale::from_env();
-  bench::banner("Table I: black-box transfer (input filter vs feature-map filter)", scale);
-
-  defense::ModelZoo zoo(defense::default_zoo_config());
-  nn::LisaCnn& baseline = zoo.get("baseline");
-  const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
+  bench::EvalEnv env;
+  bench::banner("Table I: black-box transfer (input filter vs feature-map filter)", env.scale);
 
   // Each row is the baseline's weights served behind a different fixed-filter
-  // defense. One engine holds every row as a registered variant — the
-  // weight-transfer into the filtered architecture happens at registration,
-  // exactly the way a deployment would roll out a new defense next to the
-  // live model.
+  // defense — a weight-transfer variant of the harness engine, exactly the
+  // way a deployment would roll out a new defense next to the live model.
   struct Row {
     std::string name;
     nn::FixedFilterSpec defense;
@@ -38,21 +31,32 @@ int main() {
        {nn::FilterPlacement::kAfterLayer1, 5, signal::KernelKind::kBox}},
   };
 
-  serve::InferenceEngine engine(baseline, {});
+  std::vector<std::string> victims;
   for (const auto& row : rows) {
-    nn::LisaCnnConfig variant_config = baseline.config();
+    nn::LisaCnnConfig variant_config = env.harness.engine().model().config();
     variant_config.fixed_filter = row.defense;
-    engine.register_variant(row.name, variant_config);
+    env.harness.add_variant_victim(row.name, variant_config);
+    victims.push_back(row.name);
   }
+  // The attack source: the engine's own base variant (the vanilla weights).
+  env.harness.adopt_variant(serve::kBaseVariant);
+
+  // The transfer protocol crafts each per-target sticker ONCE on the source
+  // and evaluates the same physical sticker on every victim variant through
+  // the engine — no per-row re-crafting of an identical optimization.
+  const auto results =
+      eval::TransferMatrix{env.scale}.run(env.harness, serve::kBaseVariant, victims,
+                                          env.stop_set);
 
   util::Table table({"Model", "Accuracy", "Attack Success Rate"});
-  for (const auto& row : rows) {
-    const auto result =
-        eval::transfer_attack(baseline, engine.variant(row.name), stop_set, scale);
-    table.add_row({row.name, util::Table::pct(result.clean_accuracy),
-                   util::Table::pct(result.attack_success)});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_row({rows[i].name, util::Table::pct(results[i].clean_accuracy),
+                   util::Table::pct(results[i].attack_success)});
+    bench::done(rows[i].name);
   }
+  std::printf("\n");
   bench::emit(table, "table1_blackbox.csv");
+  bench::print_serving_stats(env.harness);
   std::printf("\nexpected shape (paper): feature-map filtering reduces ASR far more than\n"
               "input filtering at the same kernel size; 5x5 on L1 maps is the strongest.\n");
   return 0;

@@ -6,22 +6,21 @@
 // reduce the worst-case ASR from 90% (baseline) to 17.5% / 10% while the
 // pixel-threat baselines (Gaussian aug, randomized smoothing, adversarial
 // training) trade accuracy for uneven robustness.
+#include <sstream>
+
 #include "bench/bench_common.h"
 #include "src/defense/blurnet.h"
 
 using namespace blurnet;
 
 int main() {
-  const auto scale = eval::ExperimentScale::from_env();
-  bench::banner("Table II: white-box evaluation", scale);
-
-  defense::ModelZoo zoo(defense::default_zoo_config());
-  const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
+  bench::EvalEnv env;
+  bench::banner("Table II: white-box evaluation", env.scale);
 
   struct Row {
     std::string label;
-    std::string variant;   // zoo name
-    std::string alpha;     // α column
+    std::string variant;     // zoo name
+    std::string alpha;       // α column
     double smoothing_sigma;  // >0: evaluate with randomized smoothing
   };
   const std::vector<Row> rows = {
@@ -42,36 +41,39 @@ int main() {
       {"Tik_pseudo", "tik_pseudo", "1e-6", 0.0},
   };
 
+  const eval::WhiteboxSweep protocol{env.scale};
   util::Table table({"Model", "alpha", "Legit Acc.", "Avg Success", "Worst Success",
                      "L2 Dissimilarity"});
   for (const auto& row : rows) {
-    nn::LisaCnn& model = zoo.get(row.variant);
-    eval::Predictor predictor;
-    double legit = 0.0;
-    if (row.smoothing_sigma > 0.0) {
-      defense::SmoothingConfig smoothing;
-      smoothing.sigma = row.smoothing_sigma;
-      predictor = [&model, smoothing](const tensor::Tensor& x) {
-        return defense::smoothed_predict(model, x, smoothing);
-      };
-      const auto& test = zoo.dataset().test;
-      legit = defense::smoothed_accuracy(model, test.images, test.labels, smoothing);
-    } else {
-      // Clean accuracy through the batched serving path: the whole test set
-      // goes through the engine's "base" variant in coalesced forward passes
-      // instead of per-image calls.
-      const serve::InferenceEngine engine(model, {});
-      legit = bench::engine_accuracy(engine, zoo.dataset().test, serve::kBaseVariant);
+    // A smoothing row is its own victim: the same trained weights served
+    // behind a majority-vote prediction policy, next to the plain variant.
+    // The sigma is part of the name so distinct smoothing strengths on the
+    // same weights never collapse onto one registration.
+    std::ostringstream victim_name;
+    victim_name << row.variant;
+    if (row.smoothing_sigma > 0.0) victim_name << "+rs" << row.smoothing_sigma;
+    const std::string victim = victim_name.str();
+    if (!env.harness.has_victim(victim)) {
+      eval::VictimSpec spec;
+      if (row.smoothing_sigma > 0.0) {
+        defense::SmoothingConfig smoothing;
+        smoothing.sigma = row.smoothing_sigma;
+        spec.smoothing = smoothing;
+      }
+      env.add_zoo_victim(row.variant, spec, victim);
     }
-    const auto sweep =
-        eval::whitebox_sweep(model, legit, stop_set, scale, nullptr, predictor);
+    // Clean accuracy through the batched serving path: the whole test set
+    // goes through the victim's engine variant in coalesced forward passes.
+    const double legit = env.victim_accuracy(victim);
+    const auto sweep = protocol.run(env.harness, victim, legit, env.stop_set);
     table.add_row({row.label, row.alpha, util::Table::pct(sweep.legit_accuracy),
                    util::Table::pct(sweep.average_success),
                    util::Table::pct(sweep.worst_success), util::Table::num(sweep.mean_l2)});
-    std::printf("  [done] %s\n", row.label.c_str());
+    bench::done(row.label);
   }
   std::printf("\n");
   bench::emit(table, "table2_whitebox.csv");
+  bench::print_serving_stats(env.harness);
   std::printf("\nexpected shape (paper): TV and Tik_hf give the lowest worst-case ASR at\n"
               "minimal accuracy cost; depthwise conv improves with kernel width.\n");
   return 0;

@@ -12,50 +12,38 @@
 using namespace blurnet;
 
 int main() {
-  const auto scale = eval::ExperimentScale::from_env();
-  bench::banner("Table III: adaptive attack evaluation", scale);
-
-  defense::ModelZoo zoo(defense::default_zoo_config());
-  const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
+  bench::EvalEnv env;
+  bench::banner("Table III: adaptive attack evaluation", env.scale);
   const int map_h = 32, map_w = 32;  // first-layer maps are image-sized (conv1 s1)
 
   struct Row {
     std::string label;
     std::string variant;
-    eval::ConfigAdapter adapt;
+    attack::Rp2Adapter adapt;
   };
   const std::vector<Row> rows = {
-      {"3x3 conv", "dw3",
-       [](const attack::Rp2Config& c) { return attack::low_frequency_config(c, 16); }},
-      {"5x5 conv", "dw5",
-       [](const attack::Rp2Config& c) { return attack::low_frequency_config(c, 16); }},
-      {"7x7 conv", "dw7",
-       [](const attack::Rp2Config& c) { return attack::low_frequency_config(c, 16); }},
-      {"TV (1e-4)", "tv1e-4",
-       [](const attack::Rp2Config& c) { return attack::tv_aware_config(c); }},
-      {"TV (1e-5)", "tv1e-5",
-       [](const attack::Rp2Config& c) { return attack::tv_aware_config(c); }},
-      {"Tik_hf", "tik_hf",
-       [&](const attack::Rp2Config& c) {
-         return attack::tik_hf_aware_config(c, defense::tik_hf_operator(map_h));
-       }},
+      {"3x3 conv", "dw3", attack::low_frequency_adapter(16)},
+      {"5x5 conv", "dw5", attack::low_frequency_adapter(16)},
+      {"7x7 conv", "dw7", attack::low_frequency_adapter(16)},
+      {"TV (1e-4)", "tv1e-4", attack::tv_aware_adapter()},
+      {"TV (1e-5)", "tv1e-5", attack::tv_aware_adapter()},
+      {"Tik_hf", "tik_hf", attack::tik_hf_aware_adapter(defense::tik_hf_operator(map_h))},
       {"Tik_pseudo", "tik_pseudo",
-       [&](const attack::Rp2Config& c) {
-         return attack::tik_pseudo_aware_config(c, defense::tik_pseudo_operator(map_h, map_w));
-       }},
+       attack::tik_pseudo_aware_adapter(defense::tik_pseudo_operator(map_h, map_w))},
   };
 
   util::Table table({"Model", "Avg Success", "Worst Success", "L2 Dissimilarity"});
   for (const auto& row : rows) {
-    nn::LisaCnn& model = zoo.get(row.variant);
-    const auto sweep = eval::whitebox_sweep(model, zoo.test_accuracy(row.variant), stop_set,
-                                            scale, row.adapt);
+    env.add_zoo_victim(row.variant);
+    const auto sweep = eval::AdaptiveSweep{env.scale, row.adapt}.run(
+        env.harness, row.variant, env.victim_accuracy(row.variant), env.stop_set);
     table.add_row({row.label, util::Table::pct(sweep.average_success),
                    util::Table::pct(sweep.worst_success), util::Table::num(sweep.mean_l2)});
-    std::printf("  [done] %s\n", row.label.c_str());
+    bench::done(row.label);
   }
   std::printf("\n");
   bench::emit(table, "table3_adaptive.csv");
+  bench::print_serving_stats(env.harness);
   std::printf("\nexpected shape (paper): the adaptive low-frequency attack hurts the 5x5\n"
               "conv badly; TV remains the most robust defense under adaptive adversaries.\n");
   return 0;

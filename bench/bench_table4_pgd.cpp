@@ -12,12 +12,9 @@
 using namespace blurnet;
 
 int main() {
-  const auto scale = eval::ExperimentScale::from_env();
-  bench::banner("Table IV: PGD (unrestricted L-inf pixel adversary)", scale);
-
-  defense::ModelZoo zoo(defense::default_zoo_config());
-  const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
-  const std::vector<int> labels(static_cast<std::size_t>(stop_set.images.dim(0)),
+  bench::EvalEnv env;
+  bench::banner("Table IV: PGD (unrestricted L-inf pixel adversary)", env.scale);
+  const std::vector<int> labels(static_cast<std::size_t>(env.stop_set.images.dim(0)),
                                 data::SignRenderer::stop_class_id());
 
   const std::vector<std::pair<std::string, std::string>> rows = {
@@ -25,6 +22,7 @@ int main() {
       {"7x7 conv", "dw7"},      {"TV (1e-4)", "tv1e-4"},   {"TV (1e-5)", "tv1e-5"},
       {"Tik_hf", "tik_hf"},     {"Tik_pseudo", "tik_pseudo"},
   };
+  for (const auto& [label, variant] : rows) env.add_zoo_victim(variant);
 
   // Paper §III-B uses eps=8/255, alpha=0.01, 10 steps against an overfit
   // LISA-CNN. Our noise-augmented synthetic classifiers have larger margins,
@@ -38,15 +36,18 @@ int main() {
     pgd.step_size = 0.01;
     pgd.steps = eps_num <= 8.0 ? 10 : 20;
     for (const auto& [label, variant] : rows) {
-      nn::LisaCnn& model = zoo.get(variant);
-      const auto result = attack::pgd_attack(model, stop_set.images, labels, pgd);
+      // The handle splits the victim: gradients through a serving replica's
+      // weight clone, clean/adversarial predictions through the engine.
+      const auto result = attack::pgd_attack(env.harness.victim_handle(variant),
+                                             env.stop_set.images, labels, pgd);
       std::ostringstream eps_label;
       eps_label << static_cast<int>(eps_num) << "/255";
       table.add_row({label, eps_label.str(), util::Table::pct(result.success_rate_altered()),
-                     util::Table::num(result.l2_dissimilarity(stop_set.images))});
+                     util::Table::num(result.l2_dissimilarity(env.stop_set.images))});
     }
   }
   bench::emit(table, "table4_pgd.csv");
+  bench::print_serving_stats(env.harness);
   std::printf("\nexpected shape (paper): at a sufficient pixel budget all rows reach ~100%%\n"
               "together — localized-perturbation defenses do not transfer to the\n"
               "unrestricted pixel threat model.\n");

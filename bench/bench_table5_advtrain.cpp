@@ -10,43 +10,36 @@
 using namespace blurnet;
 
 int main() {
-  const auto scale = eval::ExperimentScale::from_env();
-  bench::banner("Table V: adversarial training under adaptive attacks", scale);
-
-  defense::ModelZoo zoo(defense::default_zoo_config());
-  const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
+  bench::EvalEnv env("advtrain");
+  bench::banner("Table V: adversarial training under adaptive attacks", env.scale);
   const int map_h = 32, map_w = 32;
 
-  nn::LisaCnn& advtrain = zoo.get("advtrain");
-  const double legit = zoo.test_accuracy("advtrain");
+  env.add_zoo_victim("advtrain");
+  const double legit = env.victim_accuracy("advtrain");
   std::printf("adversarially trained model: legit accuracy %s\n\n",
               util::Table::pct(legit).c_str());
 
   struct Row {
     std::string label;
-    eval::ConfigAdapter adapt;
+    attack::Rp2Adapter adapt;
   };
   const std::vector<Row> rows = {
-      {"TV adaptive attack",
-       [](const attack::Rp2Config& c) { return attack::tv_aware_config(c); }},
-      {"Tik_hf attack",
-       [&](const attack::Rp2Config& c) {
-         return attack::tik_hf_aware_config(c, defense::tik_hf_operator(map_h));
-       }},
+      {"TV adaptive attack", attack::tv_aware_adapter()},
+      {"Tik_hf attack", attack::tik_hf_aware_adapter(defense::tik_hf_operator(map_h))},
       {"Tik_pseudo attack",
-       [&](const attack::Rp2Config& c) {
-         return attack::tik_pseudo_aware_config(c, defense::tik_pseudo_operator(map_h, map_w));
-       }},
+       attack::tik_pseudo_aware_adapter(defense::tik_pseudo_operator(map_h, map_w))},
   };
 
   util::Table table({"Attack", "Avg Success", "Worst Success", "L2 Dissimilarity"});
   for (const auto& row : rows) {
-    const auto sweep = eval::whitebox_sweep(advtrain, legit, stop_set, scale, row.adapt);
+    const auto sweep = eval::AdaptiveSweep{env.scale, row.adapt}.run(env.harness, "advtrain",
+                                                                     legit, env.stop_set);
     table.add_row({row.label, util::Table::pct(sweep.average_success),
                    util::Table::pct(sweep.worst_success), util::Table::num(sweep.mean_l2)});
-    std::printf("  [done] %s\n", row.label.c_str());
+    bench::done(row.label);
   }
   std::printf("\n");
   bench::emit(table, "table5_advtrain.csv");
+  bench::print_serving_stats(env.harness);
   return 0;
 }

@@ -7,8 +7,7 @@
 #include <sstream>
 
 #include "src/defense/blurnet.h"
-#include "src/eval/experiments.h"
-#include "src/serve/engine.h"
+#include "src/eval/harness.h"
 #include "src/util/cli.h"
 #include "src/util/table.h"
 
@@ -43,17 +42,26 @@ int main(int argc, char** argv) {
   defense::ModelZoo zoo(defense::default_zoo_config());
   const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
 
+  // One engine-backed harness serves every requested variant: each zoo model
+  // is registered as a named engine variant, and all clean/adversarial
+  // classification batches go through the batched serving path, exactly like
+  // production traffic would see the models.
+  const std::string base_name = variants.empty() ? "baseline" : variants.front();
+  eval::Harness harness(zoo.get(base_name));
+  const eval::WhiteboxSweep protocol{scale};
+
   util::Table table({"Variant", "Legit Acc.", "Avg ASR", "Worst ASR", "L2 Dissim"});
   for (const auto& name : variants) {
-    nn::LisaCnn& model = zoo.get(name);
-    // Clean accuracy through the serving path: the engine's "base" variant
-    // classifies the whole test set in coalesced forward passes, exactly like
-    // production traffic would see the model.
-    const serve::InferenceEngine engine(model, {});
-    const auto& test = zoo.dataset().test;
-    const double acc = serve::accuracy(
-        engine.classify(test.images, serve::Options{serve::kBaseVariant}), test.labels);
-    const auto sweep = eval::whitebox_sweep(model, acc, stop_set, scale);
+    if (name == base_name) {
+      // The engine already serves these weights as "base": alias, don't
+      // deep-clone a second replica set.
+      harness.engine().alias_variant(name, serve::kBaseVariant);
+      harness.adopt_variant(name);
+    } else {
+      harness.add_victim(name, zoo.get(name));
+    }
+    const double acc = harness.dataset_accuracy(name, zoo.dataset().test);
+    const auto sweep = protocol.run(harness, name, acc, stop_set);
     table.add_row({name, util::Table::pct(sweep.legit_accuracy),
                    util::Table::pct(sweep.average_success),
                    util::Table::pct(sweep.worst_success),

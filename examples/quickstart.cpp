@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "src/defense/blurnet.h"
-#include "src/eval/experiments.h"
+#include "src/eval/harness.h"
 #include "src/serve/engine.h"
 #include "src/util/cli.h"
 #include "src/util/timer.h"
@@ -57,30 +57,7 @@ int main(int argc, char** argv) {
   const auto tv_stats = defense::train_classifier(defended, lisa.train, lisa.test, tv_config);
   std::printf("BlurNet (TV): test accuracy %.1f%%\n", 100.0 * tv_stats.test_accuracy);
 
-  // 3. RP2 sticker attack against both models, using the paper's physical
-  // protocol: the sticker is optimized on the attacker's own sign instances
-  // and evaluated on a held-out stop-sign set.
-  eval::ExperimentScale scale;
-  scale.eval_images = cli.get_int("images");
-  scale.num_targets = 3;
-  scale.rp2_iterations = cli.get_int("iters");
-  const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
-
-  std::printf("\nRP2 sticker attack (%d targets, %d iterations):\n", scale.num_targets,
-              scale.rp2_iterations);
-  const auto sweep_baseline =
-      eval::whitebox_sweep(baseline, base_stats.test_accuracy, stop_set, scale);
-  const auto sweep_defended =
-      eval::whitebox_sweep(defended, tv_stats.test_accuracy, stop_set, scale);
-  std::printf("  baseline : avg ASR %.1f%%, worst %.1f%%  (L2 dissimilarity %.3f)\n",
-              100.0 * sweep_baseline.average_success, 100.0 * sweep_baseline.worst_success,
-              sweep_baseline.mean_l2);
-  std::printf("  BlurNet  : avg ASR %.1f%%, worst %.1f%%  (L2 dissimilarity %.3f)\n",
-              100.0 * sweep_defended.average_success, 100.0 * sweep_defended.worst_success,
-              sweep_defended.mean_l2);
-  std::printf("\nLower success on the BlurNet row is the paper's headline effect.\n");
-
-  // 4. Serving: wrap the trained baseline in the replica-sharded inference
+  // 3. Serving: wrap the trained baseline in the replica-sharded inference
   // engine with a 5x5 feature-map blur as the deployed defense (Table I's
   // strongest row). Every variant ("base", "defended", plus anything
   // registered) is served by two bitwise-identical replicas; classify() routes
@@ -89,6 +66,39 @@ int main(int argc, char** argv) {
   serve::InferenceEngine engine(
       baseline, {nn::FilterPlacement::kAfterLayer1, 5, signal::KernelKind::kBox},
       /*max_batch=*/64, /*replicas=*/2);
+
+  // 4. RP2 sticker attack against both models through the evaluation
+  // harness, using the paper's physical protocol: the sticker is optimized
+  // on the attacker's own sign instances and evaluated on a held-out
+  // stop-sign set. The harness borrows the production engine — the same
+  // replicas classify the evaluation batches, and the per-target crafting
+  // runs fan out across them.
+  eval::ExperimentScale scale;
+  scale.eval_images = cli.get_int("images");
+  scale.num_targets = 3;
+  scale.rp2_iterations = cli.get_int("iters");
+  const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
+
+  eval::Harness harness(engine);
+  harness.adopt_variant(serve::kBaseVariant);
+  harness.add_victim("blurnet-tv", defended);
+
+  std::printf("\nRP2 sticker attack (%d targets, %d iterations):\n", scale.num_targets,
+              scale.rp2_iterations);
+  const eval::WhiteboxSweep protocol{scale};
+  const auto sweep_baseline =
+      protocol.run(harness, serve::kBaseVariant, base_stats.test_accuracy, stop_set);
+  const auto sweep_defended =
+      protocol.run(harness, "blurnet-tv", tv_stats.test_accuracy, stop_set);
+  std::printf("  baseline : avg ASR %.1f%%, worst %.1f%%  (L2 dissimilarity %.3f)\n",
+              100.0 * sweep_baseline.average_success, 100.0 * sweep_baseline.worst_success,
+              sweep_baseline.mean_l2);
+  std::printf("  BlurNet  : avg ASR %.1f%%, worst %.1f%%  (L2 dissimilarity %.3f)\n",
+              100.0 * sweep_defended.average_success, 100.0 * sweep_defended.worst_success,
+              sweep_defended.mean_l2);
+  std::printf("\nLower success on the BlurNet row is the paper's headline effect.\n");
+
+  // 5. Synchronous batched classification through the same engine.
   const auto& test = lisa.test;
 
   util::Timer timer;
@@ -108,7 +118,7 @@ int main(int argc, char** argv) {
   std::printf("  defended : accuracy %.1f%%  (%.1f ms, %.0f img/s, 5x5 blur on L1 maps)\n",
               100.0 * defended_acc, defended_ms, 1e3 * count / defended_ms);
 
-  // 5. Async traffic: push the test set image-by-image through submit(), the
+  // 6. Async traffic: push the test set image-by-image through submit(), the
   // way independent callers would. Worker threads coalesce the queue into
   // batches and load-balance them across the defended variant's replicas.
   timer.reset();

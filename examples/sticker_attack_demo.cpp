@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "src/defense/blurnet.h"
+#include "src/serve/engine.h"
 #include "src/tensor/ops.h"
 #include "src/util/cli.h"
 #include "src/util/ppm.h"
@@ -15,13 +16,15 @@ using namespace blurnet;
 
 namespace {
 
-void describe(const nn::LisaCnn& model, const tensor::Tensor& batch, const char* name) {
-  const auto logits = model.logits(batch);
-  const auto probs = tensor::softmax_rows(logits);
-  const auto pred = tensor::argmax_rows(logits);
+void describe(const serve::InferenceEngine& engine, const tensor::Tensor& batch,
+              const char* name) {
+  // The deployed view of the image: one batched classify() through the
+  // engine, which reports the label and its softmax confidence.
+  const auto prediction = engine.classify(batch)[0];
   std::printf("  %-14s -> %-20s (p=%.2f)\n", name,
-              data::SignRenderer::class_names()[static_cast<std::size_t>(pred[0])].c_str(),
-              probs[pred[0]]);
+              data::SignRenderer::class_names()[static_cast<std::size_t>(prediction.label)]
+                  .c_str(),
+              prediction.confidence);
 }
 
 }  // namespace
@@ -40,9 +43,9 @@ int main(int argc, char** argv) {
   const std::string outdir = cli.get_string("outdir");
   std::filesystem::create_directories(outdir);
 
-  // Train (or load) the baseline from the model zoo cache.
+  // Train (or load) the baseline from the model zoo cache and serve it.
   defense::ModelZoo zoo(defense::default_zoo_config());
-  nn::LisaCnn& model = zoo.get("baseline");
+  serve::InferenceEngine engine(zoo.get("baseline"), {});
   std::printf("baseline test accuracy: %.1f%%\n\n", 100.0 * zoo.test_accuracy("baseline"));
 
   // One stop sign + the two-bar sticker mask.
@@ -52,11 +55,19 @@ int main(int argc, char** argv) {
   attack::Rp2Config rp2;
   rp2.iterations = cli.get_int("iters");
   rp2.target_class = target;
-  const auto result = attack::rp2_attack(model, stop_set.images, sticker, rp2);
+  // The victim handle splits the attack's two roles: gradients through the
+  // serving replica's weight clone, final predictions through the engine.
+  const attack::VictimHandle victim(
+      engine.replica_model(serve::kBaseVariant, 0), [&engine](const tensor::Tensor& images) {
+        std::vector<int> labels;
+        for (const auto& p : engine.classify(images)) labels.push_back(p.label);
+        return labels;
+      });
+  const auto result = attack::rp2_attack(victim, stop_set.images, sticker, rp2);
 
   std::printf("classifier predictions:\n");
-  describe(model, stop_set.images, "clean");
-  describe(model, result.adversarial, "adversarial");
+  describe(engine, stop_set.images, "clean");
+  describe(engine, result.adversarial, "adversarial");
   std::printf("\nattack target was '%s'; L2 dissimilarity %.3f\n",
               data::SignRenderer::class_names()[static_cast<std::size_t>(target)].c_str(),
               result.l2_dissimilarity(stop_set.images));

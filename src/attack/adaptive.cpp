@@ -1,5 +1,7 @@
 #include "src/attack/adaptive.h"
 
+#include <utility>
+
 namespace blurnet::attack {
 
 Rp2Config low_frequency_config(const Rp2Config& base, int dct_dim) {
@@ -31,6 +33,27 @@ Rp2Config tik_pseudo_aware_config(const Rp2Config& base, const tensor::Tensor& p
   config.feature_reg.elementwise_operator = p_operator;
   config.feature_reg.weight = weight;
   return config;
+}
+
+Rp2Adapter low_frequency_adapter(int dct_dim) {
+  return [dct_dim](const Rp2Config& base) { return low_frequency_config(base, dct_dim); };
+}
+
+Rp2Adapter tv_aware_adapter(double weight) {
+  return [weight](const Rp2Config& base) { return tv_aware_config(base, weight); };
+}
+
+Rp2Adapter tik_hf_aware_adapter(tensor::Tensor l_hf, double weight) {
+  // Tensors share storage on copy, so capturing by value is cheap.
+  return [l_hf = std::move(l_hf), weight](const Rp2Config& base) {
+    return tik_hf_aware_config(base, l_hf, weight);
+  };
+}
+
+Rp2Adapter tik_pseudo_aware_adapter(tensor::Tensor p_operator, double weight) {
+  return [p = std::move(p_operator), weight](const Rp2Config& base) {
+    return tik_pseudo_aware_config(base, p, weight);
+  };
 }
 
 }  // namespace blurnet::attack

@@ -1,11 +1,22 @@
 // Convenience constructors for the paper's adaptive attacks (§V): they are
 // RP2 configurations with the low-frequency DCT projection (Eq. 8) or the
 // defender's own regularizer folded into the attacker loss (Eqs. 9-11).
+//
+// Each *_config function maps a base config to its adaptive variant; the
+// *_adapter factories package the same mapping as a reusable Rp2Adapter for
+// the evaluation protocols (eval::AdaptiveSweep tailors the sweep's base
+// config per victim through one of these).
 #pragma once
+
+#include <functional>
 
 #include "src/attack/rp2.h"
 
 namespace blurnet::attack {
+
+/// Maps the evaluation protocol's base RP2 config to the attack actually run
+/// against a given victim (e.g. one of the adaptive variants below).
+using Rp2Adapter = std::function<Rp2Config(const Rp2Config&)>;
 
 /// §V-A: low-frequency attack on the depthwise-convolution defenses. The
 /// masked perturbation is projected onto its lowest `dct_dim`×`dct_dim`
@@ -23,5 +34,11 @@ Rp2Config tik_hf_aware_config(const Rp2Config& base, const tensor::Tensor& l_hf,
 /// §V-B, Eq. 11: adds ||L_diff⁺ ⊙ F||² with the defender's operator.
 Rp2Config tik_pseudo_aware_config(const Rp2Config& base, const tensor::Tensor& p_operator,
                                   double weight = 1.0);
+
+/// Adapter forms of the four adaptive attacks, for protocol objects.
+Rp2Adapter low_frequency_adapter(int dct_dim = 16);
+Rp2Adapter tv_aware_adapter(double weight = 1.0);
+Rp2Adapter tik_hf_aware_adapter(tensor::Tensor l_hf, double weight = 1.0);
+Rp2Adapter tik_pseudo_aware_adapter(tensor::Tensor p_operator, double weight = 1.0);
 
 }  // namespace blurnet::attack

@@ -30,8 +30,9 @@ Tensor project_linf(const Tensor& adv, const Tensor& natural, double epsilon) {
 
 }  // namespace
 
-AttackResult pgd_attack(const nn::LisaCnn& victim, const Tensor& images,
+AttackResult pgd_attack(const VictimHandle& victim, const Tensor& images,
                         const std::vector<int>& labels, const PgdConfig& config) {
+  const nn::LisaCnn& model = victim.gradient_model();
   if (images.rank() != 4) throw std::invalid_argument("pgd_attack: images must be NCHW");
   if (static_cast<std::int64_t>(labels.size()) != images.dim(0)) {
     throw std::invalid_argument("pgd_attack: label count mismatch");
@@ -57,7 +58,7 @@ AttackResult pgd_attack(const nn::LisaCnn& victim, const Tensor& images,
   double final_loss = 0.0;
   for (int step = 0; step < config.steps; ++step) {
     Variable x = Variable::leaf(x_adv.clone(), /*requires_grad=*/true);
-    Variable loss = autograd::softmax_cross_entropy(victim.forward(x).logits, attack_labels);
+    Variable loss = autograd::softmax_cross_entropy(model.forward(x).logits, attack_labels);
     autograd::backward(loss);
     final_loss = loss.scalar_value();
     const Tensor step_dir = tensor::sign(x.grad());
@@ -68,13 +69,13 @@ AttackResult pgd_attack(const nn::LisaCnn& victim, const Tensor& images,
   AttackResult result;
   result.adversarial = x_adv;
   result.perturbation = tensor::sub(x_adv, images);
-  result.clean_pred = victim.predict(images);
-  result.adv_pred = victim.predict(x_adv);
+  result.clean_pred = victim.classify(images);
+  result.adv_pred = victim.classify(x_adv);
   result.final_loss = final_loss;
   return result;
 }
 
-AttackResult fgsm_attack(const nn::LisaCnn& victim, const Tensor& images,
+AttackResult fgsm_attack(const VictimHandle& victim, const Tensor& images,
                          const std::vector<int>& labels, double epsilon) {
   PgdConfig config;
   config.epsilon = epsilon;

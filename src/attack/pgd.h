@@ -21,12 +21,14 @@ struct PgdConfig {
   std::uint64_t seed = 3;
 };
 
-/// Untargeted (maximize loss on true labels) or targeted PGD.
-AttackResult pgd_attack(const nn::LisaCnn& victim, const tensor::Tensor& images,
+/// Untargeted (maximize loss on true labels) or targeted PGD. Gradients go
+/// through `victim.gradient_model()`; the final clean/adversarial predictions
+/// through `victim.classify()` (a plain nn::LisaCnn converts implicitly).
+AttackResult pgd_attack(const VictimHandle& victim, const tensor::Tensor& images,
                         const std::vector<int>& labels, const PgdConfig& config);
 
 /// Single-step FGSM (equivalent to PGD with steps=1, step=epsilon, no restart).
-AttackResult fgsm_attack(const nn::LisaCnn& victim, const tensor::Tensor& images,
+AttackResult fgsm_attack(const VictimHandle& victim, const tensor::Tensor& images,
                          const std::vector<int>& labels, double epsilon);
 
 }  // namespace blurnet::attack

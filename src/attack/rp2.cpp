@@ -37,8 +37,9 @@ Variable feature_reg_loss(const FeatureRegTerm& term, const Variable& features) 
 
 }  // namespace
 
-AttackResult rp2_attack(const nn::LisaCnn& victim, const Tensor& images,
+AttackResult rp2_attack(const VictimHandle& victim, const Tensor& images,
                         const Tensor& masks, const Rp2Config& config) {
+  const nn::LisaCnn& model = victim.gradient_model();
   if (images.rank() != 4) throw std::invalid_argument("rp2_attack: images must be NCHW");
   const std::int64_t n = images.dim(0), c = images.dim(1);
   const int h = static_cast<int>(images.dim(2));
@@ -77,7 +78,7 @@ AttackResult rp2_attack(const nn::LisaCnn& victim, const Tensor& images,
     }
     Variable x_adv = autograd::add_const(applied, images);
 
-    const auto fwd = victim.forward(x_adv);
+    const auto fwd = model.forward(x_adv);
     Variable loss = autograd::softmax_cross_entropy(fwd.logits, targets);
 
     Variable norm_term = config.norm == PerturbationNorm::kL2 ? autograd::l2_norm(masked)
@@ -123,8 +124,8 @@ AttackResult rp2_attack(const nn::LisaCnn& victim, const Tensor& images,
   }
   result.adversarial = tensor::clamp(tensor::add(images, masked_final), 0.0f, 1.0f);
   result.perturbation = tensor::sub(result.adversarial, images);
-  result.clean_pred = victim.predict(images);
-  result.adv_pred = victim.predict(result.adversarial);
+  result.clean_pred = victim.classify(images);
+  result.adv_pred = victim.classify(result.adversarial);
   result.final_loss = final_loss;
   return result;
 }

@@ -2,11 +2,49 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "src/nn/lisa_cnn.h"
 #include "src/tensor/tensor.h"
 
 namespace blurnet::attack {
+
+/// The two faces of an attack victim, split so each can be served by the
+/// right machinery:
+///
+///   * the **gradient side** — the differentiable nn::LisaCnn the optimizer
+///     backpropagates through while crafting the perturbation, and
+///   * the **prediction side** — how the final clean/adversarial inputs are
+///     classified. In the engine-backed evaluation harness this is a batched
+///     serve::InferenceEngine::classify call on the victim's variant; when no
+///     predict function is supplied it falls back to the gradient model's own
+///     predict(), which is bitwise-identical for any replica count or batch
+///     split.
+///
+/// The handle is non-owning: the gradient model (and anything the predict
+/// function captures) must outlive it.
+class VictimHandle {
+ public:
+  using PredictFn = std::function<std::vector<int>(const tensor::Tensor&)>;
+
+  /// Wrap a plain model: gradients and predictions both come from `model`.
+  /*implicit*/ VictimHandle(const nn::LisaCnn& model) : gradient_model_(&model) {}
+  /// Split roles: gradients from `model`, final classifications via `predict`.
+  VictimHandle(const nn::LisaCnn& model, PredictFn predict)
+      : gradient_model_(&model), predict_(std::move(predict)) {}
+
+  const nn::LisaCnn& gradient_model() const { return *gradient_model_; }
+
+  /// Classify a batch through the prediction side.
+  std::vector<int> classify(const tensor::Tensor& images) const {
+    return predict_ ? predict_(images) : gradient_model_->predict(images);
+  }
+
+ private:
+  const nn::LisaCnn* gradient_model_;
+  PredictFn predict_;
+};
 
 /// Result of attacking a batch of images.
 struct AttackResult {

@@ -163,7 +163,14 @@ Variable reshape(const Variable& a, Shape new_shape) {
 Variable flatten2d(const Variable& a) {
   if (a.shape().rank() != 4) throw std::invalid_argument("flatten2d: expected NCHW");
   const auto n = a.shape()[0];
-  return reshape(a, Shape::mat(n, a.value().numel() / n));
+  const Shape flat = Shape::mat(n, a.value().numel() / n);
+  if (!grad_enabled() || !a.requires_grad()) {
+    // Inference fast path, mirroring the convolution scratch reuse: reshape
+    // shares storage, so the classifier head reads the conv output in place
+    // instead of deep-copying the whole feature batch every forward.
+    return Variable::constant(a.value().reshape(flat));
+  }
+  return reshape(a, flat);
 }
 
 Variable broadcast_batch(const Variable& a, std::int64_t n) {
@@ -241,17 +248,33 @@ Variable matmul(const Variable& a, const Variable& b) {
 }
 
 Variable dense(const Variable& x, const Variable& w, const Variable& b) {
-  Tensor out = tensor::matmul(x.value(), w.value());
-  if (b.defined()) {
-    const std::int64_t m = out.dim(0), n = out.dim(1);
-    if (b.value().numel() != n) throw std::invalid_argument("dense: bias size mismatch");
-    for (std::int64_t i = 0; i < m; ++i) {
-      float* row = out.data() + i * n;
-      const float* bias = b.value().data();
-      for (std::int64_t j = 0; j < n; ++j) row[j] += bias[j];
+  const bool needs_grad =
+      grad_enabled() && (x.requires_grad() || w.requires_grad() ||
+                         (b.defined() && b.requires_grad()));
+  // One arithmetic path for both modes, so the inference result is bitwise
+  // equal to the graph path by construction.
+  auto compute = [&] {
+    Tensor out = tensor::matmul(x.value(), w.value());
+    if (b.defined()) {
+      const std::int64_t m = out.dim(0), n = out.dim(1);
+      if (b.value().numel() != n) throw std::invalid_argument("dense: bias size mismatch");
+      for (std::int64_t i = 0; i < m; ++i) {
+        float* row = out.data() + i * n;
+        const float* bias = b.value().data();
+        for (std::int64_t j = 0; j < n; ++j) row[j] += bias[j];
+      }
     }
+    return out;
+  };
+  if (!needs_grad) {
+    // Inference-only path mirroring the conv2d/depthwise fast paths: no graph
+    // node is built and the closure never retains x/w/b. Paired with
+    // flatten2d's zero-copy fast path, the classifier head adds no autograd
+    // allocations to a serving forward.
+    return Variable::constant(compute());
   }
-  return make_op("dense", std::move(out), {x, w, b}, [x, w, b](Node& node) mutable {
+
+  return make_op("dense", compute(), {x, w, b}, [x, w, b](Node& node) mutable {
     const Tensor& g = node.grad();
     if (x.requires_grad()) x.node()->accumulate_grad(tensor::matmul_nt(g, w.value()));
     if (w.requires_grad()) w.node()->accumulate_grad(tensor::matmul_tn(x.value(), g));

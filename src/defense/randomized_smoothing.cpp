@@ -8,17 +8,18 @@
 
 namespace blurnet::defense {
 
-std::vector<int> smoothed_predict(const nn::LisaCnn& model, const tensor::Tensor& images,
-                                  const SmoothingConfig& config) {
+std::vector<int> smoothed_predict(const SampleClassifier& classify, int num_classes,
+                                  const tensor::Tensor& images, const SmoothingConfig& config) {
   if (images.rank() != 4) throw std::invalid_argument("smoothed_predict: expected NCHW");
+  if (!classify) throw std::invalid_argument("smoothed_predict: classifier must be callable");
   const std::int64_t n = images.dim(0);
-  const int classes = model.config().num_classes;
-  std::vector<std::vector<int>> votes(static_cast<std::size_t>(n),
-                                      std::vector<int>(static_cast<std::size_t>(classes), 0));
+  std::vector<std::vector<int>> votes(
+      static_cast<std::size_t>(n),
+      std::vector<int>(static_cast<std::size_t>(num_classes), 0));
   util::Rng rng(config.seed);
   for (int s = 0; s < config.samples; ++s) {
     const auto noisy = data::gaussian_noise(images, config.sigma, rng);
-    const auto preds = model.predict(noisy);
+    const auto preds = classify(noisy);
     for (std::int64_t i = 0; i < n; ++i) {
       votes[static_cast<std::size_t>(i)][static_cast<std::size_t>(preds[static_cast<std::size_t>(i)])]++;
     }
@@ -30,6 +31,13 @@ std::vector<int> smoothed_predict(const nn::LisaCnn& model, const tensor::Tensor
         static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
   }
   return out;
+}
+
+std::vector<int> smoothed_predict(const nn::LisaCnn& model, const tensor::Tensor& images,
+                                  const SmoothingConfig& config) {
+  return smoothed_predict(
+      [&model](const tensor::Tensor& batch) { return model.predict(batch); },
+      model.config().num_classes, images, config);
 }
 
 double smoothed_accuracy(const nn::LisaCnn& model, const tensor::Tensor& images,

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/nn/lisa_cnn.h"
@@ -17,7 +18,19 @@ struct SmoothingConfig {
   std::uint64_t seed = 5;
 };
 
-/// Majority-vote smoothed predictions for a batch.
+/// Base-classifier hook: labels for one NCHW batch of noisy samples. In the
+/// engine-backed evaluation harness this is a batched
+/// serve::InferenceEngine::classify call on the victim's variant.
+using SampleClassifier = std::function<std::vector<int>(const tensor::Tensor&)>;
+
+/// Majority-vote smoothed predictions for a batch, with the Monte-Carlo
+/// sample batches classified through `classify`. The noise draws depend only
+/// on the config seed, so any bitwise-identical classifier (raw model or any
+/// serving replica of it) yields bitwise-identical votes.
+std::vector<int> smoothed_predict(const SampleClassifier& classify, int num_classes,
+                                  const tensor::Tensor& images, const SmoothingConfig& config);
+
+/// Majority-vote smoothed predictions with `model` as the base classifier.
 std::vector<int> smoothed_predict(const nn::LisaCnn& model, const tensor::Tensor& images,
                                   const SmoothingConfig& config);
 

@@ -1,13 +1,12 @@
 #include "src/eval/experiments.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
 #include "src/attack/masks.h"
-#include "src/tensor/ops.h"
 #include "src/util/env.h"
-#include "src/util/logging.h"
 
 namespace blurnet::eval {
 
@@ -56,108 +55,8 @@ StickeredStopSet make_eval_stop_set(const ExperimentScale& scale, int image_size
   return out;
 }
 
-namespace {
-
-/// Disjoint stop-sign instances the attacker optimizes the sticker on
-/// (RP2 is a single-/few-image optimization whose printed sticker is then
-/// evaluated on the held-out photo set — paper §II-D).
-data::StopSignSet craft_stop_set(const ExperimentScale& scale) {
+data::StopSignSet attacker_craft_set(const ExperimentScale& scale) {
   return data::stop_sign_eval_set(scale.eval_images, 32, /*seed=*/40501);
-}
-
-}  // namespace
-
-SweepResult whitebox_sweep(const nn::LisaCnn& model, double legit_accuracy,
-                           const data::StopSignSet& eval_set, const ExperimentScale& scale,
-                           const ConfigAdapter& adapt, const Predictor& predictor) {
-  const auto craft_set = craft_stop_set(scale);
-  const auto craft_sticker = attack::sticker_mask(craft_set.masks);
-  const auto eval_sticker = attack::sticker_mask(eval_set.masks);
-  SweepResult result;
-  result.legit_accuracy = legit_accuracy;
-  const auto targets = scale.target_classes();
-  double sum_asr = 0.0, sum_l2 = 0.0;
-  for (const int target : targets) {
-    attack::Rp2Config config = paper_rp2_config(scale);
-    config.target_class = target;
-    config.seed = 1000 + static_cast<std::uint64_t>(target);
-    if (adapt) config = adapt(config);
-    // Craft the sticker on the attacker's own sign instances, then evaluate
-    // the same physical sticker on the held-out stop-sign set.
-    const auto crafted = attack::rp2_attack(model, craft_set.images, craft_sticker, config);
-    const auto adversarial =
-        attack::apply_shared_sticker(eval_set.images, eval_sticker, crafted.shared_delta);
-    const auto clean_pred =
-        predictor ? predictor(eval_set.images) : model.predict(eval_set.images);
-    const auto adv_pred = predictor ? predictor(adversarial) : model.predict(adversarial);
-
-    PerTargetResult per;
-    per.target = target;
-    int altered = 0, hits = 0;
-    for (std::size_t i = 0; i < clean_pred.size(); ++i) {
-      if (clean_pred[i] != adv_pred[i]) ++altered;
-      if (adv_pred[i] == target) ++hits;
-    }
-    const double count = static_cast<double>(clean_pred.size());
-    per.success_rate = count > 0 ? altered / count : 0.0;
-    per.targeted_rate = count > 0 ? hits / count : 0.0;
-    per.l2_dissimilarity = tensor::l2_dissimilarity(adversarial, eval_set.images);
-    result.per_target.push_back(per);
-    sum_asr += per.success_rate;
-    sum_l2 += per.l2_dissimilarity;
-    result.worst_success = std::max(result.worst_success, per.success_rate);
-    util::log_debug() << "sweep target=" << target << " asr=" << per.success_rate
-                      << " l2=" << per.l2_dissimilarity;
-  }
-  if (!targets.empty()) {
-    result.average_success = sum_asr / static_cast<double>(targets.size());
-    result.mean_l2 = sum_l2 / static_cast<double>(targets.size());
-  }
-  return result;
-}
-
-TransferResult transfer_attack(const nn::LisaCnn& source, const nn::LisaCnn& victim,
-                               const data::StopSignSet& eval_set,
-                               const ExperimentScale& scale) {
-  const auto sticker = attack::sticker_mask(eval_set.masks);
-  const auto targets = scale.target_classes();
-  TransferResult out;
-
-  // Clean accuracy: fraction of natural stop signs the victim classifies as
-  // stop (class 0), mirroring Table I's "Accuracy" column.
-  const auto clean_preds = victim.predict(eval_set.images);
-  int correct = 0;
-  for (const int p : clean_preds) {
-    if (p == data::SignRenderer::stop_class_id()) ++correct;
-  }
-  out.clean_accuracy = clean_preds.empty()
-                           ? 0.0
-                           : static_cast<double>(correct) / static_cast<double>(clean_preds.size());
-
-  // Transfer ASR averaged over the target sweep: the sticker is crafted on
-  // `source` using the attacker's own sign instances, then the same sticker
-  // is applied to the held-out set and judged by `victim`.
-  const auto craft_set = craft_stop_set(scale);
-  const auto craft_sticker = attack::sticker_mask(craft_set.masks);
-  double sum_asr = 0.0;
-  for (const int target : targets) {
-    attack::Rp2Config config = paper_rp2_config(scale);
-    config.target_class = target;
-    config.seed = 2000 + static_cast<std::uint64_t>(target);
-    const auto crafted = attack::rp2_attack(source, craft_set.images, craft_sticker, config);
-    const auto adversarial =
-        attack::apply_shared_sticker(eval_set.images, sticker, crafted.shared_delta);
-    const auto victim_adv = victim.predict(adversarial);
-    int altered = 0;
-    for (std::size_t i = 0; i < victim_adv.size(); ++i) {
-      if (victim_adv[i] != clean_preds[i]) ++altered;
-    }
-    sum_asr += victim_adv.empty()
-                   ? 0.0
-                   : static_cast<double>(altered) / static_cast<double>(victim_adv.size());
-  }
-  if (!targets.empty()) out.attack_success = sum_asr / static_cast<double>(targets.size());
-  return out;
 }
 
 std::string results_dir() {

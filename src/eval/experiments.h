@@ -1,15 +1,18 @@
-// Shared experiment scaffolding: the scale knobs (DESIGN.md §6) and the
-// evaluation protocols used by the bench binaries that regenerate the paper's
-// tables and figures.
+// Shared experiment scaffolding: the scale knobs (DESIGN.md §6), the result
+// types the evaluation protocols aggregate into, and the CSV plumbing used by
+// the bench binaries that regenerate the paper's tables and figures.
+//
+// The protocols themselves (white-box sweep, transfer matrix, adaptive sweep)
+// live in src/eval/harness.h and run every classification batch through a
+// serve::InferenceEngine variant.
 #pragma once
 
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "src/attack/adaptive.h"
 #include "src/attack/rp2.h"
 #include "src/data/dataset.h"
-#include "src/defense/model_zoo.h"
 
 namespace blurnet::eval {
 
@@ -44,31 +47,17 @@ struct SweepResult {
   std::vector<PerTargetResult> per_target;
 };
 
-/// Hook to turn the base RP2 config into an adaptive variant per model.
-using ConfigAdapter = std::function<attack::Rp2Config(const attack::Rp2Config&)>;
-
-/// Optional prediction override (e.g. randomized-smoothing inference). The
-/// attack still differentiates through the base model; only the final
-/// clean/adversarial classifications use the predictor.
-using Predictor = std::function<std::vector<int>(const tensor::Tensor&)>;
-
-/// White-box target sweep (Table II protocol): attack `model` on the stop
-/// sign set at every target class; aggregates altered-ASR / L2.
-SweepResult whitebox_sweep(const nn::LisaCnn& model, double legit_accuracy,
-                           const data::StopSignSet& eval_set, const ExperimentScale& scale,
-                           const ConfigAdapter& adapt = nullptr,
-                           const Predictor& predictor = nullptr);
-
-/// Black-box transfer (Table I protocol): adversarial examples generated on
-/// `source` are evaluated on `victim`. Returns {clean accuracy on the stop
-/// set, transfer ASR}, where ASR counts predictions altered on `victim`.
+/// Black-box transfer outcome for one victim (Table I row): {clean accuracy
+/// on the stop set, transfer ASR}, where ASR counts predictions altered on
+/// the victim.
 struct TransferResult {
   double clean_accuracy = 0.0;
   double attack_success = 0.0;
 };
-TransferResult transfer_attack(const nn::LisaCnn& source, const nn::LisaCnn& victim,
-                               const data::StopSignSet& eval_set,
-                               const ExperimentScale& scale);
+
+/// Hook to turn a protocol's base RP2 config into the attack actually run
+/// (the adaptive attacks of §V); see attack::low_frequency_adapter etc.
+using ConfigAdapter = attack::Rp2Adapter;
 
 /// The stop-sign set at the configured scale, with sticker masks.
 struct StickeredStopSet {
@@ -76,6 +65,11 @@ struct StickeredStopSet {
   tensor::Tensor masks;   // [N,1,H,W] sticker mask (two bars)
 };
 StickeredStopSet make_eval_stop_set(const ExperimentScale& scale, int image_size = 32);
+
+/// Disjoint stop-sign instances the attacker optimizes the sticker on (RP2 is
+/// a single-/few-image optimization whose printed sticker is then evaluated
+/// on the held-out photo set — paper §II-D).
+data::StopSignSet attacker_craft_set(const ExperimentScale& scale);
 
 /// Results directory for CSV dumps (BLURNET_OUT_DIR, default "results").
 std::string results_dir();

@@ -1,0 +1,336 @@
+#include "src/eval/harness.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "src/attack/masks.h"
+#include "src/attack/rp2.h"
+#include "src/tensor/ops.h"
+#include "src/util/logging.h"
+#include "src/util/parallel.h"
+
+namespace blurnet::eval {
+
+using tensor::Tensor;
+
+namespace {
+
+/// Labels for a batch through the engine's serving path on one variant; the
+/// single prediction route shared by Harness::predict and VictimHandle.
+std::vector<int> engine_labels(const serve::InferenceEngine& engine,
+                               const std::string& variant, const Tensor& images) {
+  const auto predictions = engine.classify(images, serve::Options{variant});
+  std::vector<int> labels;
+  labels.reserve(predictions.size());
+  for (const auto& prediction : predictions) labels.push_back(prediction.label);
+  return labels;
+}
+
+}  // namespace
+
+Harness::Harness(serve::InferenceEngine& engine) : engine_(&engine) {}
+
+Harness::Harness(const nn::LisaCnn& base, int replicas, int max_batch)
+    : owned_(std::make_unique<serve::InferenceEngine>(base, nn::FixedFilterSpec{}, max_batch,
+                                                      replicas)),
+      engine_(owned_.get()) {}
+
+void Harness::add_entry(const std::string& name, const VictimSpec& spec) {
+  for (const auto& victim : victims_) {
+    if (victim.name == name) {
+      throw std::invalid_argument("Harness: victim \"" + name + "\" is already registered");
+    }
+  }
+  victims_.push_back(Victim{name, spec.smoothing});
+}
+
+void Harness::add_victim(const std::string& name, const nn::LisaCnn& model,
+                         const VictimSpec& spec) {
+  engine_->register_model(name, model, spec.replicas);
+  add_entry(name, spec);
+}
+
+void Harness::add_variant_victim(const std::string& name, const nn::LisaCnnConfig& config,
+                                 const VictimSpec& spec) {
+  engine_->register_variant(name, config, spec.replicas);
+  add_entry(name, spec);
+}
+
+void Harness::adopt_variant(const std::string& name, const VictimSpec& spec) {
+  if (!engine_->has_variant(name)) {
+    throw std::invalid_argument("Harness::adopt_variant: engine has no variant \"" + name +
+                                "\"");
+  }
+  add_entry(name, spec);
+}
+
+const Harness::Victim& Harness::require_victim(const std::string& name) const {
+  for (const auto& victim : victims_) {
+    if (victim.name == name) return victim;
+  }
+  std::string known;
+  for (const auto& victim : victims_) {
+    if (!known.empty()) known += ", ";
+    known += victim.name;
+  }
+  throw std::invalid_argument("Harness: unknown victim \"" + name +
+                              "\" (registered: " + known + ")");
+}
+
+bool Harness::has_victim(const std::string& name) const {
+  for (const auto& victim : victims_) {
+    if (victim.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Harness::victim_names() const {
+  std::vector<std::string> names;
+  names.reserve(victims_.size());
+  for (const auto& victim : victims_) names.push_back(victim.name);
+  return names;
+}
+
+int Harness::replica_count(const std::string& victim) const {
+  return engine_->replica_count(require_victim(victim).name);
+}
+
+std::int64_t Harness::images_served(const std::string& victim) const {
+  return engine_->images_served(require_victim(victim).name);
+}
+
+std::vector<int> Harness::classify_labels(const std::string& variant,
+                                          const Tensor& images) const {
+  return engine_labels(*engine_, variant, images);
+}
+
+std::vector<int> Harness::predict(const std::string& victim, const Tensor& images) const {
+  const Victim& entry = require_victim(victim);
+  // Accept a CHW image wherever a batch is accepted (the engine normalizes
+  // the plain path; the smoothing path needs NCHW up front).
+  const Tensor batch =
+      images.rank() == 3
+          ? images.reshape(tensor::Shape::nchw(1, images.dim(0), images.dim(1), images.dim(2)))
+          : images;
+  if (entry.smoothing) {
+    return defense::smoothed_predict(
+        [this, &entry](const Tensor& samples) { return classify_labels(entry.name, samples); },
+        engine_->variant(entry.name).config().num_classes, batch, *entry.smoothing);
+  }
+  return classify_labels(entry.name, batch);
+}
+
+double Harness::dataset_accuracy(const std::string& victim, const data::Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  const auto predictions = predict(victim, data.images);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+double Harness::stop_sign_accuracy(const std::string& victim, const Tensor& images) const {
+  const auto predictions = predict(victim, images);
+  if (predictions.empty()) return 0.0;
+  int correct = 0;
+  for (const int label : predictions) {
+    if (label == data::SignRenderer::stop_class_id()) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+attack::VictimHandle Harness::victim_handle(const std::string& victim, int slot) const {
+  const Victim& entry = require_victim(victim);
+  if (slot < 0) throw std::invalid_argument("Harness::victim_handle: slot must be >= 0");
+  const int replicas = engine_->replica_count(entry.name);
+  const nn::LisaCnn& gradient_model = engine_->replica_model(entry.name, slot % replicas);
+  // The closure captures the engine pointer and the variant name by value so
+  // the handle stays valid as long as the engine does.
+  const serve::InferenceEngine* engine = engine_;
+  return attack::VictimHandle(gradient_model,
+                              [engine, name = entry.name](const Tensor& images) {
+                                return engine_labels(*engine, name, images);
+                              });
+}
+
+namespace {
+
+/// Run `fn(target_index, slot)` for every target, fanned out over the
+/// victim's replica slots: slot s owns targets s, s+S, s+2S, ... so a replica
+/// model is never used by two concurrent crafting runs, and results land in
+/// per-target storage independent of scheduling — bitwise identical for any
+/// replica count.
+void fan_out_targets(int replicas, std::size_t count,
+                     const std::function<void(std::size_t, int)>& fn) {
+  const int slots = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(replicas, 1)), count));
+  if (slots <= 1) {
+    for (std::size_t t = 0; t < count; ++t) fn(t, 0);
+    return;
+  }
+  // min_chunk 1: one chunk per slot. Nested parallel_for calls inside the
+  // crafting runs fall back inline, so the pool is never deadlocked.
+  util::parallel_for(
+      slots,
+      [&](std::int64_t s0, std::int64_t s1) {
+        for (std::int64_t s = s0; s < s1; ++s) {
+          for (std::size_t t = static_cast<std::size_t>(s); t < count;
+               t += static_cast<std::size_t>(slots)) {
+            fn(t, static_cast<int>(s));
+          }
+        }
+      },
+      /*min_chunk=*/1);
+}
+
+SweepResult run_sweep(const Harness& harness, const std::string& victim,
+                      double legit_accuracy, const data::StopSignSet& eval_set,
+                      const ExperimentScale& scale, const ConfigAdapter& adapt) {
+  const auto craft_set = attacker_craft_set(scale);
+  const auto craft_sticker = attack::sticker_mask(craft_set.masks);
+  const auto eval_sticker = attack::sticker_mask(eval_set.masks);
+  const auto targets = scale.target_classes();
+
+  SweepResult result;
+  result.legit_accuracy = legit_accuracy;
+  // Clean predictions are target-independent: one engine pass up front.
+  const auto clean_pred = harness.predict(victim, eval_set.images);
+
+  // Adapt the per-target configs sequentially on the calling thread — the
+  // fan-out below runs on pool threads, and the adapter is caller-supplied
+  // code with no thread-safety contract.
+  std::vector<attack::Rp2Config> configs;
+  configs.reserve(targets.size());
+  for (const int target : targets) {
+    attack::Rp2Config config = paper_rp2_config(scale);
+    config.target_class = target;
+    config.seed = 1000 + static_cast<std::uint64_t>(target);
+    if (adapt) config = adapt(config);
+    configs.push_back(std::move(config));
+  }
+
+  std::vector<PerTargetResult> per(targets.size());
+  fan_out_targets(harness.replica_count(victim), targets.size(),
+                  [&](std::size_t t, int slot) {
+                    const int target = targets[t];
+                    // Craft the sticker on the attacker's own sign instances, then
+                    // evaluate the same physical sticker on the held-out stop set.
+                    const auto crafted = attack::rp2_attack(
+                        harness.victim_handle(victim, slot), craft_set.images,
+                        craft_sticker, configs[t]);
+                    const auto adversarial = attack::apply_shared_sticker(
+                        eval_set.images, eval_sticker, crafted.shared_delta);
+                    const auto adv_pred = harness.predict(victim, adversarial);
+
+                    PerTargetResult& out = per[t];
+                    out.target = target;
+                    int altered = 0, hits = 0;
+                    for (std::size_t i = 0; i < clean_pred.size(); ++i) {
+                      if (clean_pred[i] != adv_pred[i]) ++altered;
+                      if (adv_pred[i] == target) ++hits;
+                    }
+                    const double count = static_cast<double>(clean_pred.size());
+                    out.success_rate = count > 0 ? altered / count : 0.0;
+                    out.targeted_rate = count > 0 ? hits / count : 0.0;
+                    out.l2_dissimilarity =
+                        tensor::l2_dissimilarity(adversarial, eval_set.images);
+                    util::log_debug() << "sweep victim=" << victim << " target=" << target
+                                      << " asr=" << out.success_rate
+                                      << " l2=" << out.l2_dissimilarity;
+                  });
+
+  // Aggregate in target-index order — independent of crafting schedule.
+  double sum_asr = 0.0, sum_l2 = 0.0;
+  for (const auto& entry : per) {
+    result.per_target.push_back(entry);
+    sum_asr += entry.success_rate;
+    sum_l2 += entry.l2_dissimilarity;
+    result.worst_success = std::max(result.worst_success, entry.success_rate);
+  }
+  if (!targets.empty()) {
+    result.average_success = sum_asr / static_cast<double>(targets.size());
+    result.mean_l2 = sum_l2 / static_cast<double>(targets.size());
+  }
+  return result;
+}
+
+}  // namespace
+
+SweepResult WhiteboxSweep::run(const Harness& harness, const std::string& victim,
+                               double legit_accuracy,
+                               const data::StopSignSet& eval_set) const {
+  return run_sweep(harness, victim, legit_accuracy, eval_set, scale, nullptr);
+}
+
+SweepResult AdaptiveSweep::run(const Harness& harness, const std::string& victim,
+                               double legit_accuracy,
+                               const data::StopSignSet& eval_set) const {
+  return run_sweep(harness, victim, legit_accuracy, eval_set, scale, adapt);
+}
+
+std::vector<TransferResult> TransferMatrix::run(const Harness& harness,
+                                                const std::string& source,
+                                                const std::vector<std::string>& victims,
+                                                const data::StopSignSet& eval_set) const {
+  const auto craft_set = attacker_craft_set(scale);
+  const auto craft_sticker = attack::sticker_mask(craft_set.masks);
+  const auto eval_sticker = attack::sticker_mask(eval_set.masks);
+  const auto targets = scale.target_classes();
+
+  // Craft each per-target sticker ONCE on the source, fanned out across the
+  // source's replicas. The old per-victim protocol re-ran the identical
+  // deterministic optimization for every row; the stickers (and therefore
+  // every table number) are unchanged, only the redundant crafting is gone.
+  std::vector<Tensor> adversarial(targets.size());
+  fan_out_targets(harness.replica_count(source), targets.size(),
+                  [&](std::size_t t, int slot) {
+                    attack::Rp2Config config = paper_rp2_config(scale);
+                    config.target_class = targets[t];
+                    config.seed = 2000 + static_cast<std::uint64_t>(targets[t]);
+                    const auto crafted = attack::rp2_attack(
+                        harness.victim_handle(source, slot), craft_set.images,
+                        craft_sticker, config);
+                    adversarial[t] = attack::apply_shared_sticker(
+                        eval_set.images, eval_sticker, crafted.shared_delta);
+                  });
+
+  std::vector<TransferResult> results;
+  results.reserve(victims.size());
+  for (const auto& victim : victims) {
+    TransferResult row;
+    // Clean accuracy: fraction of natural stop signs the victim classifies
+    // as stop (class 0), mirroring Table I's "Accuracy" column.
+    const auto clean_pred = harness.predict(victim, eval_set.images);
+    int stop_correct = 0;
+    for (const int label : clean_pred) {
+      if (label == data::SignRenderer::stop_class_id()) ++stop_correct;
+    }
+    row.clean_accuracy = clean_pred.empty()
+                             ? 0.0
+                             : static_cast<double>(stop_correct) /
+                                   static_cast<double>(clean_pred.size());
+
+    double sum_asr = 0.0;
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      const auto adv_pred = harness.predict(victim, adversarial[t]);
+      int altered = 0;
+      for (std::size_t i = 0; i < adv_pred.size(); ++i) {
+        if (adv_pred[i] != clean_pred[i]) ++altered;
+      }
+      sum_asr += adv_pred.empty() ? 0.0
+                                  : static_cast<double>(altered) /
+                                        static_cast<double>(adv_pred.size());
+    }
+    if (!targets.empty()) {
+      row.attack_success = sum_asr / static_cast<double>(targets.size());
+    }
+    util::log_debug() << "transfer source=" << source << " victim=" << victim
+                      << " asr=" << row.attack_success;
+    results.push_back(row);
+  }
+  return results;
+}
+
+}  // namespace blurnet::eval

@@ -1,0 +1,154 @@
+// Engine-backed evaluation harness: every attack protocol the bench binaries
+// run (Tables I–V, the figures, the ablation) is expressed against a
+// serve::InferenceEngine instead of raw models.
+//
+//   * eval::Harness owns (or borrows) an InferenceEngine and a registry of
+//     **victims** — named engine variants plus per-victim prediction policy
+//     (e.g. randomized smoothing). Victims can be independently trained
+//     models (add_victim -> serve::InferenceEngine::register_model) or
+//     weight-transfer variants of the engine's base model
+//     (add_variant_victim / adopt_variant).
+//   * Protocol objects (WhiteboxSweep, TransferMatrix, AdaptiveSweep) submit
+//     every clean/adversarial classification batch through
+//     classify(images, Options{variant}) and fan the per-target RP2 crafting
+//     runs out across the victim's replicas: replica k's model handles the
+//     gradient side of targets k, k+R, ... so no two concurrent crafting
+//     runs share autograd state.
+//
+// Hard invariant, inherited from the serving layer and preserved by the
+// protocols: per-image predictions and every aggregated table number are
+// bitwise identical for any replica count, batch split, or routing order —
+// replicas are deep weight clones and all aggregation happens in target-index
+// order. Sharding the evaluation is purely a throughput decision.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/attack/threat_model.h"
+#include "src/data/dataset.h"
+#include "src/defense/randomized_smoothing.h"
+#include "src/eval/experiments.h"
+#include "src/serve/engine.h"
+
+namespace blurnet::eval {
+
+/// Per-victim registration knobs.
+struct VictimSpec {
+  /// Serving replicas for the victim's engine variant (0 = engine default).
+  /// Ignored by adopt_variant(), which reuses the existing shard.
+  int replicas = 0;
+  /// Monte-Carlo randomized smoothing applied at prediction time (the
+  /// paper's "Rand. sm" rows). The noisy sample batches are classified
+  /// through the engine variant like any other evaluation traffic. Crafting
+  /// still differentiates through the base model, matching the paper's
+  /// protocol.
+  std::optional<defense::SmoothingConfig> smoothing;
+};
+
+class Harness {
+ public:
+  /// Borrow an engine the caller owns — evaluation traffic rides the same
+  /// replicas as any other traffic on it. The engine must outlive the
+  /// harness (and any VictimHandle obtained from it).
+  explicit Harness(serve::InferenceEngine& engine);
+  /// Own a dedicated engine built around `base` (served as variant "base")
+  /// with `replicas` serving replicas per variant.
+  explicit Harness(const nn::LisaCnn& base, int replicas = 1, int max_batch = 64);
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  serve::InferenceEngine& engine() { return *engine_; }
+  const serve::InferenceEngine& engine() const { return *engine_; }
+
+  /// Register an independently trained model as engine variant `name` (deep
+  /// weight clones on every replica) and as a victim.
+  void add_victim(const std::string& name, const nn::LisaCnn& model,
+                  const VictimSpec& spec = {});
+  /// Register a weight-transfer variant of the engine's base model (Table I
+  /// protocol: `config`'s architecture serving the base weights) as a victim.
+  void add_variant_victim(const std::string& name, const nn::LisaCnnConfig& config,
+                          const VictimSpec& spec = {});
+  /// Mark an already-registered engine variant (e.g. "base" or "defended")
+  /// as a victim.
+  void adopt_variant(const std::string& name, const VictimSpec& spec = {});
+
+  bool has_victim(const std::string& name) const;
+  std::vector<std::string> victim_names() const;
+  int replica_count(const std::string& victim) const;
+  /// Images the victim's variant has served so far (exact per-replica sums).
+  std::int64_t images_served(const std::string& victim) const;
+
+  /// Labels for a CHW image or NCHW batch through the victim's serving path,
+  /// with the victim's prediction policy (smoothing) applied.
+  std::vector<int> predict(const std::string& victim, const tensor::Tensor& images) const;
+  /// Clean accuracy on a labeled dataset through the serving path.
+  double dataset_accuracy(const std::string& victim, const data::Dataset& data) const;
+  /// Fraction of `images` classified as the stop sign (Table I "Accuracy").
+  double stop_sign_accuracy(const std::string& victim, const tensor::Tensor& images) const;
+
+  /// Attack handle for fan-out slot `slot`: gradients through replica
+  /// (slot % replica_count)'s model — every replica is a bitwise-identical
+  /// deep clone, but each owns its autograd state, so distinct slots can
+  /// craft concurrently — and predictions through the engine's batched
+  /// classify on the victim's variant (no smoothing: the handle's
+  /// predictions mirror the raw serving path; prediction policy is applied
+  /// by predict()).
+  attack::VictimHandle victim_handle(const std::string& victim, int slot = 0) const;
+
+ private:
+  struct Victim {
+    std::string name;
+    std::optional<defense::SmoothingConfig> smoothing;
+  };
+
+  const Victim& require_victim(const std::string& name) const;
+  void add_entry(const std::string& name, const VictimSpec& spec);
+  std::vector<int> classify_labels(const std::string& variant,
+                                   const tensor::Tensor& images) const;
+
+  std::unique_ptr<serve::InferenceEngine> owned_;  // only when constructed from a model
+  serve::InferenceEngine* engine_;
+  std::vector<Victim> victims_;
+};
+
+/// White-box target sweep (Table II protocol): attack the victim on the stop
+/// sign set at every target class; aggregates altered-ASR / L2. Crafting fans
+/// out across the victim's replicas; all classification goes through the
+/// engine.
+struct WhiteboxSweep {
+  ExperimentScale scale;
+
+  SweepResult run(const Harness& harness, const std::string& victim, double legit_accuracy,
+                  const data::StopSignSet& eval_set) const;
+};
+
+/// Adaptive white-box sweep (Table III/V protocol): the same target sweep
+/// with the protocol's base RP2 config tailored to the victim through
+/// `adapt` (attack::low_frequency_adapter, attack::tv_aware_adapter, ...).
+/// `adapt` is invoked once per target on the calling thread, before the
+/// crafting fan-out, so it needs no synchronization of its own.
+struct AdaptiveSweep {
+  ExperimentScale scale;
+  ConfigAdapter adapt;
+
+  SweepResult run(const Harness& harness, const std::string& victim, double legit_accuracy,
+                  const data::StopSignSet& eval_set) const;
+};
+
+/// Black-box transfer matrix (Table I protocol): each per-target sticker is
+/// crafted ONCE on `source` (fanned across its replicas), then the same
+/// physical sticker is evaluated on every victim variant through the engine.
+/// Result i corresponds to victims[i].
+struct TransferMatrix {
+  ExperimentScale scale;
+
+  std::vector<TransferResult> run(const Harness& harness, const std::string& source,
+                                  const std::vector<std::string>& victims,
+                                  const data::StopSignSet& eval_set) const;
+};
+
+}  // namespace blurnet::eval

@@ -92,9 +92,10 @@ InferenceEngine::~InferenceEngine() {
   }
 }
 
-void InferenceEngine::register_variant_locked(const std::string& name,
-                                              const nn::LisaCnnConfig& config,
-                                              int replicas) {
+void InferenceEngine::register_shard_locked(const std::string& name,
+                                            const nn::LisaCnn& source,
+                                            const nn::LisaCnnConfig& config, int replicas,
+                                            bool from_base) {
   if (name.empty()) throw std::invalid_argument("register_variant: name must be non-empty");
   if (find_shard_locked(name) != nullptr) {
     throw std::invalid_argument("register_variant: variant \"" + name +
@@ -110,11 +111,18 @@ void InferenceEngine::register_variant_locked(const std::string& name,
   auto shard = std::make_unique<VariantShard>();
   shard->name = name;
   shard->config = config;
+  shard->from_base = from_base;
   shard->replicas.reserve(static_cast<std::size_t>(replicas));
   for (int i = 0; i < replicas; ++i) {
-    shard->replicas.push_back(std::make_unique<Replica>(model_, config));
+    shard->replicas.push_back(std::make_unique<Replica>(source, config));
   }
   shards_.push_back(std::move(shard));
+}
+
+void InferenceEngine::register_variant_locked(const std::string& name,
+                                              const nn::LisaCnnConfig& config,
+                                              int replicas) {
+  register_shard_locked(name, model_, config, replicas, /*from_base=*/true);
 }
 
 void InferenceEngine::register_variant(const std::string& name,
@@ -123,8 +131,29 @@ void InferenceEngine::register_variant(const std::string& name,
   register_variant_locked(name, config, replicas);
 }
 
+void InferenceEngine::register_model(const std::string& name, const nn::LisaCnn& source,
+                                     int replicas) {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  register_shard_locked(name, source, source.config(), replicas, /*from_base=*/false);
+}
+
+void InferenceEngine::alias_variant(const std::string& name, const std::string& existing) {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  if (name.empty()) throw std::invalid_argument("alias_variant: name must be non-empty");
+  if (find_shard_locked(name) != nullptr) {
+    throw std::invalid_argument("alias_variant: variant \"" + name +
+                                "\" is already registered");
+  }
+  aliases_.emplace_back(name, &require_shard_locked(existing));
+}
+
 void InferenceEngine::refresh_variant(const std::string& name) {
   VariantShard& shard = require_shard(name);
+  if (!shard.from_base) {
+    throw std::logic_error("refresh_variant: variant \"" + name +
+                           "\" serves an independently trained model "
+                           "(register_model); re-register it instead");
+  }
   for (auto& replica : shard.replicas) replica->refresh_from(model_);
 }
 
@@ -177,6 +206,17 @@ const nn::LisaCnn& InferenceEngine::variant(const std::string& name) const {
   return require_shard(name).replicas.front()->model();
 }
 
+const nn::LisaCnn& InferenceEngine::replica_model(const std::string& name, int index) const {
+  const VariantShard& shard = require_shard(name);
+  if (index < 0 || static_cast<std::size_t>(index) >= shard.replicas.size()) {
+    throw std::invalid_argument("replica_model: variant \"" + name + "\" has " +
+                                std::to_string(shard.replicas.size()) +
+                                " replicas, index " + std::to_string(index) +
+                                " is out of range");
+  }
+  return shard.replicas[static_cast<std::size_t>(index)]->model();
+}
+
 int InferenceEngine::replica_count(const std::string& name) const {
   return static_cast<int>(require_shard(name).replicas.size());
 }
@@ -219,6 +259,18 @@ std::vector<Prediction> InferenceEngine::classify(const Tensor& images,
     ~CallGuard() { replica.end_call(); }
   } guard{*replica};
   return replica->run(batch, cap);
+}
+
+Tensor InferenceEngine::classify_logits(const Tensor& images, const Options& options) const {
+  const std::vector<Prediction> predictions = classify(images, options);
+  const std::int64_t n = static_cast<std::int64_t>(predictions.size());
+  const std::int64_t k = static_cast<std::int64_t>(predictions.front().logits.size());
+  Tensor out(Shape::mat(n, k));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto& logits = predictions[static_cast<std::size_t>(i)].logits;
+    std::copy(logits.begin(), logits.end(), out.data() + i * k);
+  }
+  return out;
 }
 
 std::future<Prediction> InferenceEngine::submit(Tensor image, Options options) {
@@ -316,6 +368,21 @@ EngineStats InferenceEngine::stats() const {
     stats.variants.push_back(std::move(per_variant));
   }
   return stats;
+}
+
+VariantStats InferenceEngine::variant_stats(const std::string& name) const {
+  const VariantShard& shard = require_shard(name);
+  VariantStats stats;
+  stats.variant = shard.name;  // aliases report the shard they resolve to
+  stats.replicas.reserve(shard.replicas.size());
+  for (const auto& replica : shard.replicas) stats.replicas.push_back(replica->stats());
+  return stats;
+}
+
+std::int64_t InferenceEngine::images_served(const std::string& name) const {
+  std::int64_t images = 0;
+  for (const auto& rs : variant_stats(name).replicas) images += rs.images;
+  return images;
 }
 
 double accuracy(const std::vector<Prediction>& predictions, const std::vector<int>& labels) {

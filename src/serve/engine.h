@@ -109,8 +109,20 @@ class InferenceEngine {
   /// Throws std::invalid_argument if the name is empty or already taken.
   void register_variant(const std::string& name, const nn::LisaCnnConfig& config,
                         int replicas = 0);
+  /// Register an *independently trained* model as a variant: every replica
+  /// deep-clones `source`'s weights and architecture. Unlike
+  /// register_variant, nothing is transferred from the engine's base model,
+  /// so one engine can serve a whole zoo of differently-trained victims.
+  /// refresh_variant() on such a shard throws — re-register after retraining.
+  void register_model(const std::string& name, const nn::LisaCnn& source, int replicas = 0);
+  /// Register `name` as an alias of an existing variant: same shard, same
+  /// replicas, no extra weight clones (e.g. serving a zoo model's name next
+  /// to "base" when they are the same weights, or a "canary" alias).
+  void alias_variant(const std::string& name, const std::string& existing);
   /// Re-copy the (possibly retrained) base weights into every replica of the
   /// named variant. Must not race in-flight requests for that variant.
+  /// Throws std::logic_error for register_model() shards, whose weights do
+  /// not come from the base model.
   void refresh_variant(const std::string& name);
 
   std::vector<std::string> variant_names() const;
@@ -118,6 +130,11 @@ class InferenceEngine {
   /// The model served by the named variant (replica 0; all replicas are
   /// bitwise-identical clones).
   const nn::LisaCnn& variant(const std::string& name) const;
+  /// The model served by replica `index` of the named variant. All replicas
+  /// are bitwise-identical, but each owns its parameters (and therefore its
+  /// autograd state), so gradient-side attack drivers can fan out across
+  /// replicas without sharing mutable state. Throws on a bad index.
+  const nn::LisaCnn& replica_model(const std::string& name, int index) const;
   int replica_count(const std::string& name) const;
   /// True when the "defended" variant actually wraps a filter.
   bool defense_enabled() const { return defense_enabled_; }
@@ -127,12 +144,25 @@ class InferenceEngine {
   std::vector<Prediction> classify(const tensor::Tensor& images,
                                    const Options& options = {}) const;
 
+  /// Raw logits for a CHW image or NCHW batch through the named variant, as
+  /// an [N, num_classes] tensor in input order. Same routing/batching as
+  /// classify(); for callers (evaluation harnesses, calibration) that want
+  /// the score matrix instead of per-image predictions. Thread-safe.
+  tensor::Tensor classify_logits(const tensor::Tensor& images,
+                                 const Options& options = {}) const;
+
   /// Queue one CHW (or [1,C,H,W]) image for coalesced classification through
   /// the named variant. Replica workers are spawned lazily on the first call,
   /// so classify()-only engines never pay for them.
   std::future<Prediction> submit(tensor::Tensor image, Options options = {});
 
   EngineStats stats() const;
+  /// Per-replica counter snapshot for one variant (aliases resolve to the
+  /// shard they point at). Lets benches report exactly how many images a
+  /// victim variant served during an evaluation protocol.
+  VariantStats variant_stats(const std::string& name) const;
+  /// Total images served through the named variant so far.
+  std::int64_t images_served(const std::string& name) const;
 
  private:
   struct Request {
@@ -144,6 +174,7 @@ class InferenceEngine {
   struct VariantShard {
     std::string name;
     nn::LisaCnnConfig config;
+    bool from_base = true;  // weights transferred from model_ (refreshable)
     std::vector<std::unique_ptr<Replica>> replicas;
     std::size_t next_replica = 0;  // round-robin tiebreak; guarded by shards_mutex_
     // Queued path, all guarded by the engine-wide queue_mutex_. Each shard
@@ -161,6 +192,8 @@ class InferenceEngine {
   Replica& route_locked(VariantShard& shard) const;
   void register_variant_locked(const std::string& name, const nn::LisaCnnConfig& config,
                                int replicas);
+  void register_shard_locked(const std::string& name, const nn::LisaCnn& source,
+                             const nn::LisaCnnConfig& config, int replicas, bool from_base);
   void worker_loop(VariantShard* shard, Replica* replica);
 
   nn::LisaCnn model_;

@@ -139,6 +139,55 @@ TEST(Ops, DenseMatchesManual) {
   EXPECT_FLOAT_EQ(y.value().at2(0, 1), 1.5f);
 }
 
+TEST(Ops, DenseInferenceFastPathBitwiseEqualsGraphPath) {
+  // The inference-only dense path (no graph node, constant result) must be
+  // bitwise equal to the graph path, like the convolution scratch fast paths.
+  util::Rng rng(11);
+  const Tensor xv = Tensor::randn(Shape::mat(7, 33), rng);
+  const Tensor wv = Tensor::randn(Shape::mat(33, 18), rng);
+  const Tensor bv = Tensor::randn(Shape::vec(18), rng);
+
+  // Graph path: a grad-requiring input forces the make_op route.
+  auto x_graph = Variable::leaf(xv.clone(), /*requires_grad=*/true);
+  const auto graph =
+      dense(x_graph, Variable::constant(wv), Variable::constant(bv)).value();
+
+  // Fast path: no gradients anywhere.
+  NoGradGuard no_grad;
+  const auto fast =
+      dense(Variable::constant(xv), Variable::constant(wv), Variable::constant(bv)).value();
+  ASSERT_EQ(fast.shape(), graph.shape());
+  for (std::int64_t i = 0; i < fast.numel(); ++i) {
+    ASSERT_EQ(fast[i], graph[i]) << "element " << i;
+  }
+
+  // Bias-free form stays bitwise equal too.
+  Variable no_bias;
+  const auto fast_nb = dense(Variable::constant(xv), Variable::constant(wv), no_bias).value();
+  for (std::int64_t i = 0; i < fast_nb.numel(); ++i) {
+    ASSERT_EQ(fast_nb[i], tensor::matmul(xv, wv)[i]) << "element " << i;
+  }
+}
+
+TEST(Ops, FlattenInferenceFastPathSharesStorage) {
+  util::Rng rng(13);
+  const Tensor xv = Tensor::randn(Shape::nchw(2, 3, 4, 4), rng);
+  {
+    // Inference: flatten is a zero-copy reshape of the activations.
+    NoGradGuard no_grad;
+    const auto flat = flatten2d(Variable::constant(xv));
+    EXPECT_EQ(flat.shape(), Shape::mat(2, 48));
+    EXPECT_TRUE(flat.value().shares_storage_with(xv));
+  }
+  // Training: the graph path deep-copies so the backward reshape is safe.
+  auto leaf = Variable::leaf(xv.clone(), /*requires_grad=*/true);
+  const auto flat = flatten2d(leaf);
+  EXPECT_FALSE(flat.value().shares_storage_with(leaf.value()));
+  for (std::int64_t i = 0; i < flat.value().numel(); ++i) {
+    ASSERT_EQ(flat.value()[i], xv[i]);
+  }
+}
+
 TEST(Ops, Conv2dIdentityKernel) {
   // 1x1 kernel of value 1 == identity mapping.
   util::Rng rng(5);

@@ -6,7 +6,8 @@
 #include <set>
 
 #include "src/attack/masks.h"
-#include "src/eval/experiments.h"
+#include "src/eval/harness.h"
+#include "src/tensor/ops.h"
 #include "tests/test_helpers.h"
 
 namespace blurnet::eval {
@@ -18,7 +19,7 @@ ExperimentScale tiny_scale() {
   ExperimentScale scale;
   scale.eval_images = 3;
   scale.num_targets = 2;
-  scale.rp2_iterations = 10;
+  scale.rp2_iterations = 8;
   return scale;
 }
 
@@ -60,69 +61,244 @@ TEST(Scale, TargetCountClampedToAvailable) {
 TEST(PaperConfig, MatchesPaperHyperparameters) {
   const auto config = paper_rp2_config(tiny_scale());
   EXPECT_DOUBLE_EQ(config.lambda, 0.002);
-  EXPECT_EQ(config.iterations, 10);
+  EXPECT_EQ(config.iterations, 8);
   EXPECT_EQ(config.norm, attack::PerturbationNorm::kL2);
   EXPECT_TRUE(config.shared_perturbation);
 }
 
-TEST(WhiteboxSweep, ProducesConsistentAggregates) {
+// ---- raw-model reference implementations ------------------------------------
+// These replicate the pre-harness evaluation path — every forward pass on the
+// raw nn::LisaCnn, no engine — and anchor the bitwise-equivalence tests: the
+// engine-backed protocols must reproduce them exactly at any replica count.
+
+SweepResult reference_whitebox(const nn::LisaCnn& model, double legit,
+                               const data::StopSignSet& eval_set,
+                               const ExperimentScale& scale) {
+  const auto craft_set = attacker_craft_set(scale);
+  const auto craft_sticker = attack::sticker_mask(craft_set.masks);
+  const auto eval_sticker = attack::sticker_mask(eval_set.masks);
+  SweepResult result;
+  result.legit_accuracy = legit;
+  double sum_asr = 0.0, sum_l2 = 0.0;
+  const auto targets = scale.target_classes();
+  for (const int target : targets) {
+    attack::Rp2Config config = paper_rp2_config(scale);
+    config.target_class = target;
+    config.seed = 1000 + static_cast<std::uint64_t>(target);
+    const auto crafted = attack::rp2_attack(model, craft_set.images, craft_sticker, config);
+    const auto adversarial =
+        attack::apply_shared_sticker(eval_set.images, eval_sticker, crafted.shared_delta);
+    const auto clean_pred = model.predict(eval_set.images);
+    const auto adv_pred = model.predict(adversarial);
+    PerTargetResult per;
+    per.target = target;
+    int altered = 0, hits = 0;
+    for (std::size_t i = 0; i < clean_pred.size(); ++i) {
+      if (clean_pred[i] != adv_pred[i]) ++altered;
+      if (adv_pred[i] == target) ++hits;
+    }
+    const double count = static_cast<double>(clean_pred.size());
+    per.success_rate = count > 0 ? altered / count : 0.0;
+    per.targeted_rate = count > 0 ? hits / count : 0.0;
+    per.l2_dissimilarity = tensor::l2_dissimilarity(adversarial, eval_set.images);
+    result.per_target.push_back(per);
+    sum_asr += per.success_rate;
+    sum_l2 += per.l2_dissimilarity;
+    result.worst_success = std::max(result.worst_success, per.success_rate);
+  }
+  if (!targets.empty()) {
+    result.average_success = sum_asr / static_cast<double>(targets.size());
+    result.mean_l2 = sum_l2 / static_cast<double>(targets.size());
+  }
+  return result;
+}
+
+TransferResult reference_transfer(const nn::LisaCnn& source, const nn::LisaCnn& victim,
+                                  const data::StopSignSet& eval_set,
+                                  const ExperimentScale& scale) {
+  const auto sticker = attack::sticker_mask(eval_set.masks);
+  const auto targets = scale.target_classes();
+  TransferResult out;
+  const auto clean_preds = victim.predict(eval_set.images);
+  int correct = 0;
+  for (const int p : clean_preds) {
+    if (p == data::SignRenderer::stop_class_id()) ++correct;
+  }
+  out.clean_accuracy =
+      clean_preds.empty()
+          ? 0.0
+          : static_cast<double>(correct) / static_cast<double>(clean_preds.size());
+  const auto craft_set = attacker_craft_set(scale);
+  const auto craft_sticker = attack::sticker_mask(craft_set.masks);
+  double sum_asr = 0.0;
+  for (const int target : targets) {
+    attack::Rp2Config config = paper_rp2_config(scale);
+    config.target_class = target;
+    config.seed = 2000 + static_cast<std::uint64_t>(target);
+    const auto crafted = attack::rp2_attack(source, craft_set.images, craft_sticker, config);
+    const auto adversarial =
+        attack::apply_shared_sticker(eval_set.images, sticker, crafted.shared_delta);
+    const auto victim_adv = victim.predict(adversarial);
+    int altered = 0;
+    for (std::size_t i = 0; i < victim_adv.size(); ++i) {
+      if (victim_adv[i] != clean_preds[i]) ++altered;
+    }
+    sum_asr += victim_adv.empty() ? 0.0
+                                  : static_cast<double>(altered) /
+                                        static_cast<double>(victim_adv.size());
+  }
+  if (!targets.empty()) out.attack_success = sum_asr / static_cast<double>(targets.size());
+  return out;
+}
+
+void expect_sweeps_bitwise_equal(const SweepResult& a, const SweepResult& b,
+                                 const std::string& context) {
+  EXPECT_EQ(a.legit_accuracy, b.legit_accuracy) << context;
+  EXPECT_EQ(a.average_success, b.average_success) << context;
+  EXPECT_EQ(a.worst_success, b.worst_success) << context;
+  EXPECT_EQ(a.mean_l2, b.mean_l2) << context;
+  ASSERT_EQ(a.per_target.size(), b.per_target.size()) << context;
+  for (std::size_t i = 0; i < a.per_target.size(); ++i) {
+    EXPECT_EQ(a.per_target[i].target, b.per_target[i].target) << context;
+    EXPECT_EQ(a.per_target[i].success_rate, b.per_target[i].success_rate) << context;
+    EXPECT_EQ(a.per_target[i].targeted_rate, b.per_target[i].targeted_rate) << context;
+    EXPECT_EQ(a.per_target[i].l2_dissimilarity, b.per_target[i].l2_dissimilarity) << context;
+  }
+}
+
+// The acceptance invariant of the engine-backed redesign: the white-box sweep
+// run through engine variants is bitwise identical to the raw single-model
+// reference at every replica count — sharding the evaluation (and fanning the
+// per-target crafting runs across replicas) is purely a throughput decision.
+TEST(Harness, WhiteboxSweepBitwiseEqualsRawModelAcrossReplicaCounts) {
   const auto& model = tiny_trained_model();
   const auto stop_set = data::stop_sign_eval_set(3);
   const auto scale = tiny_scale();
-  const auto sweep = whitebox_sweep(model, 0.9, stop_set, scale);
-  EXPECT_DOUBLE_EQ(sweep.legit_accuracy, 0.9);
-  EXPECT_EQ(sweep.per_target.size(), 2u);
-  // Aggregates must match per-target data.
-  double sum = 0, worst = 0;
-  for (const auto& per : sweep.per_target) {
-    sum += per.success_rate;
-    worst = std::max(worst, per.success_rate);
-    EXPECT_GE(per.success_rate, 0.0);
-    EXPECT_LE(per.success_rate, 1.0);
-    EXPECT_GE(per.l2_dissimilarity, 0.0);
+  const auto reference = reference_whitebox(model, 0.9, stop_set, scale);
+
+  for (const int replicas : {1, 2, 4}) {
+    Harness harness(model, replicas);
+    harness.adopt_variant(serve::kBaseVariant);
+    const auto sweep =
+        WhiteboxSweep{scale}.run(harness, serve::kBaseVariant, 0.9, stop_set);
+    expect_sweeps_bitwise_equal(sweep, reference,
+                                "replicas " + std::to_string(replicas));
+    // Every evaluation forward pass was served by the engine.
+    EXPECT_GT(harness.images_served(serve::kBaseVariant), 0)
+        << "replicas " << replicas;
   }
-  EXPECT_NEAR(sweep.average_success, sum / 2.0, 1e-9);
-  EXPECT_NEAR(sweep.worst_success, worst, 1e-9);
 }
 
-TEST(WhiteboxSweep, AdapterIsApplied) {
+// Satellite: crafted-on-source stickers evaluated through engine variants
+// (apply_shared_sticker + transfer protocol) match the raw-model path
+// bitwise, across replica counts {1, 2, 4}.
+TEST(Harness, TransferMatrixBitwiseEqualsRawModelAcrossReplicaCounts) {
+  const auto& source = tiny_trained_model();
+  nn::LisaCnnConfig filtered = source.config();
+  filtered.fixed_filter = {nn::FilterPlacement::kAfterLayer1, 3, signal::KernelKind::kBox};
+  const nn::LisaCnn victim = source.clone_with_config(filtered);
+
+  const auto stop_set = data::stop_sign_eval_set(3);
+  const auto scale = tiny_scale();
+  const auto ref_self = reference_transfer(source, source, stop_set, scale);
+  const auto ref_filtered = reference_transfer(source, victim, stop_set, scale);
+
+  for (const int replicas : {1, 2, 4}) {
+    Harness harness(source, replicas);
+    harness.adopt_variant(serve::kBaseVariant);
+    harness.add_variant_victim("filtered", filtered);
+    const auto results = TransferMatrix{scale}.run(
+        harness, serve::kBaseVariant, {std::string(serve::kBaseVariant), "filtered"},
+        stop_set);
+    ASSERT_EQ(results.size(), 2u);
+    const std::string context = "replicas " + std::to_string(replicas);
+    EXPECT_EQ(results[0].clean_accuracy, ref_self.clean_accuracy) << context;
+    EXPECT_EQ(results[0].attack_success, ref_self.attack_success) << context;
+    EXPECT_EQ(results[1].clean_accuracy, ref_filtered.clean_accuracy) << context;
+    EXPECT_EQ(results[1].attack_success, ref_filtered.attack_success) << context;
+  }
+}
+
+TEST(Harness, AdaptiveSweepAppliesAdapter) {
   const auto& model = tiny_trained_model();
   const auto stop_set = data::stop_sign_eval_set(2);
   const auto scale = tiny_scale();
+  Harness harness(model);
+  harness.adopt_variant(serve::kBaseVariant);
   int adapter_calls = 0;
-  whitebox_sweep(model, 1.0, stop_set, scale,
-                 [&adapter_calls](const attack::Rp2Config& c) {
-                   ++adapter_calls;
-                   attack::Rp2Config out = c;
-                   out.iterations = 2;  // keep it cheap
-                   return out;
-                 });
+  AdaptiveSweep sweep{scale, [&adapter_calls](const attack::Rp2Config& c) {
+                        ++adapter_calls;
+                        attack::Rp2Config out = c;
+                        out.iterations = 2;  // keep it cheap
+                        return out;
+                      }};
+  sweep.run(harness, serve::kBaseVariant, 1.0, stop_set);
   EXPECT_EQ(adapter_calls, scale.num_targets);
 }
 
-TEST(WhiteboxSweep, PredictorOverridesClassification) {
+TEST(Harness, VictimRegistryValidation) {
   const auto& model = tiny_trained_model();
-  const auto stop_set = data::stop_sign_eval_set(2);
-  const auto scale = tiny_scale();
-  // A constant predictor means no prediction ever changes => ASR 0.
-  const auto sweep = whitebox_sweep(
-      model, 1.0, stop_set, scale, nullptr,
-      [](const tensor::Tensor& x) {
-        return std::vector<int>(static_cast<std::size_t>(x.dim(0)), 0);
-      });
-  EXPECT_DOUBLE_EQ(sweep.average_success, 0.0);
-  EXPECT_DOUBLE_EQ(sweep.worst_success, 0.0);
+  Harness harness(model);
+  EXPECT_FALSE(harness.has_victim(serve::kBaseVariant));
+  harness.adopt_variant(serve::kBaseVariant);
+  EXPECT_TRUE(harness.has_victim(serve::kBaseVariant));
+  // Unknown engine variants cannot be adopted; duplicates are rejected.
+  EXPECT_THROW(harness.adopt_variant("nope"), std::invalid_argument);
+  EXPECT_THROW(harness.adopt_variant(serve::kBaseVariant), std::invalid_argument);
+  EXPECT_THROW(harness.add_victim(serve::kBaseVariant, model), std::invalid_argument);
+  // predict() on an unregistered victim names the known ones.
+  const auto stop_set = data::stop_sign_eval_set(1);
+  try {
+    harness.predict("missing", stop_set.images);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("base"), std::string::npos) << e.what();
+  }
 }
 
-TEST(Transfer, SelfTransferEqualsWhiteboxEffect) {
+TEST(Harness, PredictMatchesRawModelAndCountsTraffic) {
   const auto& model = tiny_trained_model();
-  const auto stop_set = data::stop_sign_eval_set(3);
-  const auto scale = tiny_scale();
-  const auto result = transfer_attack(model, model, stop_set, scale);
-  EXPECT_GE(result.clean_accuracy, 0.0);
-  EXPECT_LE(result.clean_accuracy, 1.0);
-  EXPECT_GE(result.attack_success, 0.0);
-  EXPECT_LE(result.attack_success, 1.0);
+  const auto stop_set = data::stop_sign_eval_set(4);
+  Harness harness(model, /*replicas=*/2);
+  harness.adopt_variant(serve::kBaseVariant);
+  EXPECT_EQ(harness.replica_count(serve::kBaseVariant), 2);
+  const auto via_harness = harness.predict(serve::kBaseVariant, stop_set.images);
+  EXPECT_EQ(via_harness, model.predict(stop_set.images));
+  EXPECT_EQ(harness.images_served(serve::kBaseVariant), 4);
+
+  // A single CHW image is accepted everywhere a batch is — including through
+  // a smoothing victim, which needs the NCHW normalization up front.
+  tensor::Tensor image(tensor::Shape{3, 32, 32});
+  std::copy(stop_set.images.data(), stop_set.images.data() + image.numel(), image.data());
+  EXPECT_EQ(harness.predict(serve::kBaseVariant, image).size(), 1u);
+  defense::SmoothingConfig smoothing;
+  smoothing.sigma = 0.05;
+  smoothing.samples = 2;
+  eval::VictimSpec spec;
+  spec.smoothing = smoothing;
+  harness.add_victim("smoothed", model, spec);
+  EXPECT_EQ(harness.predict("smoothed", image).size(), 1u);
+}
+
+TEST(Harness, VictimHandleSplitsGradientAndPredictionSides) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(2);
+  Harness harness(model, /*replicas=*/2);
+  harness.adopt_variant(serve::kBaseVariant);
+  for (const int slot : {0, 1, 2, 3}) {
+    const auto handle = harness.victim_handle(serve::kBaseVariant, slot);
+    // Gradient side: a replica's deep clone, bitwise-equal to the source.
+    EXPECT_EQ(handle.gradient_model().predict(stop_set.images),
+              model.predict(stop_set.images))
+        << "slot " << slot;
+    // Prediction side: served by the engine.
+    const auto before = harness.images_served(serve::kBaseVariant);
+    EXPECT_EQ(handle.classify(stop_set.images), model.predict(stop_set.images))
+        << "slot " << slot;
+    EXPECT_EQ(harness.images_served(serve::kBaseVariant), before + 2);
+  }
+  EXPECT_THROW(harness.victim_handle(serve::kBaseVariant, -1), std::invalid_argument);
 }
 
 TEST(Results, WriteFileCreatesDirectoryAndContent) {

@@ -6,7 +6,7 @@
 #include <filesystem>
 
 #include "src/defense/blurnet.h"
-#include "src/eval/experiments.h"
+#include "src/eval/harness.h"
 #include "src/signal/spectrum.h"
 #include "tests/test_helpers.h"
 
@@ -100,10 +100,17 @@ TEST(Integration, WhiteboxSweepOnDefendedAndBaseline) {
   scale.rp2_iterations = 15;
   const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
 
-  const auto base_sweep = eval::whitebox_sweep(baseline, 0.9, stop_set, scale);
-  const auto defended_sweep = eval::whitebox_sweep(defended, 0.9, stop_set, scale);
+  eval::Harness harness(baseline);
+  harness.adopt_variant(serve::kBaseVariant);
+  harness.add_victim("defended-tv", defended);
+  const eval::WhiteboxSweep protocol{scale};
+  const auto base_sweep = protocol.run(harness, serve::kBaseVariant, 0.9, stop_set);
+  const auto defended_sweep = protocol.run(harness, "defended-tv", 0.9, stop_set);
   EXPECT_GE(base_sweep.worst_success, base_sweep.average_success);
   EXPECT_GE(defended_sweep.worst_success, defended_sweep.average_success);
+  // Every evaluation forward pass went through the engine.
+  EXPECT_GT(harness.images_served(serve::kBaseVariant), 0);
+  EXPECT_GT(harness.images_served("defended-tv"), 0);
 }
 
 TEST(Integration, AdaptiveAttackPathEndToEnd) {
@@ -113,9 +120,10 @@ TEST(Integration, AdaptiveAttackPathEndToEnd) {
   scale.num_targets = 1;
   scale.rp2_iterations = 8;
   const auto stop_set = data::stop_sign_eval_set(scale.eval_images);
-  const auto sweep = eval::whitebox_sweep(
-      model, 1.0, stop_set, scale,
-      [](const attack::Rp2Config& c) { return attack::low_frequency_config(c, 8); });
+  eval::Harness harness(model);
+  harness.adopt_variant(serve::kBaseVariant);
+  const auto sweep = eval::AdaptiveSweep{scale, attack::low_frequency_adapter(8)}.run(
+      harness, serve::kBaseVariant, 1.0, stop_set);
   EXPECT_EQ(sweep.per_target.size(), 1u);
 }
 
@@ -129,10 +137,19 @@ TEST(Integration, SmoothedPredictorPluggedIntoSweep) {
   defense::SmoothingConfig smoothing;
   smoothing.sigma = 0.05;
   smoothing.samples = 8;
-  const auto sweep = eval::whitebox_sweep(
-      model, 1.0, stop_set, scale, nullptr,
-      [&](const tensor::Tensor& x) { return defense::smoothed_predict(model, x, smoothing); });
+  eval::Harness harness(model);
+  eval::VictimSpec spec;
+  spec.smoothing = smoothing;
+  harness.add_victim("smoothed", model, spec);
+  const auto sweep =
+      eval::WhiteboxSweep{scale}.run(harness, "smoothed", 1.0, stop_set);
   EXPECT_LE(sweep.worst_success, 1.0);
+  // The smoothed victim's predictions are the same majority vote the raw
+  // model computes — the Monte-Carlo noise depends only on the config seed
+  // and every engine replica is a bitwise-identical clone.
+  const auto via_engine = harness.predict("smoothed", stop_set.images);
+  const auto via_model = defense::smoothed_predict(model, stop_set.images, smoothing);
+  EXPECT_EQ(via_engine, via_model);
 }
 
 TEST(Integration, ModelCheckpointsSurviveArchitectureWrap) {

@@ -316,6 +316,102 @@ TEST(Engine, RegisterCustomVariantServesTransferredWeights) {
   EXPECT_THROW(engine.register_variant("", blur7), std::invalid_argument);
 }
 
+TEST(Engine, RegisterModelServesForeignWeights) {
+  // A differently-trained (here: differently-initialized) model served as a
+  // variant next to the base: replicas clone the *source*, not the base.
+  InferenceEngine engine(small_engine_config());
+  nn::LisaCnnConfig other_config = small_model_config();
+  other_config.init_seed = 99;
+  const nn::LisaCnn other(other_config);
+  engine.register_model("other", other, /*replicas=*/2);
+  EXPECT_TRUE(engine.has_variant("other"));
+  EXPECT_EQ(engine.replica_count("other"), 2);
+
+  const auto batch = random_batch(3, 61);
+  const auto via_engine = engine.classify(batch, Options{"other"});
+  const auto expected = other.logits(batch);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t k = 0; k < expected.dim(1); ++k) {
+      EXPECT_EQ(via_engine[static_cast<std::size_t>(i)].logits[static_cast<std::size_t>(k)],
+                expected.at2(i, k));
+    }
+  }
+  // The foreign weights are NOT the base weights.
+  EXPECT_NE(via_engine[0].logits, engine.classify(batch)[0].logits);
+  // And the shard is not refreshable from the base model.
+  EXPECT_THROW(engine.refresh_variant("other"), std::logic_error);
+  EXPECT_THROW(engine.register_model("other", other), std::invalid_argument);
+}
+
+TEST(Engine, AliasVariantSharesShardWithoutNewReplicas) {
+  InferenceEngine engine(small_engine_config(2));
+  engine.alias_variant("canary", kBaseVariant);
+  EXPECT_TRUE(engine.has_variant("canary"));
+  EXPECT_EQ(engine.replica_count("canary"), 2);
+  // Same shard: traffic through either name lands on the same counters, and
+  // stats() reports one variant entry per shard (no duplicate for aliases).
+  const auto batch = random_batch(3, 59);
+  const auto via_alias = engine.classify(batch, Options{"canary"});
+  EXPECT_EQ(via_alias[0].logits, engine.classify(batch)[0].logits);
+  EXPECT_EQ(engine.images_served("canary"), engine.images_served(kBaseVariant));
+  EXPECT_EQ(engine.stats().variants.size(), 2u);  // base + defended shards only
+  EXPECT_THROW(engine.alias_variant("canary", kBaseVariant), std::invalid_argument);
+  EXPECT_THROW(engine.alias_variant("x", "no-such-variant"), std::invalid_argument);
+  EXPECT_THROW(engine.alias_variant("", kBaseVariant), std::invalid_argument);
+}
+
+TEST(Engine, ReplicaModelExposesBitwiseIdenticalClones) {
+  InferenceEngine engine(small_engine_config(3));
+  const auto batch = random_batch(2, 67);
+  const auto reference = engine.model().logits(batch);
+  for (int r = 0; r < 3; ++r) {
+    const nn::LisaCnn& replica = engine.replica_model(kBaseVariant, r);
+    const auto logits = replica.logits(batch);
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+      ASSERT_EQ(logits[i], reference[i]) << "replica " << r;
+    }
+    // Distinct replicas own distinct parameter storage (no shared autograd
+    // state between fan-out slots).
+    if (r > 0) {
+      EXPECT_FALSE(replica.parameters()[0].value().shares_storage_with(
+          engine.replica_model(kBaseVariant, 0).parameters()[0].value()));
+    }
+  }
+  EXPECT_THROW(engine.replica_model(kBaseVariant, 3), std::invalid_argument);
+  EXPECT_THROW(engine.replica_model(kBaseVariant, -1), std::invalid_argument);
+}
+
+TEST(Engine, ClassifyLogitsMatchesClassify) {
+  const InferenceEngine engine(small_engine_config());
+  const auto batch = random_batch(5, 71);
+  const auto predictions = engine.classify(batch, Options{kDefendedVariant});
+  const auto logits = engine.classify_logits(batch, Options{kDefendedVariant});
+  ASSERT_EQ(logits.dim(0), 5);
+  ASSERT_EQ(logits.dim(1), 18);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    for (std::int64_t k = 0; k < 18; ++k) {
+      EXPECT_EQ(logits.at2(i, k),
+                predictions[static_cast<std::size_t>(i)].logits[static_cast<std::size_t>(k)]);
+    }
+  }
+}
+
+TEST(Engine, VariantStatsSnapshotCountsServedImages) {
+  const InferenceEngine engine(small_engine_config(2));
+  EXPECT_EQ(engine.images_served(kBaseVariant), 0);
+  engine.classify(random_batch(7, 73));
+  engine.classify(random_batch(2, 73), Options{kDefendedVariant});
+  const auto base_stats = engine.variant_stats(kBaseVariant);
+  EXPECT_EQ(base_stats.variant, kBaseVariant);
+  ASSERT_EQ(base_stats.replicas.size(), 2u);
+  std::int64_t total = 0;
+  for (const auto& rs : base_stats.replicas) total += rs.images;
+  EXPECT_EQ(total, 7);
+  EXPECT_EQ(engine.images_served(kBaseVariant), 7);
+  EXPECT_EQ(engine.images_served(kDefendedVariant), 2);
+  EXPECT_THROW(engine.variant_stats("nope"), std::invalid_argument);
+}
+
 TEST(Engine, RefreshVariantPicksUpRetrainedBaseWeights) {
   InferenceEngine engine(small_engine_config());
   const auto batch = random_batch(2, 47);
