@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/autograd/ops.h"
+#include "src/linalg/gemm.h"
 #include "src/nn/lisa_cnn.h"
 #include "src/serve/engine.h"
 #include "src/signal/dct.h"
@@ -201,6 +202,65 @@ void BM_TvLoss(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TvLoss);
+
+// ---- GEMM: packed microkernel vs the seed's naive ikj loop ------------------
+// Args are {m, k, n}. The first three shapes are the im2col GEMMs of the
+// LISA-CNN conv layers at 32x32 (filters x patch x out-pixels); the last is a
+// square cache-unfriendly size. BM_GemmNaiveIkj reproduces the loop the
+// microkernel replaced (minus its NaN-dropping zero-skip), so the ratio of
+// the two is the speedup reported in the README perf section. Both sides run
+// with the worker count pinned to 1: the ratio isolates kernel quality
+// (packing, blocking, register tiling) from thread parallelism, and matches
+// how the conv GEMMs actually run — nested inline under the batch
+// parallel_for. The end-to-end benches (BM_Conv2d*, BM_Engine*) capture the
+// threaded picture.
+void gemm_bench_shapes(benchmark::internal::Benchmark* b) {
+  b->Args({8, 75, 1024})    // conv1: 8 filters, 3x5x5 patch, 32x32 out
+      ->Args({16, 200, 256})  // conv2: 16 filters, 8x5x5 patch, 16x16 out
+      ->Args({32, 400, 64})   // conv3: 32 filters, 16x5x5 patch, 8x8 out
+      ->Args({256, 256, 256});
+}
+
+void BM_GemmMicrokernel(benchmark::State& state) {
+  util::set_parallel_workers(1);
+  const std::int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  util::Rng rng(7);
+  const auto a = tensor::Tensor::randn(tensor::Shape::mat(m, k), rng);
+  const auto b = tensor::Tensor::randn(tensor::Shape::mat(k, n), rng);
+  tensor::Tensor c(tensor::Shape::mat(m, n));
+  for (auto _ : state) {
+    linalg::sgemm_nn(m, n, k, a.data(), b.data(), c.data(), /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * k);
+  util::reset_parallel_workers();
+}
+BENCHMARK(BM_GemmMicrokernel)->Apply(gemm_bench_shapes);
+
+void BM_GemmNaiveIkj(benchmark::State& state) {
+  const std::int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  util::Rng rng(7);
+  const auto a = tensor::Tensor::randn(tensor::Shape::mat(m, k), rng);
+  const auto b = tensor::Tensor::randn(tensor::Shape::mat(k, n), rng);
+  tensor::Tensor c(tensor::Shape::mat(m, n));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (auto _ : state) {
+    std::fill(pc, pc + m * n, 0.0f);
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = pc + i * n;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float aik = pa[i * k + kk];
+        const float* brow = pb + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+    benchmark::DoNotOptimize(pc);
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * k);
+}
+BENCHMARK(BM_GemmNaiveIkj)->Apply(gemm_bench_shapes);
 
 void BM_MatMul(benchmark::State& state) {
   const auto n = state.range(0);

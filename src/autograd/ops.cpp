@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/linalg/gemm.h"
 #include "src/signal/dct.h"
 #include "src/tensor/ops.h"
 #include "src/util/parallel.h"
@@ -22,56 +23,15 @@ void require_same_shape(const Variable& a, const Variable& b, const char* op) {
   }
 }
 
-// Raw accumulate-GEMM helpers used by the convolution backward passes.
-// C[m,n] += A[m,k] * B[k,n]
-void gemm_nn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
-                 std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = a[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = b + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
-}
-
-// C[m,n] += A[m,k] * B[n,k]^T
-void gemm_nt_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
-                 std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* arow = a + i * k;
-      const float* brow = b + j * k;
-      double acc = 0.0;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
-      c[i * n + j] += static_cast<float>(acc);
-    }
-  }
-}
-
-// C[m,n] += A[k,m]^T * B[k,n]
-void gemm_tn_acc(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
-                 std::int64_t n) {
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a + kk * m;
-    const float* brow = b + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aik = arow[i];
-      if (aik == 0.0f) continue;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
-}
-
 // Per-thread scratch reused across inference-only convolution calls (conv2d
 // and the depthwise kernel share the padded buffer sequentially). The padded
 // input and im2col matrix are the two big per-forward allocations; serving
 // runs the same shapes over and over, so keeping the buffers warm per thread
-// removes the allocator from the hot path. Gradient-tracking calls cannot use
-// this: their column matrix must outlive the forward for the backward GEMMs.
+// removes the allocator from the hot path. The GEMM pack panels live in
+// matching per-thread scratch inside linalg::sgemm, so the whole forward is
+// allocation-free once a serving thread is warm. Gradient-tracking calls
+// cannot use this: their column matrix must outlive the forward for the
+// backward GEMMs.
 struct ConvScratch {
   std::vector<float> padded;
   std::vector<float> cols;
@@ -329,8 +289,8 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b, int str
   auto gemm_batch = [&](const float* cols_data, Tensor& out) {
     util::parallel_for(n, [&](std::int64_t n0, std::int64_t n1) {
       for (std::int64_t in = n0; in < n1; ++in) {
-        gemm_nn_acc(wdata, cols_data + in * patch * oh * ow,
-                    out.data() + in * f * oh * ow, f, patch, oh * ow);
+        linalg::sgemm_nn(f, oh * ow, patch, wdata, cols_data + in * patch * oh * ow,
+                         out.data() + in * f * oh * ow, /*accumulate=*/false);
       }
     }, /*min_chunk=*/1);
   };
@@ -365,11 +325,13 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b, int str
       [x, w, b, cols, n, c, f, kh, kw, stride, pad, hp, wp, oh, ow, patch](Node& node) mutable {
         const Tensor& g = node.grad();  // [n, f, oh, ow]
         if (w.requires_grad()) {
+          // dW[f, patch] accumulates G_in * Cols_in^T across the batch.
           Tensor dw(w.value().shape());
           float* dwp = dw.data();
           for (std::int64_t in = 0; in < n; ++in) {
-            gemm_nt_acc(g.data() + in * f * oh * ow, cols.data() + in * patch * oh * ow,
-                        dwp, f, oh * ow, patch);
+            linalg::sgemm_nt(f, patch, oh * ow, g.data() + in * f * oh * ow,
+                             cols.data() + in * patch * oh * ow, dwp,
+                             /*accumulate=*/true);
           }
           w.node()->accumulate_grad(dw);
         }
@@ -381,8 +343,11 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b, int str
           const float* wdata2 = w.value().data();
           util::parallel_for(n, [&](std::int64_t n0, std::int64_t n1) {
             for (std::int64_t in = n0; in < n1; ++in) {
-              gemm_tn_acc(wdata2, g.data() + in * f * oh * ow,
-                          dcols.data() + in * patch * oh * ow, patch, f, oh * ow);
+              // dCols_in[patch, oh*ow] = W^T * G_in, W stored [f, patch].
+              linalg::sgemm_tn(patch, oh * ow, f, wdata2,
+                               g.data() + in * f * oh * ow,
+                               dcols.data() + in * patch * oh * ow,
+                               /*accumulate=*/false);
             }
           }, /*min_chunk=*/1);
           Tensor dxp = tensor::col2im(dcols, n, c, hp, wp, kh, kw, stride, stride);
@@ -727,14 +692,23 @@ Variable tikhonov_rows(const Variable& x, const Tensor& l_operator) {
   const float scale = 1.0f / static_cast<float>(n * c);
   const float* lv = l_operator.data();
   const float* xv = x.value().data();
-  // G[p] = L * F[p]; loss = scale * sum ||G||^2.
+  // G[p] = L * F[p]; loss = scale * sum ||G||^2. Parallelism lands on the
+  // coarse plane loop (the per-plane GEMMs are tiny and run nested-inline);
+  // each plane's squared sum is stored by index and reduced in plane order,
+  // so the total is identical for any worker count.
   Tensor g_all(Shape{n * c, h, w});
+  std::vector<double> plane_sq(static_cast<std::size_t>(n * c));
+  util::parallel_for(n * c, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      float* gp = g_all.data() + p * h * w;
+      linalg::sgemm_nn(h, w, h, lv, xv + p * h * w, gp, /*accumulate=*/false);
+      double sq = 0.0;
+      for (std::int64_t i = 0; i < h * w; ++i) sq += static_cast<double>(gp[i]) * gp[i];
+      plane_sq[static_cast<std::size_t>(p)] = sq;
+    }
+  }, /*min_chunk=*/1);
   double acc = 0.0;
-  for (std::int64_t p = 0; p < n * c; ++p) {
-    float* gp = g_all.data() + p * h * w;
-    gemm_nn_acc(lv, xv + p * h * w, gp, h, h, w);
-    for (std::int64_t i = 0; i < h * w; ++i) acc += static_cast<double>(gp[i]) * gp[i];
-  }
+  for (const double sq : plane_sq) acc += sq;
   Tensor out = Tensor::scalar(static_cast<float>(acc) * scale);
   const Tensor l_copy = l_operator;
   return make_op("tikhonov_rows", std::move(out), {x},
@@ -743,10 +717,13 @@ Variable tikhonov_rows(const Variable& x, const Tensor& l_operator) {
                    const float g = node.grad()[0] * 2.0f * scale;
                    // dF = 2*scale * L^T * G
                    Tensor dx(x.value().shape());
-                   for (std::int64_t p = 0; p < n * c; ++p) {
-                     gemm_tn_acc(l_copy.data(), g_all.data() + p * h * w,
-                                 dx.data() + p * h * w, h, h, w);
-                   }
+                   util::parallel_for(n * c, [&](std::int64_t p0, std::int64_t p1) {
+                     for (std::int64_t p = p0; p < p1; ++p) {
+                       linalg::sgemm_tn(h, w, h, l_copy.data(),
+                                        g_all.data() + p * h * w,
+                                        dx.data() + p * h * w, /*accumulate=*/false);
+                     }
+                   }, /*min_chunk=*/1);
                    dx.scale_(g);
                    x.node()->accumulate_grad(dx);
                  });

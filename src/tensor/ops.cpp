@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/linalg/gemm.h"
 #include "src/util/parallel.h"
 
 namespace blurnet::tensor {
@@ -110,20 +111,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor out(Shape::mat(m, n));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  util::parallel_for(m, [&](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t i = r0; i < r1; ++i) {
-      float* orow = po + i * n;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float aik = pa[i * k + kk];
-        if (aik == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
-      }
-    }
-  }, /*min_chunk=*/8);
+  linalg::sgemm_nn(m, n, k, a.data(), b.data(), out.data(), /*accumulate=*/false);
   return out;
 }
 
@@ -133,20 +121,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   }
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor out(Shape::mat(m, n));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // out[i,j] = sum_kk a[kk,i] * b[kk,j]
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aik = arow[i];
-      if (aik == 0.0f) continue;
-      float* orow = po + i * n;
-      for (std::int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
-    }
-  }
+  linalg::sgemm_tn(m, n, k, a.data(), b.data(), out.data(), /*accumulate=*/false);
   return out;
 }
 
@@ -156,20 +131,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   }
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor out(Shape::mat(m, n));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  util::parallel_for(m, [&](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t i = r0; i < r1; ++i) {
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* arow = pa + i * k;
-        const float* brow = pb + j * k;
-        double acc = 0.0;
-        for (std::int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
-        po[i * n + j] = static_cast<float>(acc);
-      }
-    }
-  }, /*min_chunk=*/8);
+  linalg::sgemm_nt(m, n, k, a.data(), b.data(), out.data(), /*accumulate=*/false);
   return out;
 }
 

@@ -30,7 +30,13 @@ Tensor minimum(const Tensor& a, const Tensor& b);
 Tensor apply(const Tensor& a, const std::function<float(float)>& fn);
 
 // ---- linear algebra ---------------------------------------------------------
-/// C[m,n] = A[m,k] * B[k,n]. Cache-friendly ikj loop, parallel over rows.
+// All three variants route through the packed, blocked microkernel in
+// src/linalg/gemm.h and share its numeric contract: float32 accumulation in
+// ascending-k order (split at linalg::kKc), identical across the transpose
+// variants — matmul(a, transpose2d(b)) == matmul_nt(a, b) bitwise — and
+// bitwise deterministic for any worker count. NaN/Inf operands propagate per
+// IEEE (no zero-skip shortcuts).
+/// C[m,n] = A[m,k] * B[k,n].
 Tensor matmul(const Tensor& a, const Tensor& b);
 /// C = A^T * B where A is [k,m], B is [k,n] -> C [m,n].
 Tensor matmul_tn(const Tensor& a, const Tensor& b);

@@ -1,10 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <tuple>
+#include <vector>
 
+#include "src/autograd/gradcheck.h"
+#include "src/autograd/ops.h"
+#include "src/autograd/variable.h"
+#include "src/linalg/gemm.h"
 #include "src/linalg/matrix.h"
 #include "src/linalg/operators.h"
 #include "src/linalg/svd.h"
+#include "src/tensor/ops.h"
+#include "src/util/parallel.h"
 #include "src/util/rng.h"
 
 namespace blurnet::linalg {
@@ -211,6 +220,171 @@ TEST(Operators, InvalidArgumentsThrow) {
   EXPECT_THROW(moving_average_matrix(8, 4), std::invalid_argument);
   EXPECT_THROW(difference_matrix(1), std::invalid_argument);
   EXPECT_THROW(box_kernel_1d(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Packed microkernel GEMM (src/linalg/gemm.h): the single kernel behind
+// tensor::matmul{,_tn,_nt} and every convolution GEMM.
+// ---------------------------------------------------------------------------
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_tensor(std::int64_t rows, std::int64_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return Tensor::randn(Shape::mat(rows, cols), rng);
+}
+
+// Shape sweep chosen to land on every partial-tile edge of the blocking:
+// kMr=4 / kNr=8 register tiles, kMc=32 row panels, kKc=256 k-blocks.
+std::vector<std::tuple<std::int64_t, std::int64_t, std::int64_t>> gemm_shapes() {
+  return {
+      {1, 1, 1},                          // single element
+      {1, 1, 7},   {3, 1, 5},             // n = 1 column-vector results
+      {1, 9, 4},                          // m = 1 row-vector result
+      {4, 8, 1},   {5, 9, 1},             // k = 1 outer products
+      {4, 8, 16},                         // exact tiles everywhere
+      {5, 9, 17},  {7, 13, 31},           // all dims off-tile
+      {33, 11, 19},                       // m crosses the kMc panel edge
+      {70, 23, 300},                      // two+ panels, k crosses kKc
+      {8, 40, 260},                       // k just past the kKc boundary
+  };
+}
+
+// Every trans variant must match the serial naive reference elementwise. The
+// shared accumulation contract (float fold, ascending k, split at kKc) makes
+// the comparison exact, not approximate.
+TEST(Gemm, MicrokernelMatchesReferenceAcrossShapes) {
+  for (const auto& [m, n, k] : gemm_shapes()) {
+    const Tensor a = random_tensor(m, k, static_cast<std::uint64_t>(m * 100 + k));
+    const Tensor at = tensor::transpose2d(a);
+    const Tensor b = random_tensor(k, n, static_cast<std::uint64_t>(n * 100 + k + 1));
+    const Tensor bt = tensor::transpose2d(b);
+    for (const bool accumulate : {false, true}) {
+      auto run_pair = [&](Trans ta, Trans tb, const float* pa, std::int64_t lda,
+                          const float* pb, std::int64_t ldb, const char* tag) {
+        Tensor got(Shape::mat(m, n));
+        Tensor want(Shape::mat(m, n));
+        if (accumulate) {  // non-trivial starting C
+          for (std::int64_t i = 0; i < m * n; ++i) {
+            got[i] = want[i] = static_cast<float>(i % 17) - 8.0f;
+          }
+        }
+        sgemm(ta, tb, m, n, k, pa, lda, pb, ldb, got.data(), n, accumulate);
+        sgemm_reference(ta, tb, m, n, k, pa, lda, pb, ldb, want.data(), n, accumulate);
+        for (std::int64_t i = 0; i < m * n; ++i) {
+          ASSERT_EQ(got[i], want[i]) << tag << " shape (" << m << "," << n << ","
+                                     << k << ") acc=" << accumulate << " elem " << i;
+        }
+      };
+      run_pair(Trans::kNo, Trans::kNo, a.data(), k, b.data(), n, "NN");
+      run_pair(Trans::kNo, Trans::kYes, a.data(), k, bt.data(), k, "NT");
+      run_pair(Trans::kYes, Trans::kNo, at.data(), m, b.data(), n, "TN");
+    }
+  }
+}
+
+TEST(Gemm, EmptyProblemsAreWellDefined) {
+  // m == 0 / n == 0: no-op on a zero-area C. k == 0: C is zeroed unless
+  // accumulating.
+  std::vector<float> a(8, 1.0f), b(8, 1.0f);
+  sgemm(Trans::kNo, Trans::kNo, 0, 4, 2, a.data(), 2, b.data(), 4, nullptr, 4, false);
+  sgemm(Trans::kNo, Trans::kNo, 4, 0, 2, a.data(), 2, b.data(), 0, nullptr, 0, false);
+  std::vector<float> c(6, 3.0f);
+  sgemm(Trans::kNo, Trans::kNo, 2, 3, 0, a.data(), 0, b.data(), 3, c.data(), 3, true);
+  for (const float v : c) EXPECT_EQ(v, 3.0f);
+  sgemm(Trans::kNo, Trans::kNo, 2, 3, 0, a.data(), 0, b.data(), 3, c.data(), 3, false);
+  for (const float v : c) EXPECT_EQ(v, 0.0f);
+}
+
+// Regression for the old `if (aik == 0.0f) continue;` shortcut: 0 * NaN and
+// 0 * Inf must produce NaN, in every variant, in both kernels.
+TEST(Gemm, NanAndInfPropagateThroughZeroRows) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  for (const float poison : {nan, inf}) {
+    // a's row is all zeros; b carries the poison. A zero-skip kernel would
+    // return 0 here, IEEE demands NaN.
+    const Tensor a(Shape::mat(1, 2), {0.0f, 0.0f});
+    const Tensor b(Shape::mat(2, 1), {poison, 1.0f});
+    const Tensor nn = tensor::matmul(a, b);
+    EXPECT_TRUE(std::isnan(nn[0])) << "matmul, poison=" << poison;
+    const Tensor tn = tensor::matmul_tn(tensor::transpose2d(a), b);
+    EXPECT_TRUE(std::isnan(tn[0])) << "matmul_tn, poison=" << poison;
+    const Tensor nt = tensor::matmul_nt(a, tensor::transpose2d(b));
+    EXPECT_TRUE(std::isnan(nt[0])) << "matmul_nt, poison=" << poison;
+
+    // Accumulate variants (the conv backward path) must poison C too.
+    float c_acc = 5.0f;
+    sgemm(Trans::kNo, Trans::kNo, 1, 1, 2, a.data(), 2, b.data(), 1, &c_acc, 1, true);
+    EXPECT_TRUE(std::isnan(c_acc)) << "sgemm accumulate, poison=" << poison;
+    float c_ref = 5.0f;
+    sgemm_reference(Trans::kNo, Trans::kNo, 1, 1, 2, a.data(), 2, b.data(), 1,
+                    &c_ref, 1, true);
+    EXPECT_TRUE(std::isnan(c_ref)) << "reference accumulate, poison=" << poison;
+  }
+}
+
+// The packing step normalizes operand layout before any arithmetic, so a
+// materialized transpose and the trans entry point are the *same* float
+// program: bitwise-equal results, not merely close (the old kernels
+// accumulated NT in double but NN/TN in float and failed this).
+TEST(Gemm, TransposeIdentityIsBitwise) {
+  const std::int64_t m = 33, n = 21, k = 270;  // off-tile everywhere, k > kKc
+  const Tensor a = random_tensor(m, k, 7);
+  const Tensor b = random_tensor(k, n, 8);
+  const Tensor reference = tensor::matmul(a, b);
+  const Tensor via_nt = tensor::matmul_nt(a, tensor::transpose2d(b));
+  const Tensor via_tn = tensor::matmul_tn(tensor::transpose2d(a), b);
+  for (std::int64_t i = 0; i < reference.numel(); ++i) {
+    ASSERT_EQ(reference[i], via_nt[i]) << "matmul vs matmul_nt, elem " << i;
+    ASSERT_EQ(reference[i], via_tn[i]) << "matmul vs matmul_tn, elem " << i;
+  }
+}
+
+// Chunk boundaries depend only on (m, kMc), so any BLURNET_WORKERS value
+// must produce bit-identical output — the same determinism contract the
+// serving engine proves across replica counts.
+TEST(Gemm, BitwiseDeterministicAcrossWorkerCounts) {
+  const std::int64_t m = 70, n = 45, k = 300;
+  const Tensor a = random_tensor(m, k, 11);
+  const Tensor b = random_tensor(k, n, 12);
+  util::set_parallel_workers(1);
+  const Tensor nn1 = tensor::matmul(a, b);
+  const Tensor tn1 = tensor::matmul_tn(tensor::transpose2d(a), b);
+  const Tensor nt1 = tensor::matmul_nt(a, tensor::transpose2d(b));
+  for (const int workers : {2, 4}) {
+    util::set_parallel_workers(workers);
+    const Tensor nn = tensor::matmul(a, b);
+    const Tensor tn = tensor::matmul_tn(tensor::transpose2d(a), b);
+    const Tensor nt = tensor::matmul_nt(a, tensor::transpose2d(b));
+    for (std::int64_t i = 0; i < nn1.numel(); ++i) {
+      ASSERT_EQ(nn1[i], nn[i]) << "NN, workers=" << workers << " elem " << i;
+      ASSERT_EQ(tn1[i], tn[i]) << "TN, workers=" << workers << " elem " << i;
+      ASSERT_EQ(nt1[i], nt[i]) << "NT, workers=" << workers << " elem " << i;
+    }
+  }
+  util::reset_parallel_workers();
+}
+
+// Autograd gradcheck routed through the microkernel, at shapes that hit
+// partial register tiles on both sides of matmul's backward (which uses the
+// NT and TN variants).
+TEST(Gemm, GradcheckThroughMicrokernel) {
+  using autograd::Variable;
+  util::Rng rng(13);
+  const Tensor a0 = Tensor::randn(Shape::mat(5, 9), rng, 0.0f, 0.5f);
+  const Tensor b0 = Tensor::randn(Shape::mat(9, 7), rng, 0.0f, 0.5f);
+  const Variable b_const = Variable::constant(b0);
+  const auto left = autograd::gradcheck(
+      [&](const Variable& x) { return autograd::sum_squares(autograd::matmul(x, b_const)); },
+      a0);
+  EXPECT_TRUE(left.passed) << "max_rel_error=" << left.max_rel_error;
+  const Variable a_const = Variable::constant(a0);
+  const auto right = autograd::gradcheck(
+      [&](const Variable& x) { return autograd::sum_squares(autograd::matmul(a_const, x)); },
+      b0);
+  EXPECT_TRUE(right.passed) << "max_rel_error=" << right.max_rel_error;
 }
 
 }  // namespace
