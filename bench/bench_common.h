@@ -21,8 +21,18 @@ namespace blurnet::bench {
 /// Serving replicas per victim variant in the bench harnesses
 /// (BLURNET_EVAL_REPLICAS, default 1). Per-image predictions and every table
 /// number are bitwise identical for any value; higher counts fan the
-/// per-target RP2 crafting runs out in parallel.
+/// per-target RP2 crafting runs out in parallel (and, through
+/// eval::SweepScheduler, across victims).
 inline int eval_replicas() { return util::env_int("BLURNET_EVAL_REPLICAS", 1); }
+
+// The EOT pose knob (BLURNET_EOT_POSES, default 1 — the historical
+// single-pose path) is read and validated once by
+// eval::ExperimentScale::from_env() and lives in EvalEnv's scale
+// (scale.eot_poses): paper_rp2_config() feeds it to every RP2 protocol and
+// table 4 applies it to PGD. Unlike the replica knob it *changes the
+// adversary* (K poses per gradient step is a strictly stronger,
+// paper-faithful attack), so table numbers are only comparable at equal
+// pose counts.
 
 /// Zoo + eval set + engine-backed harness, the boilerplate previously
 /// copy-pasted across the bench_table* binaries.
@@ -68,9 +78,11 @@ struct EvalEnv {
 /// Print the standard bench banner with the active scale.
 inline void banner(const std::string& title, const eval::ExperimentScale& scale) {
   std::printf("=== %s ===\n", title.c_str());
-  std::printf("scale: %d stop-sign images, %d targets, %d RP2 iterations "
-              "(set BLURNET_FAST=1 / BLURNET_PAPER=1 to change)\n\n",
-              scale.eval_images, scale.num_targets, scale.rp2_iterations);
+  std::printf("scale: %d stop-sign images, %d targets, %d RP2 iterations, "
+              "%d EOT pose%s/step (set BLURNET_FAST=1 / BLURNET_PAPER=1 / "
+              "BLURNET_EOT_POSES=K to change)\n\n",
+              scale.eval_images, scale.num_targets, scale.rp2_iterations, scale.eot_poses,
+              scale.eot_poses == 1 ? "" : "s");
 }
 
 /// Progress line after each completed protocol row.
@@ -81,6 +93,17 @@ inline void emit(const util::Table& table, const std::string& csv_name) {
   std::printf("%s\n", table.to_string().c_str());
   eval::write_results_file(csv_name, table.to_csv());
   std::printf("csv written to %s/%s\n", eval::results_dir().c_str(), csv_name.c_str());
+}
+
+/// Scheduler footer: per-victim crafting counters after an
+/// eval::SweepScheduler run (crafting tasks completed, concurrent lanes).
+inline void print_sweep_progress(const eval::SweepScheduler& scheduler) {
+  std::printf("crafting tasks per victim (name=done/total on L lanes):");
+  for (const auto& entry : scheduler.progress()) {
+    std::printf(" %s=%d/%d@L%d", entry.victim.c_str(), entry.targets_done,
+                entry.targets_total, entry.lanes);
+  }
+  std::printf("\n");
 }
 
 /// Serving-stats footer: how many images each victim variant classified

@@ -19,15 +19,30 @@ int main() {
       {"Tik_hf", "tik_hf"},     {"Tik_pseudo", "tik_pseudo"}, {"Gaussian 0.1", "gauss0.1"},
       {"Gaussian 0.2", "gauss0.2"}, {"Gaussian 0.3", "gauss0.3"}};
 
+  // All ten victims ride one cross-victim scheduler, so every defense's
+  // per-target crafting runs concurrently across its replica shards (bitwise
+  // identical to sweeping the victims one at a time).
   const eval::WhiteboxSweep protocol{env.scale};
-  auto run = [&](const std::vector<std::pair<std::string, std::string>>& series,
-                 const std::string& figure, const std::string& csv) {
-    util::Table table({"Series", "Target", "L2 Dissimilarity", "Attack Success Rate"});
+  eval::SweepScheduler scheduler(env.harness);
+  std::vector<std::pair<std::string, std::size_t>> jobs;  // series label -> job id
+  auto enqueue = [&](const std::vector<std::pair<std::string, std::string>>& series) {
     for (const auto& [label, variant] : series) {
       env.add_zoo_victim(variant);
-      const auto sweep = protocol.run(env.harness, variant,
-                                      env.victim_accuracy(variant), env.stop_set);
-      for (const auto& point : sweep.per_target) {
+      jobs.emplace_back(label, scheduler.add(protocol, variant,
+                                             env.victim_accuracy(variant), env.stop_set));
+    }
+  };
+  enqueue(fig5);
+  enqueue(fig6);
+  scheduler.run();
+
+  std::size_t next_job = 0;
+  auto emit_figure = [&](const std::vector<std::pair<std::string, std::string>>& series,
+                         const std::string& figure, const std::string& csv) {
+    util::Table table({"Series", "Target", "L2 Dissimilarity", "Attack Success Rate"});
+    for (std::size_t i = 0; i < series.size(); ++i, ++next_job) {
+      const auto& [label, job] = jobs[next_job];
+      for (const auto& point : scheduler.sweep_result(job).per_target) {
         table.add_row({label, std::to_string(point.target),
                        util::Table::num(point.l2_dissimilarity),
                        util::Table::pct(point.success_rate)});
@@ -38,8 +53,9 @@ int main() {
     bench::emit(table, csv);
   };
 
-  run(fig5, "Fig.5", "fig5_asr_vs_l2.csv");
-  run(fig6, "Fig.6", "fig6_asr_vs_l2.csv");
+  emit_figure(fig5, "Fig.5", "fig5_asr_vs_l2.csv");
+  emit_figure(fig6, "Fig.6", "fig6_asr_vs_l2.csv");
+  bench::print_sweep_progress(scheduler);
   bench::print_serving_stats(env.harness);
   std::printf("\nplot each CSV as a scatter (x = L2 dissimilarity, y = ASR); lower-right\n"
               "is better for the defender.\n");

@@ -7,7 +7,11 @@
 #include <future>
 #include <vector>
 
+#include "src/attack/eot.h"
+#include "src/attack/masks.h"
+#include "src/attack/rp2.h"
 #include "src/autograd/ops.h"
+#include "src/data/dataset.h"
 #include "src/linalg/gemm.h"
 #include "src/nn/lisa_cnn.h"
 #include "src/serve/engine.h"
@@ -169,6 +173,52 @@ void BM_DepthwiseBlurManySmallPlanesSpawnBaseline(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * planes);
 }
 BENCHMARK(BM_DepthwiseBlurManySmallPlanesSpawnBaseline)->Arg(1)->Arg(2)->Arg(4);
+
+// ---- pose-batched EOT: the attack-side batching -----------------------------
+// BM_AffineWarpBatch: forward + backward of the per-sample-transform warp on
+// an [N,3,32,32] batch — the op the EOT pipeline leans on. The arg is the
+// row count n*K of the tiled pose batch.
+void BM_AffineWarpBatch(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  attack::EotSampler sampler(11, static_cast<int>(rows), attack::EotPoseRange{});
+  const auto transforms = sampler.sample_step(32, 32);
+  const auto base = random_nchw(rows, 3, 32, 32, 12);
+  for (auto _ : state) {
+    auto x = autograd::Variable::leaf(base.clone(), /*requires_grad=*/true);
+    auto loss = autograd::sum(autograd::affine_warp(x, transforms));
+    autograd::backward(loss);
+    benchmark::DoNotOptimize(x.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_AffineWarpBatch)->Arg(1)->Arg(8)->Arg(32);
+
+// BM_Rp2EotPoses: whole RP2 crafting iterations at K poses per step. The
+// per-iteration graph forwards an [n*K] batch, so the K sweep shows how the
+// pose-batched gradient side amortizes over the packed GEMM microkernel
+// (items = image×pose pairs forwarded; per-pair throughput should *rise*
+// with K while wall time per iteration rises sublinearly).
+void BM_Rp2EotPoses(benchmark::State& state) {
+  const int poses = static_cast<int>(state.range(0));
+  nn::LisaCnnConfig config;
+  config.conv1_filters = 8;
+  config.conv2_filters = 16;
+  config.conv3_filters = 32;
+  const nn::LisaCnn model(config);
+  const auto stop_set = data::stop_sign_eval_set(2);
+  const auto sticker = attack::sticker_mask(stop_set.masks);
+  attack::Rp2Config rp2;
+  rp2.iterations = 4;
+  rp2.target_class = 5;
+  rp2.eot_poses = poses;
+  for (auto _ : state) {
+    const auto result = attack::rp2_attack(model, stop_set.images, sticker, rp2);
+    benchmark::DoNotOptimize(result.final_loss);
+  }
+  state.SetItemsProcessed(state.iterations() * rp2.iterations * stop_set.images.dim(0) *
+                          poses);
+}
+BENCHMARK(BM_Rp2EotPoses)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_Fft2d(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));

@@ -29,12 +29,19 @@ int main() {
   // so we sweep eps as well: the reproduction target is that every defense
   // falls *together* as the pixel budget grows — none of them transfers to
   // the unrestricted threat model.
+  // BLURNET_EOT_POSES > 1 upgrades the pixel adversary to pose-batched EOT
+  // PGD: each step averages the loss gradient over K sampled alignments (the
+  // default 1 is the classic, alignment-free PGD of the paper's protocol).
+  const int poses = env.scale.eot_poses;
+  if (poses > 1) std::printf("EOT: averaging %d poses per PGD step\n\n", poses);
+
   util::Table table({"Model", "eps", "Attack Success Rate", "L2 Dissimilarity"});
   for (const double eps_num : {8.0, 16.0, 32.0}) {
     attack::PgdConfig pgd;
     pgd.epsilon = eps_num / 255.0;
     pgd.step_size = 0.01;
     pgd.steps = eps_num <= 8.0 ? 10 : 20;
+    pgd.eot_poses = poses;
     for (const auto& [label, variant] : rows) {
       // The handle splits the victim: gradients through a serving replica's
       // weight clone, clean/adversarial predictions through the engine.

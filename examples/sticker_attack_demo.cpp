@@ -2,7 +2,7 @@
 // classifier, dump PPM images (clean / sticker mask / adversarial /
 // perturbation), and print the classifier's view of each.
 //
-//   ./examples/sticker_attack_demo [--target K] [--iters N] [--outdir DIR]
+//   ./examples/sticker_attack_demo [--target K] [--iters N] [--poses K] [--outdir DIR]
 #include <cstdio>
 #include <filesystem>
 
@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   util::CliParser cli;
   cli.add_flag("target", "6", "attack target class id (0-17)");
   cli.add_flag("iters", "200", "RP2 iterations");
+  cli.add_flag("poses", "4", "EOT poses averaged per step (1 = single-pose RP2)");
   cli.add_flag("outdir", "results/sticker_demo", "output directory for PPM dumps");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
@@ -55,6 +56,11 @@ int main(int argc, char** argv) {
   attack::Rp2Config rp2;
   rp2.iterations = cli.get_int("iters");
   rp2.target_class = target;
+  // Pose-batched EOT: every step forwards all (image, pose) pairs in one
+  // graph and averages the targeted loss over the sampled alignments.
+  rp2.eot_poses = cli.get_int("poses");
+  std::printf("crafting with %d EOT pose%s per step\n", rp2.eot_poses,
+              rp2.eot_poses == 1 ? "" : "s");
   // The victim handle splits the attack's two roles: gradients through the
   // serving replica's weight clone, final predictions through the engine.
   const attack::VictimHandle victim(

@@ -35,6 +35,12 @@ Rp2Config tik_pseudo_aware_config(const Rp2Config& base, const tensor::Tensor& p
   return config;
 }
 
+Rp2Config eot_poses_config(const Rp2Config& base, int poses) {
+  Rp2Config config = base;
+  config.eot_poses = poses;
+  return config;
+}
+
 Rp2Adapter low_frequency_adapter(int dct_dim) {
   return [dct_dim](const Rp2Config& base) { return low_frequency_config(base, dct_dim); };
 }
@@ -53,6 +59,18 @@ Rp2Adapter tik_hf_aware_adapter(tensor::Tensor l_hf, double weight) {
 Rp2Adapter tik_pseudo_aware_adapter(tensor::Tensor p_operator, double weight) {
   return [p = std::move(p_operator), weight](const Rp2Config& base) {
     return tik_pseudo_aware_config(base, p, weight);
+  };
+}
+
+Rp2Adapter eot_poses_adapter(int poses) {
+  return [poses](const Rp2Config& base) { return eot_poses_config(base, poses); };
+}
+
+Rp2Adapter compose(Rp2Adapter inner, Rp2Adapter outer) {
+  if (!inner) return outer;
+  if (!outer) return inner;
+  return [inner = std::move(inner), outer = std::move(outer)](const Rp2Config& base) {
+    return outer(inner(base));
   };
 }
 

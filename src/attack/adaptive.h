@@ -35,10 +35,21 @@ Rp2Config tik_hf_aware_config(const Rp2Config& base, const tensor::Tensor& l_hf,
 Rp2Config tik_pseudo_aware_config(const Rp2Config& base, const tensor::Tensor& p_operator,
                                   double weight = 1.0);
 
-/// Adapter forms of the four adaptive attacks, for protocol objects.
+/// Pose-batched EOT: average the attacker loss over `poses` sampled
+/// alignments per step (K = 1 is the historical single-pose path; see
+/// Rp2Config::eot_poses for the determinism contract).
+Rp2Config eot_poses_config(const Rp2Config& base, int poses);
+
+/// Adapter forms of the adaptive attacks, for protocol objects.
 Rp2Adapter low_frequency_adapter(int dct_dim = 16);
 Rp2Adapter tv_aware_adapter(double weight = 1.0);
 Rp2Adapter tik_hf_aware_adapter(tensor::Tensor l_hf, double weight = 1.0);
 Rp2Adapter tik_pseudo_aware_adapter(tensor::Tensor p_operator, double weight = 1.0);
+Rp2Adapter eot_poses_adapter(int poses);
+
+/// Left-to-right adapter composition (`outer` runs on `inner`'s output), so
+/// e.g. compose(low_frequency_adapter(16), eot_poses_adapter(8)) is the
+/// pose-batched low-frequency attack. Either side may be null (identity).
+Rp2Adapter compose(Rp2Adapter inner, Rp2Adapter outer);
 
 }  // namespace blurnet::attack

@@ -1,0 +1,56 @@
+#include "src/attack/eot.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace blurnet::attack {
+
+namespace {
+
+// splitmix64's golden-gamma increment: distinct per-slot seed bases feed the
+// Rng constructor's splitmix expansion, decorrelating the slot streams while
+// keeping slot 0 at the raw seed (the old single-pose stream).
+constexpr std::uint64_t kSlotGamma = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+EotSampler::EotSampler(std::uint64_t seed, int poses, const EotPoseRange& range)
+    : range_(range) {
+  if (poses < 1) {
+    throw std::invalid_argument("EotSampler: pose count must be >= 1 (got " +
+                                std::to_string(poses) + ")");
+  }
+  if (range.min_scale > range.max_scale) {
+    throw std::invalid_argument("EotSampler: min_scale must be <= max_scale");
+  }
+  if (range.max_rotation < 0.0 || range.max_shift < 0.0) {
+    throw std::invalid_argument(
+        "EotSampler: max_rotation and max_shift must be non-negative");
+  }
+  streams_.reserve(static_cast<std::size_t>(poses));
+  for (int k = 0; k < poses; ++k) {
+    streams_.emplace_back(seed + kSlotGamma * static_cast<std::uint64_t>(k));
+  }
+}
+
+std::vector<autograd::Affine2D> EotSampler::sample_step(int height, int width) {
+  std::vector<autograd::Affine2D> step;
+  step.reserve(streams_.size());
+  for (auto& rng : streams_) {
+    // Draw order: shift-y, shift-x, scale, rotation. The historical rp2 loop
+    // consumed the stream through function-argument evaluation, which the
+    // repo's GCC toolchain performs right-to-left — the order was never
+    // actually specified. Writing it out as sequenced statements pins the
+    // behavior the shipped binaries had, so the K = 1 bitwise regression
+    // holds AND the sequence is now defined on every compiler.
+    const double dy = rng.uniform(-range_.max_shift, range_.max_shift);
+    const double dx = rng.uniform(-range_.max_shift, range_.max_shift);
+    const double scale = rng.uniform(range_.min_scale, range_.max_scale);
+    const double rotation = rng.uniform(-range_.max_rotation, range_.max_rotation);
+    step.push_back(autograd::Affine2D::rotation_scale_about_center(rotation, scale, dx, dy,
+                                                                   height, width));
+  }
+  return step;
+}
+
+}  // namespace blurnet::attack

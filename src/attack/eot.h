@@ -1,0 +1,61 @@
+// Pose sampling for Expectation over Transformation (EOT) attack crafting.
+//
+// The paper's RP2 objective is an expectation over alignment functions T_i
+// (rotation / scale / translation of the printed sticker). EotSampler draws a
+// batch of K poses per optimization step so the gradient side can forward all
+// (image, pose) pairs through the victim in one graph instead of sampling a
+// single pose per iteration.
+//
+// Determinism contract (relied on by the evaluation protocols and the K=1
+// regression tests):
+//
+//   * Pose slot k owns its own RNG stream seeded from (seed, k) alone, so the
+//     pose sequence a slot produces across steps depends only on the seed and
+//     the slot index — never on K, the image batch size, or which scheduler
+//     lane runs the crafting job.
+//   * Slot 0's stream is exactly util::Rng(seed) drawing shift-y, shift-x,
+//     scale, rotation per step — the same seed and effective draw order the
+//     old single-pose rp2_attack loop consumed (it drew inside a function
+//     argument list, which this repo's GCC toolchain evaluates right to
+//     left; the sampler pins that order as sequenced statements), so K = 1
+//     reproduces the pre-pose-batching attack bitwise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/autograd/ops.h"
+#include "src/util/rng.h"
+
+namespace blurnet::attack {
+
+/// Pose ranges of the alignment distribution: rotation is uniform in
+/// [-max_rotation, max_rotation] radians, isotropic scale uniform in
+/// [min_scale, max_scale], and each shift component uniform in
+/// [-max_shift, max_shift] pixels.
+struct EotPoseRange {
+  double max_rotation = 0.25;
+  double min_scale = 0.75;
+  double max_scale = 1.10;
+  double max_shift = 2.5;
+};
+
+class EotSampler {
+ public:
+  /// `poses` is K, the number of pose slots drawn per step (>= 1). Throws
+  /// std::invalid_argument on a non-positive pose count, an empty scale
+  /// interval (min_scale > max_scale), or a negative rotation/shift bound.
+  EotSampler(std::uint64_t seed, int poses, const EotPoseRange& range);
+
+  int poses() const { return static_cast<int>(streams_.size()); }
+
+  /// Draw the next step's K poses for an height×width image, one per slot in
+  /// slot order. Each call advances every slot's stream by one pose.
+  std::vector<autograd::Affine2D> sample_step(int height, int width);
+
+ private:
+  std::vector<util::Rng> streams_;  // streams_[k] = pose slot k
+  EotPoseRange range_;
+};
+
+}  // namespace blurnet::attack

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "src/attack/eot.h"
 #include "src/autograd/ops.h"
 #include "src/tensor/ops.h"
 #include "src/util/rng.h"
@@ -13,6 +15,10 @@ using autograd::Variable;
 using tensor::Tensor;
 
 namespace {
+
+// Salts the EOT pose streams away from the random-start noise stream, which
+// consumes util::Rng(config.seed) directly.
+constexpr std::uint64_t kPgdEotSeedSalt = 0x706f7365626f7353ULL;
 
 Tensor project_linf(const Tensor& adv, const Tensor& natural, double epsilon) {
   Tensor out(adv.shape());
@@ -30,8 +36,20 @@ Tensor project_linf(const Tensor& adv, const Tensor& natural, double epsilon) {
 
 }  // namespace
 
+void PgdConfig::validate() const {
+  using namespace config_validation;
+  require_positive("PgdConfig", steps, "steps");
+  require_positive("PgdConfig", eot_poses, "eot_poses");
+  require_positive("PgdConfig", epsilon, "epsilon");
+  require_positive("PgdConfig", step_size, "step_size");
+  require_non_negative("PgdConfig", max_rotation, "max_rotation");
+  require_non_negative("PgdConfig", max_shift, "max_shift");
+  require_scale_interval("PgdConfig", min_scale, max_scale);
+}
+
 AttackResult pgd_attack(const VictimHandle& victim, const Tensor& images,
                         const std::vector<int>& labels, const PgdConfig& config) {
+  config.validate();
   const nn::LisaCnn& model = victim.gradient_model();
   if (images.rank() != 4) throw std::invalid_argument("pgd_attack: images must be NCHW");
   if (static_cast<std::int64_t>(labels.size()) != images.dim(0)) {
@@ -55,10 +73,39 @@ AttackResult pgd_attack(const VictimHandle& victim, const Tensor& images,
   // target-label loss.
   const float direction = config.targeted ? -1.0f : 1.0f;
 
+  // Pose-batched EOT (K > 1): every step forwards all (image, pose) pairs in
+  // one [n*K] graph and averages the loss over poses. K = 1 keeps the
+  // historical non-EOT path — no tiling, no warp node.
+  const int poses = config.eot_poses;
+  const std::int64_t n = images.dim(0);
+  const int h = static_cast<int>(images.dim(2));
+  const int w = static_cast<int>(images.dim(3));
+  EotSampler sampler(config.seed ^ kPgdEotSeedSalt, poses,
+                     EotPoseRange{config.max_rotation, config.min_scale, config.max_scale,
+                                  config.max_shift});
+  // Pose-major label tiling mirrors repeat_batch: block j is the whole batch.
+  std::vector<int> tiled_labels;
+  tiled_labels.reserve(attack_labels.size() * static_cast<std::size_t>(poses));
+  for (int j = 0; j < poses; ++j) {
+    tiled_labels.insert(tiled_labels.end(), attack_labels.begin(), attack_labels.end());
+  }
+
   double final_loss = 0.0;
   for (int step = 0; step < config.steps; ++step) {
     Variable x = Variable::leaf(x_adv.clone(), /*requires_grad=*/true);
-    Variable loss = autograd::softmax_cross_entropy(model.forward(x).logits, attack_labels);
+    Variable input = x;
+    if (poses > 1) {
+      const auto step_poses = sampler.sample_step(h, w);
+      std::vector<autograd::Affine2D> row_transforms;
+      row_transforms.reserve(static_cast<std::size_t>(n) * poses);
+      for (int j = 0; j < poses; ++j) {
+        row_transforms.insert(row_transforms.end(), static_cast<std::size_t>(n),
+                              step_poses[static_cast<std::size_t>(j)]);
+      }
+      input = autograd::affine_warp(autograd::repeat_batch(x, poses), row_transforms);
+    }
+    Variable loss = autograd::softmax_cross_entropy(model.forward(input).logits,
+                                                    poses > 1 ? tiled_labels : attack_labels);
     autograd::backward(loss);
     final_loss = loss.scalar_value();
     const Tensor step_dir = tensor::sign(x.grad());

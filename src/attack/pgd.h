@@ -19,6 +19,25 @@ struct PgdConfig {
   int target_class = 0;   // used when targeted
   bool random_start = true;
   std::uint64_t seed = 3;
+
+  // Pose-batched EOT, off by default (the unrestricted pixel adversary of
+  // Table IV needs no alignment robustness). With eot_poses > 1 every step
+  // tiles the batch to [n*K, C, H, W], warps pose block j with a sampled
+  // alignment (attack::EotSampler on a salted stream, so the pose draws never
+  // collide with the random-start noise), and averages the loss over poses —
+  // the gradient of the expectation over transformations. eot_poses = 1 is
+  // the historical non-EOT PGD, bitwise.
+  int eot_poses = 1;
+  double max_rotation = 0.25;
+  double min_scale = 0.75, max_scale = 1.10;
+  double max_shift = 2.5;
+
+  /// Reject malformed configurations with a descriptive
+  /// std::invalid_argument (the serving engine's input-validation style):
+  /// positive epsilon / step_size / steps / eot_poses, non-negative
+  /// max_rotation / max_shift, min_scale <= max_scale. Called by
+  /// pgd_attack() up front.
+  void validate() const;
 };
 
 /// Untargeted (maximize loss on true labels) or targeted PGD. Gradients go

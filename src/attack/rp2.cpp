@@ -1,14 +1,15 @@
 #include "src/attack/rp2.h"
 
 #include <stdexcept>
+#include <string>
 
+#include "src/attack/eot.h"
 #include "src/attack/masks.h"
 #include "src/attack/nps.h"
 #include "src/autograd/ops.h"
 #include "src/nn/optim.h"
 #include "src/signal/dct.h"
 #include "src/tensor/ops.h"
-#include "src/util/rng.h"
 
 namespace blurnet::attack {
 
@@ -37,8 +38,26 @@ Variable feature_reg_loss(const FeatureRegTerm& term, const Variable& features) 
 
 }  // namespace
 
+void Rp2Config::validate() const {
+  using namespace config_validation;
+  require_positive("Rp2Config", iterations, "iterations");
+  require_positive("Rp2Config", learning_rate, "learning_rate");
+  require_positive("Rp2Config", eot_poses, "eot_poses");
+  require_non_negative("Rp2Config", lambda, "lambda");
+  require_non_negative("Rp2Config", nps_weight, "nps_weight");
+  require_non_negative("Rp2Config", max_rotation, "max_rotation");
+  require_non_negative("Rp2Config", max_shift, "max_shift");
+  require_non_negative("Rp2Config", feature_reg.weight, "feature_reg.weight");
+  require_scale_interval("Rp2Config", min_scale, max_scale);
+  if (dct_mask_dim < 0) {
+    throw std::invalid_argument("Rp2Config: dct_mask_dim must be non-negative (got " +
+                                std::to_string(dct_mask_dim) + ")");
+  }
+}
+
 AttackResult rp2_attack(const VictimHandle& victim, const Tensor& images,
                         const Tensor& masks, const Rp2Config& config) {
+  config.validate();
   const nn::LisaCnn& model = victim.gradient_model();
   if (images.rank() != 4) throw std::invalid_argument("rp2_attack: images must be NCHW");
   const std::int64_t n = images.dim(0), c = images.dim(1);
@@ -48,7 +67,24 @@ AttackResult rp2_attack(const VictimHandle& victim, const Tensor& images,
 
   const Tensor mask_c = expand_mask_channels(masks, c);
   const Tensor palette = printable_palette();
-  util::Rng rng(config.seed);
+
+  // Pose-batched EOT: K poses per step, every (image, pose) pair forwarded in
+  // one graph. The sampler's slot-0 stream is the historical single-pose draw
+  // sequence, so K = 1 reproduces the old path bitwise.
+  const int poses = config.use_eot ? config.eot_poses : 1;
+  EotSampler sampler(config.seed, poses,
+                     EotPoseRange{config.max_rotation, config.min_scale, config.max_scale,
+                                  config.max_shift});
+
+  // The natural images repeated once per pose (constant, so tiled up front).
+  Tensor images_tiled;
+  if (poses > 1) {
+    images_tiled = Tensor(tensor::Shape::nchw(n * poses, c, h, w));
+    const std::int64_t stride = images.numel();
+    for (int j = 0; j < poses; ++j) {
+      std::copy(images.data(), images.data() + stride, images_tiled.data() + j * stride);
+    }
+  }
 
   const tensor::Shape delta_shape = config.shared_perturbation
                                         ? tensor::Shape::nchw(1, c, h, w)
@@ -56,7 +92,7 @@ AttackResult rp2_attack(const VictimHandle& victim, const Tensor& images,
   Variable delta = Variable::leaf(Tensor::zeros(delta_shape), /*requires_grad=*/true);
   nn::Adam optimizer({delta}, config.learning_rate);
 
-  const std::vector<int> targets(static_cast<std::size_t>(n), config.target_class);
+  const std::vector<int> targets(static_cast<std::size_t>(n * poses), config.target_class);
   double final_loss = 0.0;
 
   for (int iter = 0; iter < config.iterations; ++iter) {
@@ -69,16 +105,23 @@ AttackResult rp2_attack(const VictimHandle& victim, const Tensor& images,
 
     Variable applied = masked;
     if (config.use_eot) {
-      const auto transform = autograd::Affine2D::rotation_scale_about_center(
-          rng.uniform(-config.max_rotation, config.max_rotation),
-          rng.uniform(config.min_scale, config.max_scale),
-          rng.uniform(-config.max_shift, config.max_shift),
-          rng.uniform(-config.max_shift, config.max_shift), h, w);
-      applied = autograd::affine_warp(masked, transform);
+      const auto step_poses = sampler.sample_step(h, w);
+      // Pose-major tiling: rows [j*n, (j+1)*n) are the whole batch under
+      // pose j, so the per-row transform table is K blocks of n entries.
+      const Variable tiled = poses > 1 ? autograd::repeat_batch(masked, poses) : masked;
+      std::vector<autograd::Affine2D> row_transforms;
+      row_transforms.reserve(static_cast<std::size_t>(n * poses));
+      for (int j = 0; j < poses; ++j) {
+        row_transforms.insert(row_transforms.end(), static_cast<std::size_t>(n),
+                              step_poses[static_cast<std::size_t>(j)]);
+      }
+      applied = autograd::affine_warp(tiled, row_transforms);
     }
-    Variable x_adv = autograd::add_const(applied, images);
+    Variable x_adv = autograd::add_const(applied, poses > 1 ? images_tiled : images);
 
     const auto fwd = model.forward(x_adv);
+    // Mean cross-entropy over the [n*K] rows = the empirical expectation of
+    // the targeted loss over the K sampled alignments.
     Variable loss = autograd::softmax_cross_entropy(fwd.logits, targets);
 
     Variable norm_term = config.norm == PerturbationNorm::kL2 ? autograd::l2_norm(masked)

@@ -38,9 +38,15 @@ struct Rp2Config {
   int target_class = 1;
 
   // Expectation over transformation (the paper's alignment functions T_i):
-  // each iteration samples a fresh pose for the masked perturbation. The wide
-  // ranges mirror the varying-distance/angle robustness RP2 optimizes for.
+  // each iteration samples `eot_poses` fresh poses for the masked
+  // perturbation, tiles the image batch to [n*K, C, H, W], forwards every
+  // (image, pose) pair through the victim in one graph, and averages the
+  // cross-entropy over poses. K = 1 is bitwise identical to the historical
+  // single-pose-per-iteration path (attack::EotSampler's slot-0 stream is the
+  // old draw sequence). The wide ranges mirror the varying-distance/angle
+  // robustness RP2 optimizes for.
   bool use_eot = true;
+  int eot_poses = 1;
   double max_rotation = 0.25;
   double min_scale = 0.75, max_scale = 1.10;
   double max_shift = 2.5;
@@ -57,6 +63,13 @@ struct Rp2Config {
   bool shared_perturbation = true;
 
   std::uint64_t seed = 1;
+
+  /// Reject malformed configurations with a descriptive
+  /// std::invalid_argument (the serving engine's input-validation style):
+  /// positive iterations / learning_rate / eot_poses, non-negative lambda /
+  /// nps_weight / max_rotation / max_shift, min_scale <= max_scale, and a
+  /// non-negative dct_mask_dim. Called by rp2_attack() up front.
+  void validate() const;
 };
 
 /// Attack a batch of images. `masks` is [N,1,H,W] (the sticker mask M_x).

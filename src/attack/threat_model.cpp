@@ -1,10 +1,45 @@
 #include "src/attack/threat_model.h"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "src/tensor/ops.h"
 
 namespace blurnet::attack {
+
+namespace config_validation {
+
+void require_positive(const char* config_name, int value, const char* field) {
+  if (value <= 0) {
+    throw std::invalid_argument(std::string(config_name) + ": " + field +
+                                " must be positive (got " + std::to_string(value) + ")");
+  }
+}
+
+void require_positive(const char* config_name, double value, const char* field) {
+  if (!(value > 0.0)) {
+    throw std::invalid_argument(std::string(config_name) + ": " + field +
+                                " must be positive (got " + std::to_string(value) + ")");
+  }
+}
+
+void require_non_negative(const char* config_name, double value, const char* field) {
+  if (value < 0.0) {
+    throw std::invalid_argument(std::string(config_name) + ": " + field +
+                                " must be non-negative (got " + std::to_string(value) + ")");
+  }
+}
+
+void require_scale_interval(const char* config_name, double min_scale, double max_scale) {
+  if (min_scale > max_scale) {
+    throw std::invalid_argument(std::string(config_name) + ": min_scale (" +
+                                std::to_string(min_scale) + ") must be <= max_scale (" +
+                                std::to_string(max_scale) + ")");
+  }
+}
+
+}  // namespace config_validation
 
 double AttackResult::success_rate_altered() const {
   if (clean_pred.empty()) return 0.0;

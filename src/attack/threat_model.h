@@ -10,6 +10,16 @@
 
 namespace blurnet::attack {
 
+/// Shared config-validation helpers behind Rp2Config::validate() /
+/// PgdConfig::validate(): descriptive std::invalid_argument in the serving
+/// engine's input-validation style, prefixed with the config struct's name.
+namespace config_validation {
+void require_positive(const char* config_name, int value, const char* field);
+void require_positive(const char* config_name, double value, const char* field);
+void require_non_negative(const char* config_name, double value, const char* field);
+void require_scale_interval(const char* config_name, double min_scale, double max_scale);
+}  // namespace config_validation
+
 /// The two faces of an attack victim, split so each can be served by the
 /// right machinery:
 ///

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "src/linalg/gemm.h"
 #include "src/signal/dct.h"
@@ -149,6 +150,26 @@ Variable broadcast_batch(const Variable& a, std::int64_t n) {
     float* d = da.data();
     for (std::int64_t i = 0; i < n; ++i) {
       for (std::int64_t j = 0; j < stride; ++j) d[j] += g[i * stride + j];
+    }
+    a.node()->accumulate_grad(da);
+  });
+}
+
+Variable repeat_batch(const Variable& a, std::int64_t k) {
+  if (a.shape().rank() != 4) throw std::invalid_argument("repeat_batch: expected NCHW");
+  if (k < 1) throw std::invalid_argument("repeat_batch: k must be >= 1");
+  const std::int64_t stride = a.value().numel();
+  Tensor out(Shape::nchw(a.shape()[0] * k, a.shape()[1], a.shape()[2], a.shape()[3]));
+  for (std::int64_t j = 0; j < k; ++j) {
+    std::copy(a.value().data(), a.value().data() + stride, out.data() + j * stride);
+  }
+  return make_op("repeat_batch", std::move(out), {a}, [a, k, stride](Node& node) mutable {
+    if (!a.requires_grad()) return;
+    Tensor da(a.value().shape());
+    const float* g = node.grad().data();
+    float* d = da.data();
+    for (std::int64_t j = 0; j < k; ++j) {
+      for (std::int64_t i = 0; i < stride; ++i) d[i] += g[j * stride + i];
     }
     a.node()->accumulate_grad(da);
   });
@@ -818,12 +839,18 @@ Affine2D Affine2D::rotation_scale_about_center(double angle_rad, double scale, d
   return a;
 }
 
-Variable affine_warp(const Variable& x, const Affine2D& t) {
+Variable affine_warp(const Variable& x, const std::vector<Affine2D>& transforms) {
   if (x.shape().rank() != 4) throw std::invalid_argument("affine_warp: expected NCHW");
   const std::int64_t n = x.shape()[0], c = x.shape()[1], h = x.shape()[2], w = x.shape()[3];
+  if (static_cast<std::int64_t>(transforms.size()) != n) {
+    throw std::invalid_argument("affine_warp: need one transform per batch row (" +
+                                std::to_string(transforms.size()) + " transforms for batch " +
+                                std::to_string(n) + ")");
+  }
   Tensor out(x.shape());
   const float* xv = x.value().data();
   for (std::int64_t p = 0; p < n * c; ++p) {
+    const Affine2D& t = transforms[static_cast<std::size_t>(p / c)];
     const float* src = xv + p * h * w;
     float* dst = out.data() + p * h * w;
     for (std::int64_t y = 0; y < h; ++y) {
@@ -850,11 +877,13 @@ Variable affine_warp(const Variable& x, const Affine2D& t) {
       }
     }
   }
-  return make_op("affine_warp", std::move(out), {x}, [x, t, n, c, h, w](Node& node) mutable {
+  return make_op("affine_warp", std::move(out), {x},
+                 [x, transforms, n, c, h, w](Node& node) mutable {
     if (!x.requires_grad()) return;
     Tensor dx(x.value().shape());
     const float* g = node.grad().data();
     for (std::int64_t p = 0; p < n * c; ++p) {
+      const Affine2D& t = transforms[static_cast<std::size_t>(p / c)];
       const float* gp = g + p * h * w;
       float* dst = dx.data() + p * h * w;
       for (std::int64_t y = 0; y < h; ++y) {
@@ -883,6 +912,13 @@ Variable affine_warp(const Variable& x, const Affine2D& t) {
     }
     x.node()->accumulate_grad(dx);
   });
+}
+
+Variable affine_warp(const Variable& x, const Affine2D& t) {
+  if (x.shape().rank() != 4) throw std::invalid_argument("affine_warp: expected NCHW");
+  // Same taps, same arithmetic: one transform for every row is bitwise
+  // identical to the per-sample path with n equal transforms.
+  return affine_warp(x, std::vector<Affine2D>(static_cast<std::size_t>(x.shape()[0]), t));
 }
 
 Variable dct_lowpass(const Variable& x, int dim) {

@@ -27,6 +27,11 @@ Variable flatten2d(const Variable& a);
 /// Tile a [1,C,H,W] tensor to [n,C,H,W]; gradient sums over the batch. Used
 /// by the shared-sticker RP2 mode (one physical perturbation, many views).
 Variable broadcast_batch(const Variable& a, std::int64_t n);
+/// Tile a whole [N,C,H,W] batch k times to [N*k,C,H,W] in pose-major blocks:
+/// out[j*N + i] = a[i] for j in [0,k). The gradient sums the k copies back
+/// (ascending j, so accumulation order is fixed). Used by the pose-batched
+/// EOT pipeline: one graph forwards every (image, pose) pair at once.
+Variable repeat_batch(const Variable& a, std::int64_t k);
 
 // ---- activations ------------------------------------------------------------
 Variable relu(const Variable& a);
@@ -93,6 +98,11 @@ struct Affine2D {
                                               double dy, int height, int width);
 };
 Variable affine_warp(const Variable& x, const Affine2D& transform);
+/// Per-sample variant: transforms[i] warps batch row i (transforms.size()
+/// must equal the batch dimension). The bilinear taps and their gradients are
+/// computed exactly as in the single-transform overload, which is equivalent
+/// to passing n copies of one transform — bitwise, not approximately.
+Variable affine_warp(const Variable& x, const std::vector<Affine2D>& transforms);
 
 /// Project each channel plane onto its lowest dim×dim DCT-II coefficients
 /// (paper Eq. (8): IDCT(M_dim · DCT(·))). Linear and self-adjoint.

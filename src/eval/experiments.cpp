@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <string>
 
 #include "src/attack/masks.h"
 #include "src/util/env.h"
@@ -20,6 +21,11 @@ ExperimentScale ExperimentScale::from_env() {
     scale.eval_images = 40;
     scale.num_targets = 17;
     scale.rp2_iterations = 300;
+  }
+  scale.eot_poses = util::env_int("BLURNET_EOT_POSES", 1);
+  if (scale.eot_poses < 1) {
+    throw std::invalid_argument("BLURNET_EOT_POSES must be >= 1 (got " +
+                                std::to_string(scale.eot_poses) + ")");
   }
   return scale;
 }
@@ -44,6 +50,7 @@ attack::Rp2Config paper_rp2_config(const ExperimentScale& scale) {
   config.learning_rate = 0.05;
   config.nps_weight = 0.25;
   config.use_eot = true;
+  config.eot_poses = scale.eot_poses;
   return config;
 }
 

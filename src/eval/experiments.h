@@ -20,8 +20,12 @@ struct ExperimentScale {
   int eval_images = 8;      // stop-sign evaluation set size (paper: 40)
   int num_targets = 4;      // attack targets swept (paper: all 17)
   int rp2_iterations = 120; // RP2 epochs (paper: 300)
+  /// EOT poses averaged per RP2 step (K). 1 = the historical single-pose
+  /// path; larger K is the paper's full expectation over alignments, batched
+  /// through the victim in one [n*K] graph per step.
+  int eot_poses = 1;
 
-  /// Reads BLURNET_FAST / BLURNET_PAPER.
+  /// Reads BLURNET_FAST / BLURNET_PAPER, plus BLURNET_EOT_POSES (default 1).
   static ExperimentScale from_env();
 
   /// Deterministic, evenly spread target classes (never the true class 0).

@@ -155,182 +155,329 @@ attack::VictimHandle Harness::victim_handle(const std::string& victim, int slot)
                               });
 }
 
-namespace {
+// ---- cross-victim sweep scheduler -------------------------------------------
 
-/// Run `fn(target_index, slot)` for every target, fanned out over the
-/// victim's replica slots: slot s owns targets s, s+S, s+2S, ... so a replica
-/// model is never used by two concurrent crafting runs, and results land in
-/// per-target storage independent of scheduling — bitwise identical for any
-/// replica count.
-void fan_out_targets(int replicas, std::size_t count,
-                     const std::function<void(std::size_t, int)>& fn) {
-  const int slots = static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(std::max(replicas, 1)), count));
-  if (slots <= 1) {
-    for (std::size_t t = 0; t < count; ++t) fn(t, 0);
+/// One enqueued protocol. Configuration is captured at add(); the crafting
+/// state (configs, stickers, per-task storage) is populated by prepare() at
+/// the head of run(), and the aggregate outputs by aggregate() at its tail.
+struct SweepScheduler::Job {
+  enum class Kind { kSweep, kTransfer };
+
+  Kind kind = Kind::kSweep;
+  std::string victim;  // crafting victim (sweep) or source (transfer)
+  double legit_accuracy = 0.0;
+  const data::StopSignSet* eval_set = nullptr;  // borrowed; outlives run()
+  ExperimentScale scale;
+  ConfigAdapter adapt;                        // sweeps only (may be null)
+  std::vector<std::string> transfer_victims;  // transfer only
+
+  // prepare() outputs.
+  data::StopSignSet craft_set;
+  Tensor craft_sticker;
+  Tensor eval_sticker;
+  std::vector<int> targets;
+  std::vector<attack::Rp2Config> configs;  // one per target
+  std::vector<int> clean_pred;             // sweep only: one engine pass up front
+
+  // Per-task crafting outputs (index = target index, so results are
+  // independent of which lane ran the task).
+  std::vector<PerTargetResult> per;    // sweep
+  std::vector<Tensor> adversarial;     // transfer
+
+  // aggregate() outputs.
+  SweepResult sweep_out;
+  std::vector<TransferResult> transfer_out;
+};
+
+/// All crafting tasks enqueued against one victim, across jobs. Lane l runs
+/// tasks l, l+L, ... in enqueue order; `done` is the progress counter the
+/// mid-flight snapshots read.
+struct SweepScheduler::VictimLanes {
+  std::string victim;
+  std::vector<std::pair<std::size_t, std::size_t>> tasks;  // (job index, target index)
+  std::atomic<int> done{0};
+  int lanes = 0;  // assigned by run(); <= the victim's replica count
+};
+
+SweepScheduler::SweepScheduler(const Harness& harness) : harness_(&harness) {}
+SweepScheduler::~SweepScheduler() = default;
+
+SweepScheduler::VictimLanes& SweepScheduler::lanes_for(const std::string& victim) {
+  for (auto& group : victims_) {
+    if (group->victim == victim) return *group;
+  }
+  victims_.push_back(std::make_unique<VictimLanes>());
+  victims_.back()->victim = victim;
+  return *victims_.back();
+}
+
+std::size_t SweepScheduler::add(const WhiteboxSweep& protocol, const std::string& victim,
+                                double legit_accuracy, const data::StopSignSet& eval_set) {
+  AdaptiveSweep plain{protocol.scale, nullptr};
+  return add(plain, victim, legit_accuracy, eval_set);
+}
+
+std::size_t SweepScheduler::add(const AdaptiveSweep& protocol, const std::string& victim,
+                                double legit_accuracy, const data::StopSignSet& eval_set) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ran_) throw std::logic_error("SweepScheduler::add: scheduler already ran");
+  harness_->replica_count(victim);  // validates the victim is registered
+  auto job = std::make_unique<Job>();
+  job->kind = Job::Kind::kSweep;
+  job->victim = victim;
+  job->legit_accuracy = legit_accuracy;
+  job->eval_set = &eval_set;
+  job->scale = protocol.scale;
+  job->adapt = protocol.adapt;
+  job->targets = protocol.scale.target_classes();
+  jobs_.push_back(std::move(job));
+  const std::size_t id = jobs_.size() - 1;
+  auto& group = lanes_for(victim);
+  for (std::size_t t = 0; t < jobs_[id]->targets.size(); ++t) group.tasks.emplace_back(id, t);
+  return id;
+}
+
+std::size_t SweepScheduler::add(const TransferMatrix& protocol, const std::string& source,
+                                std::vector<std::string> victims,
+                                const data::StopSignSet& eval_set) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ran_) throw std::logic_error("SweepScheduler::add: scheduler already ran");
+  harness_->replica_count(source);
+  for (const auto& victim : victims) harness_->replica_count(victim);
+  auto job = std::make_unique<Job>();
+  job->kind = Job::Kind::kTransfer;
+  job->victim = source;
+  job->eval_set = &eval_set;
+  job->scale = protocol.scale;
+  job->transfer_victims = std::move(victims);
+  job->targets = protocol.scale.target_classes();
+  jobs_.push_back(std::move(job));
+  const std::size_t id = jobs_.size() - 1;
+  auto& group = lanes_for(source);
+  for (std::size_t t = 0; t < jobs_[id]->targets.size(); ++t) group.tasks.emplace_back(id, t);
+  return id;
+}
+
+/// Craft one target's sticker against the job's victim through lane `slot`'s
+/// replica and fill the task's slot in the job's per-target storage.
+void SweepScheduler::run_task(const Harness& harness, Job& job, std::size_t t, int slot) {
+  const auto crafted =
+      attack::rp2_attack(harness.victim_handle(job.victim, slot), job.craft_set.images,
+                         job.craft_sticker, job.configs[t]);
+  const auto adversarial = attack::apply_shared_sticker(job.eval_set->images,
+                                                        job.eval_sticker, crafted.shared_delta);
+  if (job.kind == Job::Kind::kTransfer) {
+    job.adversarial[t] = adversarial;
     return;
   }
-  // min_chunk 1: one chunk per slot. Nested parallel_for calls inside the
-  // crafting runs fall back inline, so the pool is never deadlocked.
+  // Sweep: evaluate the sticker on the held-out set right away.
+  const auto adv_pred = harness.predict(job.victim, adversarial);
+  PerTargetResult& out = job.per[t];
+  out.target = job.targets[t];
+  int altered = 0, hits = 0;
+  for (std::size_t i = 0; i < job.clean_pred.size(); ++i) {
+    if (job.clean_pred[i] != adv_pred[i]) ++altered;
+    if (adv_pred[i] == out.target) ++hits;
+  }
+  const double count = static_cast<double>(job.clean_pred.size());
+  out.success_rate = count > 0 ? altered / count : 0.0;
+  out.targeted_rate = count > 0 ? hits / count : 0.0;
+  out.l2_dissimilarity = tensor::l2_dissimilarity(adversarial, job.eval_set->images);
+  util::log_debug() << "sweep victim=" << job.victim << " target=" << out.target
+                    << " asr=" << out.success_rate << " l2=" << out.l2_dissimilarity;
+}
+
+void SweepScheduler::run() {
+  struct Lane {
+    VictimLanes* group;
+    int lane;
+  };
+  std::vector<Lane> lanes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ran_) throw std::logic_error("SweepScheduler::run: scheduler already ran");
+    ran_ = true;
+    for (auto& group : victims_) {
+      group->lanes = static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(std::max(harness_->replica_count(group->victim), 1)),
+          group->tasks.size()));
+      for (int l = 0; l < group->lanes; ++l) lanes.push_back({group.get(), l});
+    }
+  }
+
+  // Per-job preparation, sequentially in submission order: the craft set,
+  // per-target configs (the adapter is caller-supplied code with no
+  // thread-safety contract) and the target-independent clean predictions.
+  for (auto& job_ptr : jobs_) {
+    Job& job = *job_ptr;
+    job.craft_set = attacker_craft_set(job.scale);
+    job.craft_sticker = attack::sticker_mask(job.craft_set.masks);
+    job.eval_sticker = attack::sticker_mask(job.eval_set->masks);
+    const std::uint64_t seed_base = job.kind == Job::Kind::kSweep ? 1000 : 2000;
+    job.configs.reserve(job.targets.size());
+    for (const int target : job.targets) {
+      attack::Rp2Config config = paper_rp2_config(job.scale);
+      config.target_class = target;
+      config.seed = seed_base + static_cast<std::uint64_t>(target);
+      if (job.adapt) config = job.adapt(config);
+      job.configs.push_back(std::move(config));
+    }
+    if (job.kind == Job::Kind::kSweep) {
+      job.clean_pred = harness_->predict(job.victim, job.eval_set->images);
+      job.per.resize(job.targets.size());
+    } else {
+      job.adversarial.resize(job.targets.size());
+    }
+  }
+
+  // The cross-victim fan-out: every victim's lanes run concurrently, each
+  // lane striding its victim's task list. min_chunk 1: one pool chunk per
+  // lane; nested parallel_for calls inside the crafting runs fall back
+  // inline, so the pool is never deadlocked.
   util::parallel_for(
-      slots,
-      [&](std::int64_t s0, std::int64_t s1) {
-        for (std::int64_t s = s0; s < s1; ++s) {
-          for (std::size_t t = static_cast<std::size_t>(s); t < count;
-               t += static_cast<std::size_t>(slots)) {
-            fn(t, static_cast<int>(s));
+      static_cast<std::int64_t>(lanes.size()),
+      [&](std::int64_t l0, std::int64_t l1) {
+        for (std::int64_t l = l0; l < l1; ++l) {
+          VictimLanes& group = *lanes[static_cast<std::size_t>(l)].group;
+          const int lane = lanes[static_cast<std::size_t>(l)].lane;
+          for (std::size_t i = static_cast<std::size_t>(lane); i < group.tasks.size();
+               i += static_cast<std::size_t>(group.lanes)) {
+            const auto [job_index, target_index] = group.tasks[i];
+            run_task(*harness_, *jobs_[job_index], target_index, lane);
+            group.done.fetch_add(1, std::memory_order_relaxed);
           }
         }
       },
       /*min_chunk=*/1);
+
+  // Per-job aggregation, sequentially in submission order — independent of
+  // the crafting schedule.
+  for (auto& job_ptr : jobs_) {
+    Job& job = *job_ptr;
+    if (job.kind == Job::Kind::kSweep) {
+      SweepResult& result = job.sweep_out;
+      result.legit_accuracy = job.legit_accuracy;
+      double sum_asr = 0.0, sum_l2 = 0.0;
+      for (const auto& entry : job.per) {
+        result.per_target.push_back(entry);
+        sum_asr += entry.success_rate;
+        sum_l2 += entry.l2_dissimilarity;
+        result.worst_success = std::max(result.worst_success, entry.success_rate);
+      }
+      if (!job.targets.empty()) {
+        result.average_success = sum_asr / static_cast<double>(job.targets.size());
+        result.mean_l2 = sum_l2 / static_cast<double>(job.targets.size());
+      }
+      continue;
+    }
+    // Transfer: every victim judges the same crafted stickers.
+    job.transfer_out.reserve(job.transfer_victims.size());
+    for (const auto& victim : job.transfer_victims) {
+      TransferResult row;
+      // Clean accuracy: fraction of natural stop signs the victim classifies
+      // as stop (class 0), mirroring Table I's "Accuracy" column.
+      const auto clean_pred = harness_->predict(victim, job.eval_set->images);
+      int stop_correct = 0;
+      for (const int label : clean_pred) {
+        if (label == data::SignRenderer::stop_class_id()) ++stop_correct;
+      }
+      row.clean_accuracy = clean_pred.empty()
+                               ? 0.0
+                               : static_cast<double>(stop_correct) /
+                                     static_cast<double>(clean_pred.size());
+      double sum_asr = 0.0;
+      for (std::size_t t = 0; t < job.targets.size(); ++t) {
+        const auto adv_pred = harness_->predict(victim, job.adversarial[t]);
+        int altered = 0;
+        for (std::size_t i = 0; i < adv_pred.size(); ++i) {
+          if (adv_pred[i] != clean_pred[i]) ++altered;
+        }
+        sum_asr += adv_pred.empty() ? 0.0
+                                    : static_cast<double>(altered) /
+                                          static_cast<double>(adv_pred.size());
+      }
+      if (!job.targets.empty()) {
+        row.attack_success = sum_asr / static_cast<double>(job.targets.size());
+      }
+      util::log_debug() << "transfer source=" << job.victim << " victim=" << victim
+                        << " asr=" << row.attack_success;
+      job.transfer_out.push_back(row);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  completed_ = true;
 }
 
-SweepResult run_sweep(const Harness& harness, const std::string& victim,
-                      double legit_accuracy, const data::StopSignSet& eval_set,
-                      const ExperimentScale& scale, const ConfigAdapter& adapt) {
-  const auto craft_set = attacker_craft_set(scale);
-  const auto craft_sticker = attack::sticker_mask(craft_set.masks);
-  const auto eval_sticker = attack::sticker_mask(eval_set.masks);
-  const auto targets = scale.target_classes();
-
-  SweepResult result;
-  result.legit_accuracy = legit_accuracy;
-  // Clean predictions are target-independent: one engine pass up front.
-  const auto clean_pred = harness.predict(victim, eval_set.images);
-
-  // Adapt the per-target configs sequentially on the calling thread — the
-  // fan-out below runs on pool threads, and the adapter is caller-supplied
-  // code with no thread-safety contract.
-  std::vector<attack::Rp2Config> configs;
-  configs.reserve(targets.size());
-  for (const int target : targets) {
-    attack::Rp2Config config = paper_rp2_config(scale);
-    config.target_class = target;
-    config.seed = 1000 + static_cast<std::uint64_t>(target);
-    if (adapt) config = adapt(config);
-    configs.push_back(std::move(config));
-  }
-
-  std::vector<PerTargetResult> per(targets.size());
-  fan_out_targets(harness.replica_count(victim), targets.size(),
-                  [&](std::size_t t, int slot) {
-                    const int target = targets[t];
-                    // Craft the sticker on the attacker's own sign instances, then
-                    // evaluate the same physical sticker on the held-out stop set.
-                    const auto crafted = attack::rp2_attack(
-                        harness.victim_handle(victim, slot), craft_set.images,
-                        craft_sticker, configs[t]);
-                    const auto adversarial = attack::apply_shared_sticker(
-                        eval_set.images, eval_sticker, crafted.shared_delta);
-                    const auto adv_pred = harness.predict(victim, adversarial);
-
-                    PerTargetResult& out = per[t];
-                    out.target = target;
-                    int altered = 0, hits = 0;
-                    for (std::size_t i = 0; i < clean_pred.size(); ++i) {
-                      if (clean_pred[i] != adv_pred[i]) ++altered;
-                      if (adv_pred[i] == target) ++hits;
-                    }
-                    const double count = static_cast<double>(clean_pred.size());
-                    out.success_rate = count > 0 ? altered / count : 0.0;
-                    out.targeted_rate = count > 0 ? hits / count : 0.0;
-                    out.l2_dissimilarity =
-                        tensor::l2_dissimilarity(adversarial, eval_set.images);
-                    util::log_debug() << "sweep victim=" << victim << " target=" << target
-                                      << " asr=" << out.success_rate
-                                      << " l2=" << out.l2_dissimilarity;
-                  });
-
-  // Aggregate in target-index order — independent of crafting schedule.
-  double sum_asr = 0.0, sum_l2 = 0.0;
-  for (const auto& entry : per) {
-    result.per_target.push_back(entry);
-    sum_asr += entry.success_rate;
-    sum_l2 += entry.l2_dissimilarity;
-    result.worst_success = std::max(result.worst_success, entry.success_rate);
-  }
-  if (!targets.empty()) {
-    result.average_success = sum_asr / static_cast<double>(targets.size());
-    result.mean_l2 = sum_l2 / static_cast<double>(targets.size());
-  }
-  return result;
+std::size_t SweepScheduler::job_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
 }
 
-}  // namespace
+const SweepResult& SweepScheduler::sweep_result(std::size_t job) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!completed_) throw std::logic_error("SweepScheduler::sweep_result: run() has not completed");
+  if (job >= jobs_.size() || jobs_[job]->kind != Job::Kind::kSweep) {
+    throw std::invalid_argument("SweepScheduler::sweep_result: job " + std::to_string(job) +
+                                " is not a sweep");
+  }
+  return jobs_[job]->sweep_out;
+}
+
+const std::vector<TransferResult>& SweepScheduler::transfer_result(std::size_t job) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!completed_) throw std::logic_error("SweepScheduler::transfer_result: run() has not completed");
+  if (job >= jobs_.size() || jobs_[job]->kind != Job::Kind::kTransfer) {
+    throw std::invalid_argument("SweepScheduler::transfer_result: job " + std::to_string(job) +
+                                " is not a transfer matrix");
+  }
+  return jobs_[job]->transfer_out;
+}
+
+std::vector<VictimProgress> SweepScheduler::progress() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<VictimProgress> snapshot;
+  snapshot.reserve(victims_.size());
+  for (const auto& group : victims_) {
+    VictimProgress entry;
+    entry.victim = group->victim;
+    entry.targets_total = static_cast<int>(group->tasks.size());
+    entry.targets_done = group->done.load(std::memory_order_relaxed);
+    entry.lanes = group->lanes;
+    entry.images_served = harness_->images_served(group->victim);
+    snapshot.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+// ---- protocol objects: single-job schedulers --------------------------------
 
 SweepResult WhiteboxSweep::run(const Harness& harness, const std::string& victim,
                                double legit_accuracy,
                                const data::StopSignSet& eval_set) const {
-  return run_sweep(harness, victim, legit_accuracy, eval_set, scale, nullptr);
+  SweepScheduler scheduler(harness);
+  const std::size_t job = scheduler.add(*this, victim, legit_accuracy, eval_set);
+  scheduler.run();
+  return scheduler.sweep_result(job);
 }
 
 SweepResult AdaptiveSweep::run(const Harness& harness, const std::string& victim,
                                double legit_accuracy,
                                const data::StopSignSet& eval_set) const {
-  return run_sweep(harness, victim, legit_accuracy, eval_set, scale, adapt);
+  SweepScheduler scheduler(harness);
+  const std::size_t job = scheduler.add(*this, victim, legit_accuracy, eval_set);
+  scheduler.run();
+  return scheduler.sweep_result(job);
 }
 
 std::vector<TransferResult> TransferMatrix::run(const Harness& harness,
                                                 const std::string& source,
                                                 const std::vector<std::string>& victims,
                                                 const data::StopSignSet& eval_set) const {
-  const auto craft_set = attacker_craft_set(scale);
-  const auto craft_sticker = attack::sticker_mask(craft_set.masks);
-  const auto eval_sticker = attack::sticker_mask(eval_set.masks);
-  const auto targets = scale.target_classes();
-
-  // Craft each per-target sticker ONCE on the source, fanned out across the
-  // source's replicas. The old per-victim protocol re-ran the identical
-  // deterministic optimization for every row; the stickers (and therefore
-  // every table number) are unchanged, only the redundant crafting is gone.
-  std::vector<Tensor> adversarial(targets.size());
-  fan_out_targets(harness.replica_count(source), targets.size(),
-                  [&](std::size_t t, int slot) {
-                    attack::Rp2Config config = paper_rp2_config(scale);
-                    config.target_class = targets[t];
-                    config.seed = 2000 + static_cast<std::uint64_t>(targets[t]);
-                    const auto crafted = attack::rp2_attack(
-                        harness.victim_handle(source, slot), craft_set.images,
-                        craft_sticker, config);
-                    adversarial[t] = attack::apply_shared_sticker(
-                        eval_set.images, eval_sticker, crafted.shared_delta);
-                  });
-
-  std::vector<TransferResult> results;
-  results.reserve(victims.size());
-  for (const auto& victim : victims) {
-    TransferResult row;
-    // Clean accuracy: fraction of natural stop signs the victim classifies
-    // as stop (class 0), mirroring Table I's "Accuracy" column.
-    const auto clean_pred = harness.predict(victim, eval_set.images);
-    int stop_correct = 0;
-    for (const int label : clean_pred) {
-      if (label == data::SignRenderer::stop_class_id()) ++stop_correct;
-    }
-    row.clean_accuracy = clean_pred.empty()
-                             ? 0.0
-                             : static_cast<double>(stop_correct) /
-                                   static_cast<double>(clean_pred.size());
-
-    double sum_asr = 0.0;
-    for (std::size_t t = 0; t < targets.size(); ++t) {
-      const auto adv_pred = harness.predict(victim, adversarial[t]);
-      int altered = 0;
-      for (std::size_t i = 0; i < adv_pred.size(); ++i) {
-        if (adv_pred[i] != clean_pred[i]) ++altered;
-      }
-      sum_asr += adv_pred.empty() ? 0.0
-                                  : static_cast<double>(altered) /
-                                        static_cast<double>(adv_pred.size());
-    }
-    if (!targets.empty()) {
-      row.attack_success = sum_asr / static_cast<double>(targets.size());
-    }
-    util::log_debug() << "transfer source=" << source << " victim=" << victim
-                      << " asr=" << row.attack_success;
-    results.push_back(row);
-  }
-  return results;
+  SweepScheduler scheduler(harness);
+  const std::size_t job = scheduler.add(*this, source, victims, eval_set);
+  scheduler.run();
+  return scheduler.transfer_result(job);
 }
 
 }  // namespace blurnet::eval

@@ -10,19 +10,26 @@
 //     (add_variant_victim / adopt_variant).
 //   * Protocol objects (WhiteboxSweep, TransferMatrix, AdaptiveSweep) submit
 //     every clean/adversarial classification batch through
-//     classify(images, Options{variant}) and fan the per-target RP2 crafting
-//     runs out across the victim's replicas: replica k's model handles the
-//     gradient side of targets k, k+R, ... so no two concurrent crafting
-//     runs share autograd state.
+//     classify(images, Options{variant}) and run their crafting through the
+//     cross-victim SweepScheduler: every victim's per-target RP2 jobs are
+//     striped over that victim's replica slots (replica k's model handles the
+//     gradient side of its lane's targets, so no two concurrent crafting runs
+//     share autograd state), and *different victims' lanes run concurrently*
+//     — a multi-victim evaluation saturates every registered replica shard
+//     instead of sweeping victims one after another.
 //
 // Hard invariant, inherited from the serving layer and preserved by the
-// protocols: per-image predictions and every aggregated table number are
-// bitwise identical for any replica count, batch split, or routing order —
-// replicas are deep weight clones and all aggregation happens in target-index
-// order. Sharding the evaluation is purely a throughput decision.
+// scheduler: per-image predictions and every aggregated table number are
+// bitwise identical for any replica count, scheduler interleaving, batch
+// split, or routing order — replicas are deep weight clones, per-target
+// crafting is seeded independently of scheduling, and all aggregation
+// happens in submission/target-index order. Sharding the evaluation is
+// purely a throughput decision.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -116,9 +123,9 @@ class Harness {
 };
 
 /// White-box target sweep (Table II protocol): attack the victim on the stop
-/// sign set at every target class; aggregates altered-ASR / L2. Crafting fans
-/// out across the victim's replicas; all classification goes through the
-/// engine.
+/// sign set at every target class; aggregates altered-ASR / L2. run() is a
+/// single-job SweepScheduler — enqueue several victims' sweeps on one
+/// scheduler to run them concurrently across their replica shards.
 struct WhiteboxSweep {
   ExperimentScale scale;
 
@@ -129,8 +136,9 @@ struct WhiteboxSweep {
 /// Adaptive white-box sweep (Table III/V protocol): the same target sweep
 /// with the protocol's base RP2 config tailored to the victim through
 /// `adapt` (attack::low_frequency_adapter, attack::tv_aware_adapter, ...).
-/// `adapt` is invoked once per target on the calling thread, before the
-/// crafting fan-out, so it needs no synchronization of its own.
+/// `adapt` is invoked once per target on the thread that prepares the
+/// schedule, before the crafting fan-out, so it needs no synchronization of
+/// its own.
 struct AdaptiveSweep {
   ExperimentScale scale;
   ConfigAdapter adapt;
@@ -149,6 +157,81 @@ struct TransferMatrix {
   std::vector<TransferResult> run(const Harness& harness, const std::string& source,
                                   const std::vector<std::string>& victims,
                                   const data::StopSignSet& eval_set) const;
+};
+
+/// serve::EngineStats-style snapshot of one crafting victim's progress
+/// through a SweepScheduler run: exact counters, readable mid-flight.
+struct VictimProgress {
+  std::string victim;              // crafting victim (a sweep's victim / a transfer's source)
+  int targets_total = 0;           // crafting tasks enqueued against this victim
+  int targets_done = 0;            // crafting tasks finished so far
+  int lanes = 0;                   // concurrent crafting lanes (<= victim's replicas; 0 before run())
+  std::int64_t images_served = 0;  // engine counter for the victim's variant
+};
+
+/// Cross-victim sweep scheduler: enqueue whole protocols (white-box /
+/// adaptive sweeps, transfer matrices) for *different* victims and run every
+/// crafting job concurrently across each victim's replica shards instead of
+/// finishing one victim before starting the next. Within a victim, lane l
+/// owns that victim's tasks l, l+L, ... (one lane per replica, so no two
+/// concurrent crafting runs share a replica's autograd state); across
+/// victims, all lanes run in parallel on the process pool.
+///
+/// Results are bitwise identical to running each protocol's run() by itself,
+/// for any replica count and any lane interleaving: per-target crafting
+/// seeds depend only on the target, results land in per-task storage, and
+/// aggregation happens sequentially in submission order after the barrier.
+///
+/// Usage: add(...) every job, then run() exactly once, then read
+/// sweep_result(job) / transfer_result(job). progress() may be called from
+/// another thread while run() is in flight (e.g. a reporting loop); it must
+/// not race add().
+class SweepScheduler {
+ public:
+  explicit SweepScheduler(const Harness& harness);
+  ~SweepScheduler();
+
+  SweepScheduler(const SweepScheduler&) = delete;
+  SweepScheduler& operator=(const SweepScheduler&) = delete;
+
+  /// Enqueue a protocol. The returned job id indexes the matching
+  /// *_result() accessor. `eval_set` is borrowed and must outlive run().
+  std::size_t add(const WhiteboxSweep& protocol, const std::string& victim,
+                  double legit_accuracy, const data::StopSignSet& eval_set);
+  std::size_t add(const AdaptiveSweep& protocol, const std::string& victim,
+                  double legit_accuracy, const data::StopSignSet& eval_set);
+  std::size_t add(const TransferMatrix& protocol, const std::string& source,
+                  std::vector<std::string> victims, const data::StopSignSet& eval_set);
+
+  /// Execute every queued job: per-job preparation (adapters, clean
+  /// predictions) in submission order, one cross-victim crafting fan-out,
+  /// then per-job aggregation in submission order. Callable once.
+  void run();
+
+  std::size_t job_count() const;
+  /// Result accessors; throw std::logic_error before run() completes and
+  /// std::invalid_argument for a job id of the wrong protocol kind.
+  const SweepResult& sweep_result(std::size_t job) const;
+  const std::vector<TransferResult>& transfer_result(std::size_t job) const;
+
+  /// One entry per crafting victim, in first-enqueued order.
+  std::vector<VictimProgress> progress() const;
+
+ private:
+  struct Job;
+  struct VictimLanes;
+
+  VictimLanes& lanes_for(const std::string& victim);
+  static void run_task(const Harness& harness, Job& job, std::size_t target_index, int slot);
+
+  const Harness* harness_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::vector<std::unique_ptr<VictimLanes>> victims_;
+  /// Guards jobs_/victims_ layout for progress() readers (counters are
+  /// atomics; entries are held by pointer so they never move).
+  mutable std::mutex mutex_;
+  bool ran_ = false;        // run() entered (rejects further add()/run())
+  bool completed_ = false;  // run() finished (gates the result accessors)
 };
 
 }  // namespace blurnet::eval

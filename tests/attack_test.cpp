@@ -1,13 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+
 #include "src/attack/adaptive.h"
+#include "src/attack/eot.h"
 #include "src/attack/masks.h"
 #include "src/attack/nps.h"
 #include "src/attack/pgd.h"
 #include "src/attack/rp2.h"
+#include "src/autograd/ops.h"
+#include "src/nn/optim.h"
 #include "src/tensor/ops.h"
 #include "src/signal/dct.h"
 #include "src/signal/spectrum.h"
+#include "src/util/rng.h"
 #include "tests/test_helpers.h"
 
 namespace blurnet::attack {
@@ -72,6 +79,323 @@ TEST(AttackResult, MetricArithmetic) {
   EXPECT_DOUBLE_EQ(result.success_rate_altered(), 0.5);
   EXPECT_DOUBLE_EQ(result.success_rate_targeted(5), 0.5);
   EXPECT_DOUBLE_EQ(result.success_rate_targeted(7), 0.0);
+}
+
+// ---- frozen pre-pose-batching reference -------------------------------------
+// A faithful copy of the single-pose rp2_attack loop as it existed before the
+// pose-batched EOT refactor: one util::Rng(config.seed) stream drawing
+// rotation, scale, shift-x, shift-y per iteration, one affine_warp of the
+// whole batch per step. The refactored attack with eot_poses = 1 must
+// reproduce it bitwise. (No DCT/NPS-free shortcuts — only the feature
+// regularizer, unused by these configs, is omitted.)
+AttackResult reference_rp2_single_pose(const nn::LisaCnn& model, const tensor::Tensor& images,
+                                       const tensor::Tensor& masks, const Rp2Config& config) {
+  using autograd::Variable;
+  using tensor::Tensor;
+  const std::int64_t n = images.dim(0), c = images.dim(1);
+  const int h = static_cast<int>(images.dim(2));
+  const int w = static_cast<int>(images.dim(3));
+  const Tensor mask_c = expand_mask_channels(masks, c);
+  const Tensor palette = printable_palette();
+  util::Rng rng(config.seed);
+
+  const tensor::Shape delta_shape = config.shared_perturbation
+                                        ? tensor::Shape::nchw(1, c, h, w)
+                                        : images.shape();
+  Variable delta = Variable::leaf(Tensor::zeros(delta_shape), /*requires_grad=*/true);
+  nn::Adam optimizer({delta}, config.learning_rate);
+
+  const std::vector<int> targets(static_cast<std::size_t>(n), config.target_class);
+  double final_loss = 0.0;
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    Variable delta_batch =
+        config.shared_perturbation ? autograd::broadcast_batch(delta, n) : delta;
+    Variable masked = autograd::mul_const(delta_batch, mask_c);
+    if (config.dct_mask_dim > 0) {
+      masked = autograd::dct_lowpass(masked, config.dct_mask_dim);
+    }
+
+    Variable applied = masked;
+    if (config.use_eot) {
+      // The old loop drew these inside the argument list of
+      // rotation_scale_about_center, which the repo's GCC toolchain
+      // evaluates right to left; sequencing the draws in that order keeps
+      // this reference equal to the shipped pre-refactor binaries while
+      // staying well-defined on every compiler.
+      const double dy = rng.uniform(-config.max_shift, config.max_shift);
+      const double dx = rng.uniform(-config.max_shift, config.max_shift);
+      const double scale = rng.uniform(config.min_scale, config.max_scale);
+      const double rotation = rng.uniform(-config.max_rotation, config.max_rotation);
+      const auto transform =
+          autograd::Affine2D::rotation_scale_about_center(rotation, scale, dx, dy, h, w);
+      applied = autograd::affine_warp(masked, transform);
+    }
+    Variable x_adv = autograd::add_const(applied, images);
+
+    const auto fwd = model.forward(x_adv);
+    Variable loss = autograd::softmax_cross_entropy(fwd.logits, targets);
+    Variable norm_term = config.norm == PerturbationNorm::kL2 ? autograd::l2_norm(masked)
+                                                              : autograd::l1_norm(masked);
+    loss = autograd::add(loss, autograd::mul_scalar(norm_term,
+                                                    static_cast<float>(config.lambda)));
+    if (config.nps_weight > 0.0 && c == 3) {
+      loss = autograd::add(loss, autograd::mul_scalar(autograd::nps_loss(masked, palette),
+                                                      static_cast<float>(config.nps_weight)));
+    }
+    optimizer.zero_grad();
+    autograd::backward(loss);
+    optimizer.step();
+    final_loss = loss.scalar_value();
+    delta.mutable_value() = tensor::clamp(delta.value(), -1.0f, 1.0f);
+  }
+
+  Tensor delta_final = delta.value();
+  AttackResult result;
+  if (config.shared_perturbation) {
+    result.shared_delta = config.dct_mask_dim > 0
+                              ? signal::dct_lowpass_nchw(delta_final, config.dct_mask_dim)
+                              : delta_final.clone();
+    Tensor tiled(images.shape());
+    const std::int64_t stride = delta_final.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::copy(delta_final.data(), delta_final.data() + stride, tiled.data() + i * stride);
+    }
+    delta_final = tiled;
+  }
+  Tensor masked_final = tensor::mul(delta_final, mask_c);
+  if (config.dct_mask_dim > 0) {
+    masked_final = signal::dct_lowpass_nchw(masked_final, config.dct_mask_dim);
+  }
+  result.adversarial = tensor::clamp(tensor::add(images, masked_final), 0.0f, 1.0f);
+  result.perturbation = tensor::sub(result.adversarial, images);
+  result.clean_pred = model.predict(images);
+  result.adv_pred = model.predict(result.adversarial);
+  result.final_loss = final_loss;
+  return result;
+}
+
+void expect_results_bitwise_equal(const AttackResult& a, const AttackResult& b) {
+  ASSERT_EQ(a.adversarial.numel(), b.adversarial.numel());
+  for (std::int64_t i = 0; i < a.adversarial.numel(); ++i) {
+    ASSERT_EQ(a.adversarial[i], b.adversarial[i]) << "adversarial diverged at " << i;
+  }
+  for (std::int64_t i = 0; i < a.perturbation.numel(); ++i) {
+    ASSERT_EQ(a.perturbation[i], b.perturbation[i]) << "perturbation diverged at " << i;
+  }
+  ASSERT_EQ(a.shared_delta.numel(), b.shared_delta.numel());
+  for (std::int64_t i = 0; i < a.shared_delta.numel(); ++i) {
+    ASSERT_EQ(a.shared_delta[i], b.shared_delta[i]) << "shared_delta diverged at " << i;
+  }
+  EXPECT_EQ(a.clean_pred, b.clean_pred);
+  EXPECT_EQ(a.adv_pred, b.adv_pred);
+  EXPECT_EQ(a.final_loss, b.final_loss);
+}
+
+// The K = 1 regression the refactor is pinned to: pose-batched rp2_attack at
+// eot_poses = 1 is bitwise identical to the pre-refactor single-pose path,
+// in shared and per-image mode, with and without the DCT projection.
+TEST(Rp2, EotSinglePoseBitwiseMatchesPreRefactorPath) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(2);
+  const auto sticker = sticker_mask(stop_set.masks);
+
+  Rp2Config shared;
+  shared.iterations = 12;
+  shared.target_class = 5;
+  ASSERT_EQ(shared.eot_poses, 1);
+  expect_results_bitwise_equal(
+      rp2_attack(model, stop_set.images, sticker, shared),
+      reference_rp2_single_pose(model, stop_set.images, sticker, shared));
+
+  Rp2Config per_image = shared;
+  per_image.shared_perturbation = false;
+  per_image.seed = 77;
+  expect_results_bitwise_equal(
+      rp2_attack(model, stop_set.images, sticker, per_image),
+      reference_rp2_single_pose(model, stop_set.images, sticker, per_image));
+
+  Rp2Config low_freq = shared;
+  low_freq.dct_mask_dim = 8;
+  expect_results_bitwise_equal(
+      rp2_attack(model, stop_set.images, sticker, low_freq),
+      reference_rp2_single_pose(model, stop_set.images, sticker, low_freq));
+}
+
+// ---- EOT pose sampler determinism -------------------------------------------
+
+void expect_poses_equal(const autograd::Affine2D& a, const autograd::Affine2D& b) {
+  EXPECT_EQ(a.m00, b.m00);
+  EXPECT_EQ(a.m01, b.m01);
+  EXPECT_EQ(a.m10, b.m10);
+  EXPECT_EQ(a.m11, b.m11);
+  EXPECT_EQ(a.tx, b.tx);
+  EXPECT_EQ(a.ty, b.ty);
+}
+
+TEST(EotSampler, SlotStreamsAreIndependentOfPoseCount) {
+  // Slot k's pose sequence depends only on (seed, k): sampling with a larger
+  // K must not perturb the poses any existing slot produces. In particular
+  // slot 0 with any K replays the K = 1 (historical single-pose) sequence.
+  const EotPoseRange range{};
+  EotSampler k1(42, 1, range);
+  EotSampler k3(42, 3, range);
+  EotSampler k8(42, 8, range);
+  for (int step = 0; step < 5; ++step) {
+    const auto p1 = k1.sample_step(32, 32);
+    const auto p3 = k3.sample_step(32, 32);
+    const auto p8 = k8.sample_step(32, 32);
+    ASSERT_EQ(p1.size(), 1u);
+    ASSERT_EQ(p3.size(), 3u);
+    ASSERT_EQ(p8.size(), 8u);
+    expect_poses_equal(p1[0], p3[0]);
+    expect_poses_equal(p1[0], p8[0]);
+    expect_poses_equal(p3[1], p8[1]);
+    expect_poses_equal(p3[2], p8[2]);
+  }
+}
+
+TEST(EotSampler, SlotZeroReplaysHistoricalSinglePoseStream) {
+  // The exact draw contract the K = 1 regression rests on: slot 0 consumes
+  // util::Rng(seed) as (shift-y, shift-x, scale, rotation) per step — the
+  // effective order of the pre-refactor loop (see eot.h).
+  const EotPoseRange range{};
+  EotSampler sampler(7, 1, range);
+  util::Rng rng(7);
+  for (int step = 0; step < 4; ++step) {
+    const auto pose = sampler.sample_step(32, 32)[0];
+    const double dy = rng.uniform(-range.max_shift, range.max_shift);
+    const double dx = rng.uniform(-range.max_shift, range.max_shift);
+    const double scale = rng.uniform(range.min_scale, range.max_scale);
+    const double rotation = rng.uniform(-range.max_rotation, range.max_rotation);
+    const auto expected =
+        autograd::Affine2D::rotation_scale_about_center(rotation, scale, dx, dy, 32, 32);
+    expect_poses_equal(pose, expected);
+  }
+}
+
+TEST(EotSampler, RejectsInvalidConfiguration) {
+  EXPECT_THROW(EotSampler(1, 0, EotPoseRange{}), std::invalid_argument);
+  EotPoseRange inverted;
+  inverted.min_scale = 1.2;
+  inverted.max_scale = 0.8;
+  EXPECT_THROW(EotSampler(1, 2, inverted), std::invalid_argument);
+}
+
+// ---- pose-batched attacks ---------------------------------------------------
+
+TEST(Rp2, PoseBatchedAttackRespectsMaskAndRange) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(2);
+  const auto sticker = sticker_mask(stop_set.masks);
+  Rp2Config config;
+  config.iterations = 10;
+  config.target_class = 3;
+  config.eot_poses = 4;
+  const auto result = rp2_attack(model, stop_set.images, sticker, config);
+  ASSERT_EQ(result.shared_delta.shape(), tensor::Shape::nchw(1, 3, 32, 32));
+  EXPECT_GE(result.adversarial.min(), 0.0f);
+  EXPECT_LE(result.adversarial.max(), 1.0f);
+  EXPECT_TRUE(std::isfinite(result.final_loss));
+  const auto mask3 = expand_mask_channels(sticker, 3);
+  for (std::int64_t i = 0; i < result.perturbation.numel(); ++i) {
+    if (mask3[i] < 0.5f) {
+      ASSERT_FLOAT_EQ(result.perturbation[i], 0.0f) << "leak outside mask at " << i;
+    }
+  }
+}
+
+TEST(Rp2, ConfigValidationRejectsBadFields) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(1);
+  const auto sticker = sticker_mask(stop_set.masks);
+  auto expect_rejected = [&](const Rp2Config& config, const std::string& needle) {
+    try {
+      rp2_attack(model, stop_set.images, sticker, config);
+      FAIL() << "expected std::invalid_argument mentioning " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  Rp2Config config;
+  config.iterations = 0;
+  expect_rejected(config, "iterations");
+  config = {};
+  config.learning_rate = -0.1;
+  expect_rejected(config, "learning_rate");
+  config = {};
+  config.eot_poses = 0;
+  expect_rejected(config, "eot_poses");
+  config = {};
+  config.min_scale = 1.5;
+  config.max_scale = 0.5;
+  expect_rejected(config, "min_scale");
+  config = {};
+  config.max_rotation = -0.1;
+  expect_rejected(config, "max_rotation");
+  config = {};
+  config.max_shift = -1.0;
+  expect_rejected(config, "max_shift");
+  config = {};
+  config.dct_mask_dim = -1;
+  expect_rejected(config, "dct_mask_dim");
+}
+
+TEST(Adaptive, EotPosesAdapterSetsPoseCount) {
+  Rp2Config base;
+  EXPECT_EQ(eot_poses_config(base, 8).eot_poses, 8);
+  const auto adapter = compose(low_frequency_adapter(8), eot_poses_adapter(4));
+  const auto adapted = adapter(base);
+  EXPECT_EQ(adapted.dct_mask_dim, 8);
+  EXPECT_EQ(adapted.eot_poses, 4);
+  // Null sides are identity.
+  EXPECT_EQ(compose(nullptr, eot_poses_adapter(2))(base).eot_poses, 2);
+  EXPECT_EQ(compose(eot_poses_adapter(3), nullptr)(base).eot_poses, 3);
+}
+
+TEST(Pgd, ConfigValidationRejectsBadFields) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(1);
+  const std::vector<int> labels(1, 0);
+  auto expect_rejected = [&](const PgdConfig& config, const std::string& needle) {
+    try {
+      pgd_attack(model, stop_set.images, labels, config);
+      FAIL() << "expected std::invalid_argument mentioning " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  PgdConfig config;
+  config.steps = 0;
+  expect_rejected(config, "steps");
+  config = {};
+  config.step_size = 0.0;
+  expect_rejected(config, "step_size");
+  config = {};
+  config.epsilon = -0.5;
+  expect_rejected(config, "epsilon");
+  config = {};
+  config.eot_poses = -2;
+  expect_rejected(config, "eot_poses");
+  config = {};
+  config.min_scale = 2.0;
+  config.max_scale = 1.0;
+  expect_rejected(config, "min_scale");
+}
+
+TEST(Pgd, PoseBatchedEotStaysInEpsilonBall) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(2);
+  const std::vector<int> labels(2, 0);
+  PgdConfig config;
+  config.epsilon = 8.0 / 255.0;
+  config.steps = 5;
+  config.eot_poses = 3;
+  const auto result = pgd_attack(model, stop_set.images, labels, config);
+  EXPECT_LE(result.perturbation.abs_max(), static_cast<float>(config.epsilon) + 1e-5f);
+  EXPECT_GE(result.adversarial.min(), 0.0f);
+  EXPECT_LE(result.adversarial.max(), 1.0f);
+  EXPECT_TRUE(std::isfinite(result.final_loss));
 }
 
 TEST(Rp2, PerturbationRespectsMask) {

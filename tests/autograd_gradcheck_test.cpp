@@ -217,6 +217,26 @@ TEST(GradCheck, AffineWarp) {
       smooth_random(Shape::nchw(1, 2, 6, 6), 35));
 }
 
+TEST(GradCheck, AffineWarpPerSampleTransforms) {
+  // Every batch row warps under its own pose (the pose-batched EOT layout),
+  // including one pose whose shift pushes part of the sample out of bounds —
+  // the dropped taps must show up as exact zeros in the analytic gradient.
+  const std::vector<Affine2D> transforms = {
+      Affine2D::rotation_scale_about_center(0.4, 1.05, -0.6, 0.2, 6, 6),
+      Affine2D::rotation_scale_about_center(-0.2, 0.8, 3.5, -3.5, 6, 6),
+      Affine2D::identity(),
+  };
+  expect_gradcheck(
+      [&transforms](const Variable& x) { return sum_squares(affine_warp(x, transforms)); },
+      smooth_random(Shape::nchw(3, 2, 6, 6), 41));
+}
+
+TEST(GradCheck, RepeatBatch) {
+  expect_gradcheck(
+      [](const Variable& x) { return sum_squares(repeat_batch(x, 3)); },
+      smooth_random(Shape::nchw(2, 2, 3, 3), 42));
+}
+
 TEST(GradCheck, DctLowpass) {
   expect_gradcheck([](const Variable& x) { return sum_squares(dct_lowpass(x, 3)); },
                    smooth_random(Shape::nchw(1, 1, 6, 6), 36));

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 #include "src/autograd/ops.h"
 #include "src/autograd/variable.h"
@@ -362,6 +364,82 @@ TEST(Ops, NpsPositiveOffPalette) {
   Tensor palette(Shape::mat(2, 3), {0.0f, 0.0f, 0.0f, 1.0f, 1.0f, 1.0f});
   Tensor x = Tensor::full(Shape::nchw(1, 3, 1, 1), 0.5f);
   EXPECT_GT(nps_loss(Variable::constant(x), palette).scalar_value(), 0.0f);
+}
+
+TEST(Ops, AffineWarpPerSampleTransformsWarpRowsIndependently) {
+  // Row 0 shifts its content right, row 1 left: each row obeys its own pose.
+  Tensor x = Tensor::zeros(Shape::nchw(2, 1, 5, 5));
+  x.at4(0, 0, 2, 2) = 1.0f;
+  x.at4(1, 0, 2, 2) = 1.0f;
+  Affine2D right, left;  // inverse-warp convention: output samples input
+  right.tx = -1.0;
+  left.tx = 1.0;
+  const auto y = affine_warp(Variable::constant(x), {right, left});
+  EXPECT_FLOAT_EQ(y.value().at4(0, 0, 2, 3), 1.0f);
+  EXPECT_FLOAT_EQ(y.value().at4(1, 0, 2, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y.value().at4(0, 0, 2, 1), 0.0f);
+  EXPECT_FLOAT_EQ(y.value().at4(1, 0, 2, 3), 0.0f);
+}
+
+TEST(Ops, AffineWarpBatchOfEqualTransformsBitwiseEqualsSingle) {
+  // The single-transform overload and n copies of the same transform must be
+  // the same float program — exactly, in both the forward and the gradient.
+  util::Rng rng(21);
+  const Tensor x0 = Tensor::randn(Shape::nchw(3, 2, 7, 7), rng);
+  const auto t = Affine2D::rotation_scale_about_center(0.35, 0.9, 1.2, -0.7, 7, 7);
+
+  auto x_single = Variable::leaf(x0.clone());
+  auto x_batch = Variable::leaf(x0.clone());
+  const auto y_single = affine_warp(x_single, t);
+  const auto y_batch = affine_warp(x_batch, std::vector<Affine2D>(3, t));
+  for (std::int64_t i = 0; i < y_single.value().numel(); ++i) {
+    ASSERT_EQ(y_single.value()[i], y_batch.value()[i]) << "forward diverged at " << i;
+  }
+  backward(sum_squares(y_single));
+  backward(sum_squares(y_batch));
+  for (std::int64_t i = 0; i < x0.numel(); ++i) {
+    ASSERT_EQ(x_single.grad()[i], x_batch.grad()[i]) << "gradient diverged at " << i;
+  }
+}
+
+TEST(Ops, AffineWarpOutOfBoundsTapsReadAndPropagateZero) {
+  // A shift larger than the image: every output pixel samples outside, so the
+  // forward is exactly zero and no gradient flows back into the input.
+  util::Rng rng(22);
+  auto x = Variable::leaf(Tensor::randn(Shape::nchw(1, 1, 4, 4), rng));
+  Affine2D far_shift;
+  far_shift.tx = 10.0;
+  far_shift.ty = -10.0;
+  const auto y = affine_warp(x, far_shift);
+  for (std::int64_t i = 0; i < y.value().numel(); ++i) EXPECT_EQ(y.value()[i], 0.0f);
+  backward(sum(y));
+  for (std::int64_t i = 0; i < x.value().numel(); ++i) EXPECT_EQ(x.grad()[i], 0.0f);
+}
+
+TEST(Ops, AffineWarpTransformCountMismatchThrows) {
+  auto x = Variable::constant(Tensor::zeros(Shape::nchw(2, 1, 4, 4)));
+  EXPECT_THROW(affine_warp(x, std::vector<Affine2D>(3)), std::invalid_argument);
+  EXPECT_THROW(affine_warp(x, std::vector<Affine2D>{}), std::invalid_argument);
+}
+
+TEST(Ops, RepeatBatchTilesPoseMajorAndSumsGrad) {
+  // Layout contract the EOT pipeline relies on: copy j of the whole batch
+  // occupies rows [j*n, (j+1)*n).
+  Tensor x0(Shape::nchw(2, 1, 1, 2), {1.0f, 2.0f, 3.0f, 4.0f});
+  auto x = Variable::leaf(x0.clone());
+  auto tiled = repeat_batch(x, 3);
+  EXPECT_EQ(tiled.shape(), Shape::nchw(6, 1, 1, 2));
+  for (int j = 0; j < 3; ++j) {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      EXPECT_FLOAT_EQ(tiled.value()[j * 4 + i], x0[i]) << "copy " << j << " element " << i;
+    }
+  }
+  backward(sum(tiled));
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 3.0f);
+
+  EXPECT_THROW(repeat_batch(x, 0), std::invalid_argument);
+  EXPECT_THROW(repeat_batch(Variable::constant(Tensor::zeros(Shape::vec(3))), 2),
+               std::invalid_argument);
 }
 
 TEST(Ops, BroadcastBatchTilesAndSumsGrad) {

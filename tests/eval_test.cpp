@@ -219,6 +219,106 @@ TEST(Harness, TransferMatrixBitwiseEqualsRawModelAcrossReplicaCounts) {
   }
 }
 
+// The cross-victim scheduler invariant: enqueueing several victims' protocols
+// on ONE scheduler (so their crafting lanes interleave on the pool) is
+// bitwise identical to running each protocol by itself, at every replica
+// count — and the per-victim progress counters come back complete. A
+// pose-batched scale (eot_poses = 2) keeps the EOT pipeline under the same
+// determinism contract.
+TEST(Scheduler, MultiVictimRunBitwiseEqualsIndividualRunsAcrossReplicaCounts) {
+  const auto& model = tiny_trained_model();
+  nn::LisaCnnConfig filtered_config = model.config();
+  filtered_config.fixed_filter = {nn::FilterPlacement::kAfterLayer1, 3,
+                                  signal::KernelKind::kBox};
+  const auto stop_set = data::stop_sign_eval_set(3);
+  ExperimentScale scale = tiny_scale();
+  scale.eot_poses = 2;
+  const auto adapt = attack::low_frequency_adapter(8);
+
+  // Individual protocol runs (single-job schedulers) as the reference.
+  Harness reference(model);
+  reference.adopt_variant(serve::kBaseVariant);
+  reference.add_variant_victim("filtered", filtered_config);
+  const auto ref_sweep =
+      WhiteboxSweep{scale}.run(reference, serve::kBaseVariant, 0.9, stop_set);
+  const auto ref_adaptive =
+      AdaptiveSweep{scale, adapt}.run(reference, "filtered", 0.8, stop_set);
+  const auto ref_transfer = TransferMatrix{scale}.run(
+      reference, serve::kBaseVariant, {std::string(serve::kBaseVariant), "filtered"},
+      stop_set);
+
+  for (const int replicas : {1, 2, 4}) {
+    const std::string context = "replicas " + std::to_string(replicas);
+    Harness harness(model, replicas);
+    harness.adopt_variant(serve::kBaseVariant);
+    harness.add_variant_victim("filtered", filtered_config);
+
+    SweepScheduler scheduler(harness);
+    const auto sweep_job =
+        scheduler.add(WhiteboxSweep{scale}, serve::kBaseVariant, 0.9, stop_set);
+    const auto adaptive_job =
+        scheduler.add(AdaptiveSweep{scale, adapt}, "filtered", 0.8, stop_set);
+    const auto transfer_job = scheduler.add(
+        TransferMatrix{scale}, serve::kBaseVariant,
+        {std::string(serve::kBaseVariant), "filtered"}, stop_set);
+    EXPECT_EQ(scheduler.job_count(), 3u);
+    scheduler.run();
+
+    expect_sweeps_bitwise_equal(scheduler.sweep_result(sweep_job), ref_sweep, context);
+    expect_sweeps_bitwise_equal(scheduler.sweep_result(adaptive_job), ref_adaptive,
+                                context);
+    const auto& transfer = scheduler.transfer_result(transfer_job);
+    ASSERT_EQ(transfer.size(), ref_transfer.size()) << context;
+    for (std::size_t i = 0; i < transfer.size(); ++i) {
+      EXPECT_EQ(transfer[i].clean_accuracy, ref_transfer[i].clean_accuracy) << context;
+      EXPECT_EQ(transfer[i].attack_success, ref_transfer[i].attack_success) << context;
+    }
+
+    // Progress snapshot: both crafting victims accounted for, all tasks done,
+    // lanes bounded by the replica count.
+    const auto progress = scheduler.progress();
+    ASSERT_EQ(progress.size(), 2u) << context;  // base (sweep+transfer), filtered
+    for (const auto& entry : progress) {
+      EXPECT_EQ(entry.targets_done, entry.targets_total) << context << " " << entry.victim;
+      EXPECT_GT(entry.targets_total, 0) << context << " " << entry.victim;
+      EXPECT_GE(entry.lanes, 1) << context << " " << entry.victim;
+      EXPECT_LE(entry.lanes, replicas) << context << " " << entry.victim;
+      EXPECT_GT(entry.images_served, 0) << context << " " << entry.victim;
+    }
+    // The base victim carries the white-box sweep AND the transfer crafting.
+    EXPECT_EQ(progress[0].victim, serve::kBaseVariant) << context;
+    EXPECT_EQ(progress[0].targets_total, 2 * scale.num_targets) << context;
+    EXPECT_EQ(progress[1].victim, "filtered") << context;
+    EXPECT_EQ(progress[1].targets_total, scale.num_targets) << context;
+  }
+}
+
+TEST(Scheduler, LifecycleAndKindValidation) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(2);
+  ExperimentScale scale = tiny_scale();
+  scale.num_targets = 1;
+  scale.rp2_iterations = 2;
+  Harness harness(model);
+  harness.adopt_variant(serve::kBaseVariant);
+
+  SweepScheduler scheduler(harness);
+  // Unknown victims are rejected at add() with the registered names listed.
+  EXPECT_THROW(scheduler.add(WhiteboxSweep{scale}, "nope", 1.0, stop_set),
+               std::invalid_argument);
+  const auto job = scheduler.add(WhiteboxSweep{scale}, serve::kBaseVariant, 1.0, stop_set);
+  // Results are gated until run() completes.
+  EXPECT_THROW(scheduler.sweep_result(job), std::logic_error);
+  scheduler.run();
+  // Kind-checked accessors; double-run and post-run add are rejected.
+  EXPECT_NO_THROW(scheduler.sweep_result(job));
+  EXPECT_THROW(scheduler.transfer_result(job), std::invalid_argument);
+  EXPECT_THROW(scheduler.sweep_result(job + 1), std::invalid_argument);
+  EXPECT_THROW(scheduler.run(), std::logic_error);
+  EXPECT_THROW(scheduler.add(WhiteboxSweep{scale}, serve::kBaseVariant, 1.0, stop_set),
+               std::logic_error);
+}
+
 TEST(Harness, AdaptiveSweepAppliesAdapter) {
   const auto& model = tiny_trained_model();
   const auto stop_set = data::stop_sign_eval_set(2);
