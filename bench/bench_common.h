@@ -66,6 +66,18 @@ struct EvalEnv {
     }
   }
 
+  /// Register an input-transform defense (a defense::ModelZoo
+  /// transform-variant name: squeeze4, median3, dctq50, ...) over the
+  /// engine's base weights as victim `victim` (defaults to the zoo name).
+  /// The variant executes the engine's preprocess→forward pipeline, and its
+  /// victim_handle() carries the transform so the adaptive protocols craft
+  /// with BPDA straight-through gradients.
+  void add_transform_victim(const std::string& zoo_name, const eval::VictimSpec& spec = {},
+                            const std::string& victim = "") {
+    const std::string name = victim.empty() ? zoo_name : victim;
+    harness.add_transform_victim(name, defense::ModelZoo::transform_spec(zoo_name), spec);
+  }
+
   /// Clean test-set accuracy of a victim through the batched serving path.
   double victim_accuracy(const std::string& victim) {
     return harness.dataset_accuracy(victim, zoo.dataset().test);

@@ -1,7 +1,7 @@
 // Micro-benchmarks (google-benchmark) for the computational kernels the
 // experiments lean on: convolution forward/backward, FFT/DCT transforms,
-// depthwise blur, TV penalty, the persistent-pool parallel runtime, and the
-// batched inference engine.
+// depthwise blur, the input-transform defense kernels, TV penalty, the
+// persistent-pool parallel runtime, and the batched inference engine.
 #include <benchmark/benchmark.h>
 
 #include <future>
@@ -12,6 +12,7 @@
 #include "src/attack/rp2.h"
 #include "src/autograd/ops.h"
 #include "src/data/dataset.h"
+#include "src/defense/input_transform.h"
 #include "src/linalg/gemm.h"
 #include "src/nn/lisa_cnn.h"
 #include "src/serve/engine.h"
@@ -219,6 +220,37 @@ void BM_Rp2EotPoses(benchmark::State& state) {
                           poses);
 }
 BENCHMARK(BM_Rp2EotPoses)->Arg(1)->Arg(4)->Arg(16);
+
+// ---- input-transform defenses: the engine's preprocess stage ----------------
+// One [8,3,32,32] batch through each stateless transform kernel — the
+// per-batch cost a transform-wrapped variant adds ahead of its forward pass.
+void BM_InputTransformSqueeze(benchmark::State& state) {
+  const auto x = random_nchw(8, 3, 32, 32, 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(defense::bit_depth_squeeze(x, 4).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_InputTransformSqueeze);
+
+void BM_InputTransformMedian(benchmark::State& state) {
+  const auto kernel = static_cast<int>(state.range(0));
+  const auto x = random_nchw(8, 3, 32, 32, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(defense::median_filter_nchw(x, kernel).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_InputTransformMedian)->Arg(3)->Arg(5);
+
+void BM_InputTransformDctQuant(benchmark::State& state) {
+  const auto x = random_nchw(8, 3, 32, 32, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(defense::dct_quantize_nchw(x, 50).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_InputTransformDctQuant);
 
 void BM_Fft2d(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));

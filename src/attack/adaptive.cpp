@@ -41,6 +41,12 @@ Rp2Config eot_poses_config(const Rp2Config& base, int poses) {
   return config;
 }
 
+Rp2Config bpda_config(const Rp2Config& base, bool enabled) {
+  Rp2Config config = base;
+  config.bpda = enabled;
+  return config;
+}
+
 Rp2Adapter low_frequency_adapter(int dct_dim) {
   return [dct_dim](const Rp2Config& base) { return low_frequency_config(base, dct_dim); };
 }
@@ -64,6 +70,10 @@ Rp2Adapter tik_pseudo_aware_adapter(tensor::Tensor p_operator, double weight) {
 
 Rp2Adapter eot_poses_adapter(int poses) {
   return [poses](const Rp2Config& base) { return eot_poses_config(base, poses); };
+}
+
+Rp2Adapter bpda_adapter(bool enabled) {
+  return [enabled](const Rp2Config& base) { return bpda_config(base, enabled); };
 }
 
 Rp2Adapter compose(Rp2Adapter inner, Rp2Adapter outer) {

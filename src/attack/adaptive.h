@@ -40,12 +40,22 @@ Rp2Config tik_pseudo_aware_config(const Rp2Config& base, const tensor::Tensor& p
 /// Rp2Config::eot_poses for the determinism contract).
 Rp2Config eot_poses_config(const Rp2Config& base, int poses);
 
+/// BPDA (Athalye et al. 2018) against input-transform defenses (squeeze /
+/// median / DCT quantization served through the engine's preprocess stage):
+/// the crafting forward applies the victim's transform, the backward passes
+/// gradients straight through as the identity (Rp2Config::bpda). `enabled`
+/// false yields the *oblivious* attacker, which crafts against the bare
+/// model — on a transform-free victim both settings are bitwise the plain
+/// white-box attack.
+Rp2Config bpda_config(const Rp2Config& base, bool enabled = true);
+
 /// Adapter forms of the adaptive attacks, for protocol objects.
 Rp2Adapter low_frequency_adapter(int dct_dim = 16);
 Rp2Adapter tv_aware_adapter(double weight = 1.0);
 Rp2Adapter tik_hf_aware_adapter(tensor::Tensor l_hf, double weight = 1.0);
 Rp2Adapter tik_pseudo_aware_adapter(tensor::Tensor p_operator, double weight = 1.0);
 Rp2Adapter eot_poses_adapter(int poses);
+Rp2Adapter bpda_adapter(bool enabled = true);
 
 /// Left-to-right adapter composition (`outer` runs on `inner`'s output), so
 /// e.g. compose(low_frequency_adapter(16), eot_poses_adapter(8)) is the

@@ -104,6 +104,11 @@ AttackResult pgd_attack(const VictimHandle& victim, const Tensor& images,
       }
       input = autograd::affine_warp(autograd::repeat_batch(x, poses), row_transforms);
     }
+    if (config.bpda && victim.has_input_transform()) {
+      // BPDA straight-through: the model input is transformed exactly as the
+      // serving pipeline would transform it; gradients skip the transform.
+      input = autograd::straight_through(input, victim.transform_input(input.value()));
+    }
     Variable loss = autograd::softmax_cross_entropy(model.forward(input).logits,
                                                     poses > 1 ? tiled_labels : attack_labels);
     autograd::backward(loss);

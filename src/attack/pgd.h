@@ -32,6 +32,12 @@ struct PgdConfig {
   double min_scale = 0.75, max_scale = 1.10;
   double max_shift = 2.5;
 
+  /// BPDA straight-through against input-transform victims (see
+  /// Rp2Config::bpda): each step's forward applies the victim's transform to
+  /// the model input, the backward treats it as the identity. false crafts
+  /// obliviously against the bare model. No effect on transform-free victims.
+  bool bpda = true;
+
   /// Reject malformed configurations with a descriptive
   /// std::invalid_argument (the serving engine's input-validation style):
   /// positive epsilon / step_size / steps / eot_poses, non-negative

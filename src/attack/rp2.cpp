@@ -118,6 +118,12 @@ AttackResult rp2_attack(const VictimHandle& victim, const Tensor& images,
       applied = autograd::affine_warp(tiled, row_transforms);
     }
     Variable x_adv = autograd::add_const(applied, poses > 1 ? images_tiled : images);
+    if (config.bpda && victim.has_input_transform()) {
+      // BPDA straight-through: the forward sees exactly what the victim's
+      // serving pipeline would (transform applied to the candidate batch),
+      // the backward treats the transform as the identity.
+      x_adv = autograd::straight_through(x_adv, victim.transform_input(x_adv.value()));
+    }
 
     const auto fwd = model.forward(x_adv);
     // Mean cross-entropy over the [n*K] rows = the empirical expectation of

@@ -55,6 +55,17 @@ struct Rp2Config {
   int dct_mask_dim = 0;        // > 0 enables the low-frequency projection
   FeatureRegTerm feature_reg;  // regularizer-aware term
 
+  /// BPDA (Backward Pass Differentiable Approximation) against victims
+  /// served behind a non-differentiable input transform: each crafting
+  /// forward applies the victim's transform to the candidate adversarial
+  /// batch — exactly what the serving path will do — while the backward
+  /// passes gradients through as the identity (straight-through estimator).
+  /// With false the attacker is *oblivious*: it crafts against the bare
+  /// model and only the final predictions see the transform. Victims without
+  /// a transform are unaffected either way — that path stays bitwise the
+  /// historical one.
+  bool bpda = true;
+
   /// Physical-attack semantics (default, matching the paper's evaluation):
   /// ONE sticker perturbation is optimized to fool the classifier across the
   /// whole image set, then the attack success rate is the fraction of images

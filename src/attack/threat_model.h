@@ -32,19 +32,46 @@ void require_scale_interval(const char* config_name, double min_scale, double ma
 ///     predict(), which is bitwise-identical for any replica count or batch
 ///     split.
 ///
-/// The handle is non-owning: the gradient model (and anything the predict
-/// function captures) must outlive it.
+/// A victim served behind an input-transform defense (the engine's
+/// preprocess→forward pipeline) additionally exposes the transform itself,
+/// so gradient-based attacks can craft with BPDA straight-through gradients:
+/// the crafting forward applies transform_input() to the candidate
+/// adversarial batch (matching what the serving path will do), while the
+/// backward treats the transform as the identity
+/// (autograd::straight_through). The prediction side needs no special
+/// handling — the engine applies the transform server-side.
+///
+/// The handle is non-owning: the gradient model (and anything the predict /
+/// transform functions capture) must outlive it.
 class VictimHandle {
  public:
   using PredictFn = std::function<std::vector<int>(const tensor::Tensor&)>;
+  using TransformFn = std::function<tensor::Tensor(const tensor::Tensor&)>;
 
   /// Wrap a plain model: gradients and predictions both come from `model`.
   /*implicit*/ VictimHandle(const nn::LisaCnn& model) : gradient_model_(&model) {}
   /// Split roles: gradients from `model`, final classifications via `predict`.
   VictimHandle(const nn::LisaCnn& model, PredictFn predict)
       : gradient_model_(&model), predict_(std::move(predict)) {}
+  /// Full pipeline: gradients from `model`, classifications via `predict`,
+  /// and the victim's input transform exposed for BPDA crafting. A null
+  /// `transform` means the victim serves the bare forward path.
+  VictimHandle(const nn::LisaCnn& model, PredictFn predict, TransformFn transform)
+      : gradient_model_(&model),
+        predict_(std::move(predict)),
+        transform_(std::move(transform)) {}
 
   const nn::LisaCnn& gradient_model() const { return *gradient_model_; }
+
+  /// True when the victim serves an input transform the attacker must BPDA
+  /// through.
+  bool has_input_transform() const { return static_cast<bool>(transform_); }
+
+  /// The victim's preprocess stage applied to a batch; identity (shared
+  /// storage, no copy) when the victim has none.
+  tensor::Tensor transform_input(const tensor::Tensor& images) const {
+    return transform_ ? transform_(images) : images;
+  }
 
   /// Classify a batch through the prediction side.
   std::vector<int> classify(const tensor::Tensor& images) const {
@@ -54,6 +81,7 @@ class VictimHandle {
  private:
   const nn::LisaCnn* gradient_model_;
   PredictFn predict_;
+  TransformFn transform_;
 };
 
 /// Result of attacking a batch of images.

@@ -111,6 +111,17 @@ Variable add_const(const Variable& a, const Tensor& c) {
   });
 }
 
+Variable straight_through(const Variable& a, const Tensor& forward_value) {
+  if (a.value().numel() != forward_value.numel()) {
+    throw std::invalid_argument("straight_through: shape mismatch");
+  }
+  // Clone: the caller's tensor must not alias the graph node's value.
+  Tensor out = forward_value.clone();
+  return make_op("straight_through", std::move(out), {a}, [a](Node& node) mutable {
+    if (a.requires_grad()) a.node()->accumulate_grad(node.grad());
+  });
+}
+
 // ---- shape ------------------------------------------------------------------
 
 Variable reshape(const Variable& a, Shape new_shape) {

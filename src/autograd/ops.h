@@ -19,6 +19,12 @@ Variable neg(const Variable& a);
 /// Elementwise product with a constant tensor (no gradient into the constant).
 Variable mul_const(const Variable& a, const tensor::Tensor& c);
 Variable add_const(const Variable& a, const tensor::Tensor& c);
+/// Straight-through estimator (BPDA): the op's value is `forward_value`
+/// verbatim — bitwise, not a float re-derivation — while the backward pass
+/// hands the incoming gradient to `a` unchanged, as if the op were the
+/// identity. Used to differentiate "through" non-differentiable input
+/// transforms: forward_value = transform(a.value()).
+Variable straight_through(const Variable& a, const tensor::Tensor& forward_value);
 
 // ---- shape ------------------------------------------------------------------
 Variable reshape(const Variable& a, tensor::Shape new_shape);

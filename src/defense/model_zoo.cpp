@@ -124,6 +124,25 @@ std::vector<std::string> ModelZoo::known_variants() {
           "tik_hf",   "tik_pseudo", "gauss0.1", "gauss0.2", "gauss0.3", "advtrain"};
 }
 
+std::vector<std::string> ModelZoo::transform_variants() {
+  std::vector<std::string> names;
+  for (const auto& spec : standard_transforms()) names.push_back(spec.name());
+  return names;
+}
+
+TransformSpec ModelZoo::transform_spec(const std::string& name) {
+  for (const auto& spec : standard_transforms()) {
+    if (spec.name() == name) return spec;
+  }
+  std::string known;
+  for (const auto& spec : standard_transforms()) {
+    if (!known.empty()) known += ", ";
+    known += spec.name();
+  }
+  throw std::invalid_argument("ModelZoo: unknown transform variant \"" + name +
+                              "\" (registered: " + known + ")");
+}
+
 const ZooEntry& ModelZoo::spec(const std::string& name) const {
   const auto it = specs_.find(name);
   if (it == specs_.end()) throw std::invalid_argument("ModelZoo: unknown variant " + name);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/data/dataset.h"
+#include "src/defense/input_transform.h"
 #include "src/defense/trainer.h"
 #include "src/nn/lisa_cnn.h"
 
@@ -39,6 +40,16 @@ class ModelZoo {
   /// Variant names: baseline, dw3, dw5, dw7, tv1e-4, tv1e-5, tik_hf,
   /// tik_pseudo, gauss0.1, gauss0.2, gauss0.3, advtrain.
   static std::vector<std::string> known_variants();
+
+  /// Input-transform defense variants (standard_transforms() names:
+  /// squeeze4, squeeze5, median3, median5, dctq50, dctq75). These need no
+  /// training of their own — they wrap the baseline weights behind the
+  /// engine's preprocess stage — so they live here as a pure name→spec
+  /// registry next to the trained variants.
+  static std::vector<std::string> transform_variants();
+  /// The TransformSpec behind a transform_variants() name; descriptive
+  /// std::invalid_argument (listing the registry) for unknown names.
+  static TransformSpec transform_spec(const std::string& name);
 
   const ZooEntry& spec(const std::string& name) const;
 

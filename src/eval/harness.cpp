@@ -57,6 +57,13 @@ void Harness::add_variant_victim(const std::string& name, const nn::LisaCnnConfi
   add_entry(name, spec);
 }
 
+void Harness::add_transform_victim(const std::string& name,
+                                   const defense::TransformSpec& transform,
+                                   const VictimSpec& spec) {
+  engine_->register_transform_variant(name, transform, spec.replicas);
+  add_entry(name, spec);
+}
+
 void Harness::adopt_variant(const std::string& name, const VictimSpec& spec) {
   if (!engine_->has_variant(name)) {
     throw std::invalid_argument("Harness::adopt_variant: engine has no variant \"" + name +
@@ -146,13 +153,23 @@ attack::VictimHandle Harness::victim_handle(const std::string& victim, int slot)
   if (slot < 0) throw std::invalid_argument("Harness::victim_handle: slot must be >= 0");
   const int replicas = engine_->replica_count(entry.name);
   const nn::LisaCnn& gradient_model = engine_->replica_model(entry.name, slot % replicas);
-  // The closure captures the engine pointer and the variant name by value so
-  // the handle stays valid as long as the engine does.
+  // The closures capture the engine pointer and the variant name by value so
+  // the handle stays valid as long as the engine does. A transform-wrapped
+  // victim's handle also carries the variant's (shared, immutable) input
+  // transform, so the attack side can craft with BPDA straight-through
+  // gradients against exactly the preprocess stage the serving path runs.
   const serve::InferenceEngine* engine = engine_;
+  attack::VictimHandle::TransformFn transform_fn;
+  if (defense::TransformPtr transform = engine_->variant_transform(entry.name)) {
+    transform_fn = [transform = std::move(transform)](const Tensor& images) {
+      return transform->apply(images);
+    };
+  }
   return attack::VictimHandle(gradient_model,
                               [engine, name = entry.name](const Tensor& images) {
                                 return engine_labels(*engine, name, images);
-                              });
+                              },
+                              std::move(transform_fn));
 }
 
 // ---- cross-victim sweep scheduler -------------------------------------------

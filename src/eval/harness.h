@@ -79,6 +79,13 @@ class Harness {
   /// protocol: `config`'s architecture serving the base weights) as a victim.
   void add_variant_victim(const std::string& name, const nn::LisaCnnConfig& config,
                           const VictimSpec& spec = {});
+  /// Register an input-transform defense over the engine's base weights
+  /// (serve::InferenceEngine::register_transform_variant — the
+  /// preprocess→forward pipeline) as a victim. victim_handle() exposes the
+  /// transform, so RP2/PGD craft against it with BPDA straight-through
+  /// gradients by default.
+  void add_transform_victim(const std::string& name, const defense::TransformSpec& transform,
+                            const VictimSpec& spec = {});
   /// Mark an already-registered engine variant (e.g. "base" or "defended")
   /// as a victim.
   void adopt_variant(const std::string& name, const VictimSpec& spec = {});
@@ -103,7 +110,8 @@ class Harness {
   /// craft concurrently — and predictions through the engine's batched
   /// classify on the victim's variant (no smoothing: the handle's
   /// predictions mirror the raw serving path; prediction policy is applied
-  /// by predict()).
+  /// by predict()). A transform-wrapped victim's handle also carries the
+  /// variant's input transform for BPDA crafting.
   attack::VictimHandle victim_handle(const std::string& victim, int slot = 0) const;
 
  private:

@@ -54,16 +54,33 @@ int effective_max_batch(const Options& options, int engine_default, const std::s
 
 }  // namespace
 
+void EngineConfig::validate() const {
+  if (max_batch < 1) {
+    throw std::invalid_argument("EngineConfig: max_batch must be >= 1 (got " +
+                                std::to_string(max_batch) + ")");
+  }
+  if (replicas < 1) {
+    throw std::invalid_argument("EngineConfig: replicas must be >= 1 (got " +
+                                std::to_string(replicas) + ")");
+  }
+}
+
 InferenceEngine::InferenceEngine(EngineConfig config)
-    : InferenceEngine(nn::LisaCnn(config.model), config.defense, config.max_batch,
-                      config.replicas) {}
+    // Validate before the model is built: a bad batch/replica knob must not
+    // cost a full weight allocation (and must carry the EngineConfig prefix).
+    : InferenceEngine([&config] { config.validate(); return nn::LisaCnn(config.model); }(),
+                      config.defense, config.max_batch, config.replicas) {}
 
 InferenceEngine::InferenceEngine(nn::LisaCnn model, nn::FixedFilterSpec defense,
                                  int max_batch, int replicas)
     : model_(std::move(model)), max_batch_(max_batch), default_replicas_(replicas) {
-  if (max_batch_ < 1) throw std::invalid_argument("InferenceEngine: max_batch must be >= 1");
+  if (max_batch_ < 1) {
+    throw std::invalid_argument("InferenceEngine: max_batch must be >= 1 (got " +
+                                std::to_string(max_batch_) + ")");
+  }
   if (default_replicas_ < 1) {
-    throw std::invalid_argument("InferenceEngine: replicas must be >= 1");
+    throw std::invalid_argument("InferenceEngine: replicas must be >= 1 (got " +
+                                std::to_string(default_replicas_) + ")");
   }
   register_variant_locked(kBaseVariant, model_.config(), default_replicas_);
   defense_enabled_ = defense.placement != nn::FilterPlacement::kNone && defense.kernel > 0;
@@ -95,7 +112,8 @@ InferenceEngine::~InferenceEngine() {
 void InferenceEngine::register_shard_locked(const std::string& name,
                                             const nn::LisaCnn& source,
                                             const nn::LisaCnnConfig& config, int replicas,
-                                            bool from_base) {
+                                            bool from_base,
+                                            defense::TransformPtr transform) {
   if (name.empty()) throw std::invalid_argument("register_variant: name must be non-empty");
   if (find_shard_locked(name) != nullptr) {
     throw std::invalid_argument("register_variant: variant \"" + name +
@@ -107,14 +125,18 @@ void InferenceEngine::register_shard_locked(const std::string& name,
                                 "\" input shape does not match the base model");
   }
   if (replicas == 0) replicas = default_replicas_;
-  if (replicas < 1) throw std::invalid_argument("register_variant: replicas must be >= 1");
+  if (replicas < 1) {
+    throw std::invalid_argument("register_variant: replicas must be >= 1 (got " +
+                                std::to_string(replicas) + ")");
+  }
   auto shard = std::make_unique<VariantShard>();
   shard->name = name;
   shard->config = config;
   shard->from_base = from_base;
+  shard->transform = transform;
   shard->replicas.reserve(static_cast<std::size_t>(replicas));
   for (int i = 0; i < replicas; ++i) {
-    shard->replicas.push_back(std::make_unique<Replica>(source, config));
+    shard->replicas.push_back(std::make_unique<Replica>(source, config, transform));
   }
   shards_.push_back(std::move(shard));
 }
@@ -137,6 +159,28 @@ void InferenceEngine::register_model(const std::string& name, const nn::LisaCnn&
   register_shard_locked(name, source, source.config(), replicas, /*from_base=*/false);
 }
 
+void InferenceEngine::register_transform_variant(const std::string& name,
+                                                 const defense::TransformSpec& spec,
+                                                 int replicas) {
+  // make_transform validates the spec and maps kNone to nullptr, so a kNone
+  // registration is exactly a plain weight-transfer variant of the base
+  // config — the transform-off path stays bitwise the bare forward path.
+  defense::TransformPtr transform = defense::make_transform(spec);
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  register_shard_locked(name, model_, model_.config(), replicas, /*from_base=*/true,
+                        std::move(transform));
+}
+
+void InferenceEngine::register_transform_model(const std::string& name,
+                                               const nn::LisaCnn& source,
+                                               const defense::TransformSpec& spec,
+                                               int replicas) {
+  defense::TransformPtr transform = defense::make_transform(spec);
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  register_shard_locked(name, source, source.config(), replicas, /*from_base=*/false,
+                        std::move(transform));
+}
+
 void InferenceEngine::alias_variant(const std::string& name, const std::string& existing) {
   std::lock_guard<std::mutex> lock(shards_mutex_);
   if (name.empty()) throw std::invalid_argument("alias_variant: name must be non-empty");
@@ -147,13 +191,25 @@ void InferenceEngine::alias_variant(const std::string& name, const std::string& 
   aliases_.emplace_back(name, &require_shard_locked(existing));
 }
 
+std::string InferenceEngine::shard_kind(const VariantShard& shard) {
+  std::string kind = shard.from_base ? "weight-transfer" : "foreign-model";
+  if (shard.transform) {
+    kind = "transform-wrapped " + kind + " (" + shard.transform->name() + ")";
+  }
+  return kind;
+}
+
 void InferenceEngine::refresh_variant(const std::string& name) {
   VariantShard& shard = require_shard(name);
   if (!shard.from_base) {
-    throw std::logic_error("refresh_variant: variant \"" + name +
-                           "\" serves an independently trained model "
-                           "(register_model); re-register it instead");
+    throw std::logic_error("refresh_variant: variant \"" + name + "\" is a " +
+                           shard_kind(shard) +
+                           " shard: it serves an independently trained model whose "
+                           "weights do not come from the base model; re-register it "
+                           "(register_model / register_transform_model) instead");
   }
+  // Weight-transfer shards — transform-wrapped or not — re-copy the base
+  // weights; the preprocess stage is immutable and kept as registered.
   for (auto& replica : shard.replicas) replica->refresh_from(model_);
 }
 
@@ -219,6 +275,14 @@ const nn::LisaCnn& InferenceEngine::replica_model(const std::string& name, int i
 
 int InferenceEngine::replica_count(const std::string& name) const {
   return static_cast<int>(require_shard(name).replicas.size());
+}
+
+defense::TransformPtr InferenceEngine::variant_transform(const std::string& name) const {
+  return require_shard(name).transform;
+}
+
+std::string InferenceEngine::variant_kind(const std::string& name) const {
+  return shard_kind(require_shard(name));
 }
 
 Replica& InferenceEngine::route_locked(VariantShard& shard) const {

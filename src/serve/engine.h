@@ -15,6 +15,19 @@
 // defense makes "defended" an alias of the base shard (same replicas, no
 // extra weight clones), so stats() then reports a single "base" entry.
 //
+// Every variant executes as an explicit two-stage pipeline:
+//
+//   preprocess — an optional defense::InputTransform (bit-depth squeeze,
+//                median filter, DCT quantization, ...) applied to each
+//                forward slice before the model, and
+//   forward    — the replica's model forward.
+//
+// register_transform_variant() / register_transform_model() attach the
+// preprocess stage; plain variants skip it. Both stages run inside the
+// replica, so transformed variants inherit batching, replica sharding, the
+// coalescing submit() workers and the bitwise determinism contract below
+// unchanged.
+//
 // Two ways in, both routed by Options::variant:
 //
 //   * classify(images, options): synchronous batched classification of a CHW
@@ -61,6 +74,10 @@ struct EngineConfig {
   int max_batch = 64;
   /// Serving replicas per variant (>= 1).
   int replicas = 1;
+
+  /// Reject malformed configs with a descriptive std::invalid_argument
+  /// (non-positive max_batch / replicas). Called by the engine constructor.
+  void validate() const;
 };
 
 /// Per-request routing knobs.
@@ -115,14 +132,27 @@ class InferenceEngine {
   /// so one engine can serve a whole zoo of differently-trained victims.
   /// refresh_variant() on such a shard throws — re-register after retraining.
   void register_model(const std::string& name, const nn::LisaCnn& source, int replicas = 0);
+  /// Register an input-transform variant: the base weights served behind the
+  /// preprocess stage `spec` describes (the two-stage pipeline above).
+  /// Weights transfer from the base model, so refresh_variant() works; the
+  /// transform itself is immutable. A kNone spec serves the bare forward
+  /// path — bitwise identical to register_variant of the base config.
+  void register_transform_variant(const std::string& name, const defense::TransformSpec& spec,
+                                  int replicas = 0);
+  /// Same, but wrapping an *independently trained* model (register_model
+  /// semantics: deep clones of `source`, refresh_variant() throws).
+  void register_transform_model(const std::string& name, const nn::LisaCnn& source,
+                                const defense::TransformSpec& spec, int replicas = 0);
   /// Register `name` as an alias of an existing variant: same shard, same
   /// replicas, no extra weight clones (e.g. serving a zoo model's name next
   /// to "base" when they are the same weights, or a "canary" alias).
   void alias_variant(const std::string& name, const std::string& existing);
   /// Re-copy the (possibly retrained) base weights into every replica of the
   /// named variant. Must not race in-flight requests for that variant.
-  /// Throws std::logic_error for register_model() shards, whose weights do
-  /// not come from the base model.
+  /// Throws std::logic_error — naming the variant and its kind — for
+  /// register_model() / register_transform_model() shards, whose weights do
+  /// not come from the base model. Transform-wrapped base variants refresh
+  /// their weights; the transform stage is immutable and kept.
   void refresh_variant(const std::string& name);
 
   std::vector<std::string> variant_names() const;
@@ -136,6 +166,14 @@ class InferenceEngine {
   /// replicas without sharing mutable state. Throws on a bad index.
   const nn::LisaCnn& replica_model(const std::string& name, int index) const;
   int replica_count(const std::string& name) const;
+  /// The named variant's preprocess stage; nullptr for plain variants (and
+  /// kNone transform registrations). Shared by all the variant's replicas,
+  /// immutable and thread-safe — attack drivers wrap it into BPDA handles.
+  defense::TransformPtr variant_transform(const std::string& name) const;
+  /// The kind of shard the name resolves to: "weight-transfer",
+  /// "foreign-model", or the transform-wrapped forms of either. Mirrors the
+  /// wording of refresh_variant()'s error messages.
+  std::string variant_kind(const std::string& name) const;
   /// True when the "defended" variant actually wraps a filter.
   bool defense_enabled() const { return defense_enabled_; }
 
@@ -175,6 +213,7 @@ class InferenceEngine {
     std::string name;
     nn::LisaCnnConfig config;
     bool from_base = true;  // weights transferred from model_ (refreshable)
+    defense::TransformPtr transform;  // preprocess stage; nullptr = bare forward
     std::vector<std::unique_ptr<Replica>> replicas;
     std::size_t next_replica = 0;  // round-robin tiebreak; guarded by shards_mutex_
     // Queued path, all guarded by the engine-wide queue_mutex_. Each shard
@@ -193,7 +232,9 @@ class InferenceEngine {
   void register_variant_locked(const std::string& name, const nn::LisaCnnConfig& config,
                                int replicas);
   void register_shard_locked(const std::string& name, const nn::LisaCnn& source,
-                             const nn::LisaCnnConfig& config, int replicas, bool from_base);
+                             const nn::LisaCnnConfig& config, int replicas, bool from_base,
+                             defense::TransformPtr transform = nullptr);
+  static std::string shard_kind(const VariantShard& shard);
   void worker_loop(VariantShard* shard, Replica* replica);
 
   nn::LisaCnn model_;

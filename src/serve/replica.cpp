@@ -11,15 +11,20 @@ namespace blurnet::serve {
 using tensor::Shape;
 using tensor::Tensor;
 
-Replica::Replica(const nn::LisaCnn& source, const nn::LisaCnnConfig& config)
-    : model_(source.clone_with_config(config)) {}
+Replica::Replica(const nn::LisaCnn& source, const nn::LisaCnnConfig& config,
+                 defense::TransformPtr transform)
+    : model_(source.clone_with_config(config)), transform_(std::move(transform)) {}
 
 void Replica::refresh_from(const nn::LisaCnn& source) {
   model_.copy_weights_from(source);
 }
 
 std::vector<Prediction> Replica::forward(const Tensor& batch) {
-  const Tensor logits = model_.logits(batch);
+  // Stage 1 (optional): the variant's input transform. Per-image and
+  // deterministic, so slicing the batch cannot change any prediction.
+  const Tensor input = transform_ ? transform_->apply(batch) : batch;
+  // Stage 2: the model forward.
+  const Tensor logits = model_.logits(input);
   const Tensor probabilities = tensor::softmax_rows(logits);
   const std::vector<int> labels = tensor::argmax_rows(logits);
   const std::int64_t n = logits.dim(0), k = logits.dim(1);

@@ -1,5 +1,6 @@
 // A serving replica: one independently-owned clone of a model variant plus
-// its own request counters.
+// its own request counters, executing the variant's two-stage
+// preprocess→forward pipeline.
 //
 // Replicas exist so the engine can run several forward passes of the same
 // variant at once: each replica's worker computes its coalesced batch on its
@@ -10,7 +11,9 @@
 //
 // A replica's weights are deep clones (LisaCnn::clone_with_config) of the
 // engine's base model, so every replica of a variant is bitwise identical and
-// routing a request to any of them yields bitwise-identical predictions.
+// routing a request to any of them yields bitwise-identical predictions. The
+// optional defense::InputTransform (the preprocess stage) is shared, const
+// and per-image, so it preserves that contract for any batch split.
 #pragma once
 
 #include <atomic>
@@ -18,6 +21,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/defense/input_transform.h"
 #include "src/nn/lisa_cnn.h"
 
 namespace blurnet::serve {
@@ -40,13 +44,19 @@ struct ReplicaStats {
 class Replica {
  public:
   /// Clone `source`'s weights into `config`'s architecture (Table I weight
-  /// transfer; config == source.config() gives an exact clone).
-  Replica(const nn::LisaCnn& source, const nn::LisaCnnConfig& config);
+  /// transfer; config == source.config() gives an exact clone). `transform`
+  /// is the variant's optional preprocess stage, applied to every forward
+  /// slice before the model; nullptr serves the bare forward path.
+  Replica(const nn::LisaCnn& source, const nn::LisaCnnConfig& config,
+          defense::TransformPtr transform = nullptr);
 
   Replica(const Replica&) = delete;
   Replica& operator=(const Replica&) = delete;
 
   const nn::LisaCnn& model() const { return model_; }
+  /// The preprocess stage (shared across the variant's replicas); nullptr
+  /// when the variant serves the bare forward path.
+  const defense::TransformPtr& transform() const { return transform_; }
 
   /// Re-copy matching-name weights from `source` (after retraining). Not
   /// safe concurrently with in-flight runs on this replica.
@@ -68,9 +78,11 @@ class Replica {
   void end_call() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
 
  private:
+  /// One pipeline pass over a slice: preprocess (optional) then forward.
   std::vector<Prediction> forward(const tensor::Tensor& batch);
 
   nn::LisaCnn model_;
+  defense::TransformPtr transform_;
   std::atomic<int> in_flight_{0};
   mutable std::mutex stats_mutex_;
   ReplicaStats stats_;

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
 
 #include "src/autograd/ops.h"
+#include "src/defense/input_transform.h"
 #include "src/defense/model_zoo.h"
 #include "src/defense/randomized_smoothing.h"
 #include "src/defense/regularizers.h"
@@ -205,6 +207,140 @@ TEST(FixedBlur, ReducesFeatureHighFrequency) {
         signal::high_frequency_energy_ratio(signal::extract_plane(blurred, 0, c), h, w);
   }
   EXPECT_LT(hf_after, hf_before);
+}
+
+TEST(InputTransform, SqueezeIsIdempotentAndQuantizesToLevels) {
+  util::Rng rng(3);
+  const Tensor x = Tensor::rand_uniform(Shape::nchw(2, 3, 8, 8), rng);
+  for (const int bits : {1, 3, 5}) {
+    const Tensor once = bit_depth_squeeze(x, bits);
+    const Tensor twice = bit_depth_squeeze(once, bits);
+    const float levels = static_cast<float>((1 << bits) - 1);
+    for (std::int64_t i = 0; i < once.numel(); ++i) {
+      // Idempotent: a squeezed image is a fixed point, bitwise.
+      ASSERT_EQ(once[i], twice[i]) << "bits " << bits << " index " << i;
+      // Every value sits exactly on one of the 2^bits quantization levels.
+      const float scaled = once[i] * levels;
+      ASSERT_EQ(scaled, std::round(scaled)) << "bits " << bits << " index " << i;
+      ASSERT_GE(once[i], 0.0f);
+      ASSERT_LE(once[i], 1.0f);
+    }
+  }
+  // Out-of-range inputs are clamped before quantization.
+  Tensor wild(Shape::nchw(1, 1, 1, 2));
+  wild.data()[0] = -0.5f;
+  wild.data()[1] = 1.5f;
+  const Tensor squeezed = bit_depth_squeeze(wild, 4);
+  EXPECT_EQ(squeezed[0], 0.0f);
+  EXPECT_EQ(squeezed[1], 1.0f);
+}
+
+TEST(InputTransform, MedianKeepsConstantPlanesAndRemovesSalt) {
+  // Replicate padding keeps every window an odd sample count of real pixels,
+  // so a constant plane is bitwise unchanged right up to the border...
+  Tensor flat(Shape::nchw(1, 1, 6, 6));
+  for (std::int64_t i = 0; i < flat.numel(); ++i) flat.data()[i] = 0.37f;
+  const Tensor filtered = median_filter_nchw(flat, 3);
+  for (std::int64_t i = 0; i < filtered.numel(); ++i) EXPECT_EQ(filtered[i], 0.37f);
+
+  // ...and a single salt pixel in the corner — where zero padding would let
+  // it survive — is voted out by its replicated neighbours.
+  Tensor salt = flat.clone();
+  salt.data()[0] = 1.0f;  // corner pixel: 4 of the 9 window samples
+  const Tensor cleaned = median_filter_nchw(salt, 3);
+  for (std::int64_t i = 0; i < cleaned.numel(); ++i) EXPECT_EQ(cleaned[i], 0.37f);
+
+  // kernel 1 is the identity (bitwise), and even kernels are rejected.
+  util::Rng rng(5);
+  const Tensor x = Tensor::rand_uniform(Shape::nchw(1, 2, 5, 5), rng);
+  const Tensor identity = median_filter_nchw(x, 1);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(identity[i], x[i]);
+  EXPECT_THROW(median_filter_nchw(x, 2), std::invalid_argument);
+}
+
+TEST(InputTransform, DctQuantRoundTripIsBoundedAndInRange) {
+  util::Rng rng(7);
+  const Tensor x = Tensor::rand_uniform(Shape::nchw(2, 3, 32, 32), rng);
+  const Tensor high = dct_quantize_nchw(x, 95);
+  const Tensor low = dct_quantize_nchw(x, 5);
+  double high_err = 0, low_err = 0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    ASSERT_GE(high[i], 0.0f);
+    ASSERT_LE(high[i], 1.0f);
+    ASSERT_GE(low[i], 0.0f);
+    ASSERT_LE(low[i], 1.0f);
+    high_err = std::max(high_err, static_cast<double>(std::fabs(high[i] - x[i])));
+    low_err += std::fabs(low[i] - x[i]);
+  }
+  // Near-lossless quality keeps every pixel close to the original; harsh
+  // quantization must actually compress (change the image substantially).
+  EXPECT_LT(high_err, 0.2);
+  EXPECT_GT(low_err / static_cast<double>(x.numel()), 1e-3);
+}
+
+TEST(InputTransform, ApplyAcceptsChwAndMatchesBatchBitwise) {
+  // Per-image semantics: transforming a CHW image alone equals transforming
+  // it inside a batch — the engine's batch-split determinism relies on this.
+  util::Rng rng(11);
+  const Tensor batch = Tensor::rand_uniform(Shape::nchw(3, 3, 16, 16), rng);
+  const std::int64_t stride = batch.dim(1) * batch.dim(2) * batch.dim(3);
+  for (const auto& spec : standard_transforms()) {
+    const InputTransform transform(spec);
+    const Tensor whole = transform.apply(batch);
+    for (std::int64_t i = 0; i < batch.dim(0); ++i) {
+      Tensor image(tensor::Shape{batch.dim(1), batch.dim(2), batch.dim(3)});
+      std::copy(batch.data() + i * stride, batch.data() + (i + 1) * stride, image.data());
+      const Tensor single = transform.apply(image);
+      EXPECT_EQ(single.shape(), image.shape()) << spec.name();
+      for (std::int64_t k = 0; k < stride; ++k) {
+        ASSERT_EQ(single[k], whole[i * stride + k]) << spec.name() << " image " << i;
+      }
+    }
+  }
+}
+
+TEST(InputTransform, SpecNamesAndValidation) {
+  EXPECT_EQ(TransformSpec::none().name(), "none");
+  EXPECT_EQ(TransformSpec::squeeze(4).name(), "squeeze4");
+  EXPECT_EQ(TransformSpec::median(3).name(), "median3");
+  EXPECT_EQ(TransformSpec::dct_quant(50).name(), "dctq50");
+  EXPECT_STREQ(to_string(TransformKind::kSqueeze), "squeeze");
+  EXPECT_STREQ(to_string(TransformKind::kNone), "none");
+
+  EXPECT_THROW(TransformSpec::squeeze(0).validate(), std::invalid_argument);
+  EXPECT_THROW(TransformSpec::squeeze(9).validate(), std::invalid_argument);
+  EXPECT_THROW(TransformSpec::median(4).validate(), std::invalid_argument);
+  EXPECT_THROW(TransformSpec::median(-1).validate(), std::invalid_argument);
+  EXPECT_THROW(TransformSpec::dct_quant(0).validate(), std::invalid_argument);
+  EXPECT_THROW(TransformSpec::dct_quant(101).validate(), std::invalid_argument);
+  EXPECT_NO_THROW(TransformSpec::none().validate());
+
+  // kNone means "no preprocess stage": the factory hands back no transform at
+  // all, so a kNone-registered variant is structurally the bare forward path.
+  EXPECT_EQ(make_transform(TransformSpec::none()), nullptr);
+  const TransformPtr median = make_transform(TransformSpec::median(5));
+  ASSERT_NE(median, nullptr);
+  EXPECT_EQ(median->name(), "median5");
+  EXPECT_THROW(make_transform(TransformSpec::squeeze(12)), std::invalid_argument);
+}
+
+TEST(ModelZoo, TransformVariantsResolveToSpecs) {
+  const auto names = ModelZoo::transform_variants();
+  ASSERT_FALSE(names.empty());
+  for (const auto& name : names) {
+    EXPECT_EQ(ModelZoo::transform_spec(name).name(), name);
+  }
+  EXPECT_EQ(ModelZoo::transform_spec("median3").kernel, 3);
+  EXPECT_EQ(ModelZoo::transform_spec("squeeze4").bits, 4);
+  EXPECT_EQ(ModelZoo::transform_spec("dctq50").quality, 50);
+  try {
+    ModelZoo::transform_spec("nonsense");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("nonsense"), std::string::npos) << message;
+    EXPECT_NE(message.find("median3"), std::string::npos) << message;  // lists the zoo
+  }
 }
 
 TEST(ModelZoo, SpecsExistForAllVariants) {

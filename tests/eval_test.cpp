@@ -5,7 +5,9 @@
 #include <fstream>
 #include <set>
 
+#include "src/attack/adaptive.h"
 #include "src/attack/masks.h"
+#include "src/defense/input_transform.h"
 #include "src/eval/harness.h"
 #include "src/tensor/ops.h"
 #include "tests/test_helpers.h"
@@ -149,6 +151,60 @@ TransferResult reference_transfer(const nn::LisaCnn& source, const nn::LisaCnn& 
   }
   if (!targets.empty()) out.attack_success = sum_asr / static_cast<double>(targets.size());
   return out;
+}
+
+// Transformed-victim reference: the exact sweep protocol, but every forward
+// runs on the raw model with the input transform applied inline — crafting
+// through a hand-built BPDA handle, predictions through transform->predict.
+// The engine-served transform variant must reproduce this bitwise.
+SweepResult reference_whitebox_transformed(const nn::LisaCnn& model,
+                                           const defense::InputTransform& transform,
+                                           double legit, const data::StopSignSet& eval_set,
+                                           const ExperimentScale& scale,
+                                           const ConfigAdapter& adapt = nullptr) {
+  const auto craft_set = attacker_craft_set(scale);
+  const auto craft_sticker = attack::sticker_mask(craft_set.masks);
+  const auto eval_sticker = attack::sticker_mask(eval_set.masks);
+  const auto predict = [&](const tensor::Tensor& images) {
+    return model.predict(transform.apply(images));
+  };
+  const attack::VictimHandle handle(
+      model, predict, [&](const tensor::Tensor& images) { return transform.apply(images); });
+  SweepResult result;
+  result.legit_accuracy = legit;
+  double sum_asr = 0.0, sum_l2 = 0.0;
+  const auto targets = scale.target_classes();
+  for (const int target : targets) {
+    attack::Rp2Config config = paper_rp2_config(scale);
+    config.target_class = target;
+    config.seed = 1000 + static_cast<std::uint64_t>(target);
+    if (adapt) config = adapt(config);
+    const auto crafted = attack::rp2_attack(handle, craft_set.images, craft_sticker, config);
+    const auto adversarial =
+        attack::apply_shared_sticker(eval_set.images, eval_sticker, crafted.shared_delta);
+    const auto clean_pred = predict(eval_set.images);
+    const auto adv_pred = predict(adversarial);
+    PerTargetResult per;
+    per.target = target;
+    int altered = 0, hits = 0;
+    for (std::size_t i = 0; i < clean_pred.size(); ++i) {
+      if (clean_pred[i] != adv_pred[i]) ++altered;
+      if (adv_pred[i] == target) ++hits;
+    }
+    const double count = static_cast<double>(clean_pred.size());
+    per.success_rate = count > 0 ? altered / count : 0.0;
+    per.targeted_rate = count > 0 ? hits / count : 0.0;
+    per.l2_dissimilarity = tensor::l2_dissimilarity(adversarial, eval_set.images);
+    result.per_target.push_back(per);
+    sum_asr += per.success_rate;
+    sum_l2 += per.l2_dissimilarity;
+    result.worst_success = std::max(result.worst_success, per.success_rate);
+  }
+  if (!targets.empty()) {
+    result.average_success = sum_asr / static_cast<double>(targets.size());
+    result.mean_l2 = sum_l2 / static_cast<double>(targets.size());
+  }
+  return result;
 }
 
 void expect_sweeps_bitwise_equal(const SweepResult& a, const SweepResult& b,
@@ -317,6 +373,75 @@ TEST(Scheduler, LifecycleAndKindValidation) {
   EXPECT_THROW(scheduler.run(), std::logic_error);
   EXPECT_THROW(scheduler.add(WhiteboxSweep{scale}, serve::kBaseVariant, 1.0, stop_set),
                std::logic_error);
+}
+
+// The tentpole acceptance test: a victim served behind the engine's
+// preprocess->forward pipeline runs WhiteboxSweep / AdaptiveSweep bitwise
+// identical to the raw single-model reference (transform applied inline,
+// BPDA crafting through a hand-built handle) at every replica count.
+TEST(Harness, TransformedSweepsBitwiseEqualInlineReferenceAcrossReplicaCounts) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(3);
+  const auto scale = tiny_scale();
+  const auto spec = defense::TransformSpec::squeeze(4);
+  const defense::InputTransform transform(spec);
+  const auto ref_whitebox =
+      reference_whitebox_transformed(model, transform, 0.9, stop_set, scale);
+  const auto ref_adaptive = reference_whitebox_transformed(model, transform, 0.9, stop_set,
+                                                           scale, attack::bpda_adapter());
+  // bpda is on by default, so the explicit adapter changes nothing — and the
+  // adaptive protocol shares the whitebox seed schedule.
+  expect_sweeps_bitwise_equal(ref_adaptive, ref_whitebox, "bpda adapter is the default");
+
+  for (const int replicas : {1, 2, 4}) {
+    const std::string context = "replicas " + std::to_string(replicas);
+    Harness harness(model, replicas);
+    harness.add_transform_victim("squeeze4", spec);
+
+    // The victim handle carries the transform for BPDA crafting...
+    const auto handle = harness.victim_handle("squeeze4");
+    EXPECT_TRUE(handle.has_input_transform()) << context;
+    const auto transformed = handle.transform_input(stop_set.images);
+    const auto expected = transform.apply(stop_set.images);
+    for (std::int64_t i = 0; i < expected.numel(); ++i) {
+      ASSERT_EQ(transformed[i], expected[i]) << context << " index " << i;
+    }
+
+    // ...and both sweep protocols reproduce the inline reference bitwise.
+    const auto whitebox = WhiteboxSweep{scale}.run(harness, "squeeze4", 0.9, stop_set);
+    expect_sweeps_bitwise_equal(whitebox, ref_whitebox, context + " whitebox");
+    const auto adaptive = AdaptiveSweep{scale, attack::bpda_adapter()}.run(
+        harness, "squeeze4", 0.9, stop_set);
+    expect_sweeps_bitwise_equal(adaptive, ref_adaptive, context + " adaptive");
+    EXPECT_GT(harness.images_served("squeeze4"), 0) << context;
+  }
+}
+
+// Transform off reproduces the historical path bitwise: a kNone-registered
+// transform victim is structurally a plain weight-transfer variant (no
+// preprocess stage, no BPDA node in the crafting graph), so its whitebox
+// sweep equals the plain base sweep exactly.
+TEST(Harness, NoneTransformVictimReproducesPlainWhiteboxBitwise) {
+  const auto& model = tiny_trained_model();
+  const auto stop_set = data::stop_sign_eval_set(3);
+  const auto scale = tiny_scale();
+  const auto reference = reference_whitebox(model, 0.9, stop_set, scale);
+
+  Harness harness(model, /*replicas=*/2);
+  harness.add_transform_victim("noop", defense::TransformSpec::none());
+  EXPECT_FALSE(harness.victim_handle("noop").has_input_transform());
+  // transform_input is the identity for transform-free victims: no copy.
+  EXPECT_TRUE(harness.victim_handle("noop")
+                  .transform_input(stop_set.images)
+                  .shares_storage_with(stop_set.images));
+  const auto sweep = WhiteboxSweep{scale}.run(harness, "noop", 0.9, stop_set);
+  expect_sweeps_bitwise_equal(sweep, reference, "kNone transform victim");
+
+  // The bpda knob itself: the adapters document the adaptive protocol.
+  const auto base_config = paper_rp2_config(scale);
+  EXPECT_TRUE(attack::bpda_config(base_config, true).bpda);
+  EXPECT_FALSE(attack::bpda_config(base_config, false).bpda);
+  EXPECT_FALSE(attack::bpda_adapter(false)(base_config).bpda);
 }
 
 TEST(Harness, AdaptiveSweepAppliesAdapter) {

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/defense/input_transform.h"
 #include "src/serve/engine.h"
 #include "src/tensor/ops.h"
 #include "src/util/parallel.h"
@@ -477,6 +478,186 @@ TEST(Engine, RejectsMalformedInputsWithDescriptiveErrors) {
         "spatial");
   // Negative per-call max_batch.
   check([&] { engine.classify(random_batch(1), Options{kBaseVariant, -1}); }, "max_batch");
+}
+
+TEST(Engine, ConfigValidationRejectsNonPositiveKnobs) {
+  const auto check = [](EngineConfig config, const std::string& fragment) {
+    try {
+      config.validate();
+      FAIL() << "expected std::invalid_argument mentioning \"" << fragment << "\"";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos) << e.what();
+    }
+    // The constructor runs the same validation before building any model.
+    EXPECT_THROW(InferenceEngine{config}, std::invalid_argument);
+  };
+  EngineConfig bad_batch = small_engine_config();
+  bad_batch.max_batch = 0;
+  check(bad_batch, "max_batch");
+  EngineConfig bad_replicas = small_engine_config();
+  bad_replicas.replicas = -2;
+  check(bad_replicas, "replicas");
+  EXPECT_NO_THROW(small_engine_config().validate());
+}
+
+TEST(Engine, TransformVariantRunsPreprocessThenForward) {
+  InferenceEngine engine(small_engine_config());
+  const auto spec = defense::TransformSpec::median(3);
+  engine.register_transform_variant("median3", spec, /*replicas=*/2);
+  EXPECT_TRUE(engine.has_variant("median3"));
+  EXPECT_EQ(engine.replica_count("median3"), 2);
+  ASSERT_NE(engine.variant_transform("median3"), nullptr);
+  EXPECT_EQ(engine.variant_transform("median3")->name(), "median3");
+  EXPECT_EQ(engine.variant_kind("median3"), "transform-wrapped weight-transfer (median3)");
+  EXPECT_EQ(engine.variant_kind(kBaseVariant), "weight-transfer");
+  EXPECT_EQ(engine.variant_transform(kBaseVariant), nullptr);
+
+  // The two-stage pipeline equals a hand-run transform followed by the base
+  // forward — bitwise, since both run the exact same kernels.
+  const auto batch = random_batch(5, 83);
+  const defense::InputTransform reference_transform(spec);
+  const auto expected = engine.model().logits(reference_transform.apply(batch));
+  const auto via_engine = engine.classify(batch, Options{"median3"});
+  for (std::int64_t i = 0; i < 5; ++i) {
+    for (std::int64_t k = 0; k < expected.dim(1); ++k) {
+      EXPECT_EQ(via_engine[static_cast<std::size_t>(i)].logits[static_cast<std::size_t>(k)],
+                expected.at2(i, k));
+    }
+  }
+  // And the transform must actually change the prediction inputs.
+  EXPECT_NE(via_engine[0].logits, engine.classify(batch)[0].logits);
+  EXPECT_THROW(engine.register_transform_variant("median3", spec), std::invalid_argument);
+  EXPECT_THROW(engine.register_transform_variant("bad", defense::TransformSpec::median(2)),
+               std::invalid_argument);
+}
+
+// The tentpole determinism proof: a transformed variant's per-image results
+// are bitwise identical for any replica count, batch split, or queue
+// coalescing — the preprocess stage rides inside the replica, so sharding
+// stays a pure throughput decision.
+TEST(Engine, TransformVariantBitwiseAcrossReplicaCountsAndBatchSplits) {
+  const auto spec = defense::TransformSpec::dct_quant(50);
+  const auto batch = random_batch(12, 89);
+
+  std::vector<Prediction> reference;
+  {
+    InferenceEngine engine(small_engine_config(1));
+    engine.register_transform_variant("dctq50", spec);
+    for (std::int64_t i = 0; i < 12; ++i) {
+      reference.push_back(engine.classify(single_image(batch, i), Options{"dctq50"})[0]);
+    }
+  }
+
+  for (const int replicas : {1, 2, 4}) {
+    InferenceEngine engine(small_engine_config(replicas));
+    engine.register_transform_variant("dctq50", spec);
+    const std::string context = "replicas " + std::to_string(replicas);
+
+    // Whole batch, and a forced 5-image slicing of the same batch.
+    const auto whole = engine.classify(batch, Options{"dctq50"});
+    const auto sliced = engine.classify(batch, Options{"dctq50", /*max_batch=*/5});
+    ASSERT_EQ(whole.size(), 12u);
+    for (std::int64_t i = 0; i < 12; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      expect_bitwise_equal(whole[idx], reference[idx],
+                           context + " whole-batch image " + std::to_string(i));
+      expect_bitwise_equal(sliced[idx], reference[idx],
+                           context + " sliced image " + std::to_string(i));
+    }
+
+    // The coalescing submit() path from concurrent producers.
+    std::vector<std::future<Prediction>> futures(12);
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 3; ++t) {
+      producers.emplace_back([&, t] {
+        for (std::int64_t i = t; i < 12; i += 3) {
+          futures[static_cast<std::size_t>(i)] =
+              engine.submit(single_image(batch, i), Options{"dctq50"});
+        }
+      });
+    }
+    for (auto& producer : producers) producer.join();
+    for (std::int64_t i = 0; i < 12; ++i) {
+      expect_bitwise_equal(futures[static_cast<std::size_t>(i)].get(),
+                           reference[static_cast<std::size_t>(i)],
+                           context + " queued image " + std::to_string(i));
+    }
+  }
+}
+
+TEST(Engine, NoneTransformVariantIsBitwiseThePlainPath) {
+  // A kNone registration attaches no preprocess stage at all, so the variant
+  // is structurally a plain weight-transfer shard — the "transform off"
+  // anchor the BPDA-off attack equivalence builds on.
+  InferenceEngine engine(small_engine_config());
+  engine.register_transform_variant("noop", defense::TransformSpec::none());
+  EXPECT_EQ(engine.variant_transform("noop"), nullptr);
+  EXPECT_EQ(engine.variant_kind("noop"), "weight-transfer");
+  const auto batch = random_batch(4, 97);
+  const auto plain = engine.classify(batch);
+  const auto noop = engine.classify(batch, Options{"noop"});
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    expect_bitwise_equal(noop[i], plain[i], "noop image " + std::to_string(i));
+  }
+  // refresh works: it is an ordinary from-base shard.
+  EXPECT_NO_THROW(engine.refresh_variant("noop"));
+}
+
+TEST(Engine, TransformModelServesForeignWeightsBehindPreprocess) {
+  InferenceEngine engine(small_engine_config());
+  nn::LisaCnnConfig other_config = small_model_config();
+  other_config.init_seed = 123;
+  const nn::LisaCnn other(other_config);
+  const auto spec = defense::TransformSpec::squeeze(4);
+  engine.register_transform_model("other_sq", other, spec, /*replicas=*/2);
+  EXPECT_EQ(engine.variant_kind("other_sq"), "transform-wrapped foreign-model (squeeze4)");
+
+  const auto batch = random_batch(3, 101);
+  const defense::InputTransform transform(spec);
+  const auto expected = other.logits(transform.apply(batch));
+  const auto via_engine = engine.classify(batch, Options{"other_sq"});
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t k = 0; k < expected.dim(1); ++k) {
+      EXPECT_EQ(via_engine[static_cast<std::size_t>(i)].logits[static_cast<std::size_t>(k)],
+                expected.at2(i, k));
+    }
+  }
+}
+
+TEST(Engine, RefreshVariantErrorsNameTheVariantAndItsKind) {
+  InferenceEngine engine(small_engine_config());
+  const nn::LisaCnn other(small_model_config());
+  engine.register_model("foreign", other);
+  engine.register_transform_model("foreign_med", other, defense::TransformSpec::median(3));
+  engine.register_transform_variant("base_med", defense::TransformSpec::median(3));
+
+  const auto check = [&](const std::string& name, const std::string& kind) {
+    try {
+      engine.refresh_variant(name);
+      FAIL() << "expected std::logic_error for " << name;
+    } catch (const std::logic_error& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find(name), std::string::npos) << message;
+      EXPECT_NE(message.find(kind), std::string::npos) << message;
+    }
+  };
+  check("foreign", "foreign-model");
+  check("foreign_med", "transform-wrapped foreign-model (median3)");
+
+  // A transform-wrapped *base* variant refreshes fine: weights re-transfer,
+  // the preprocess stage is kept.
+  const auto batch = random_batch(2, 103);
+  const auto before = engine.classify(batch, Options{"base_med"});
+  auto params = engine.model().parameters();
+  params[0].mutable_value() = tensor::mul_scalar(params[0].value(), 0.5f);
+  engine.refresh_variant("base_med");
+  const auto refreshed = engine.classify(batch, Options{"base_med"});
+  EXPECT_NE(refreshed[0].logits, before[0].logits);
+  const defense::InputTransform transform(defense::TransformSpec::median(3));
+  const auto expected = engine.model().logits(transform.apply(batch));
+  for (std::int64_t k = 0; k < expected.dim(1); ++k) {
+    EXPECT_EQ(refreshed[0].logits[static_cast<std::size_t>(k)], expected.at2(0, k));
+  }
 }
 
 TEST(Engine, ConfidenceIsSoftmaxOfPredictedLabel) {
