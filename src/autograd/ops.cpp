@@ -190,6 +190,11 @@ Variable repeat_batch(const Variable& a, std::int64_t k) {
 
 Variable relu(const Variable& a) {
   Tensor out = tensor::relu(a.value());
+  if (!grad_enabled() || !a.requires_grad()) {
+    // Inference fast path, matching conv2d/dense/flatten2d: skip make_op so
+    // the serving forward builds neither a parents vector nor a closure.
+    return Variable::constant(std::move(out));
+  }
   return make_op("relu", std::move(out), {a}, [a](Node& node) mutable {
     if (!a.requires_grad()) return;
     const Tensor mask = tensor::relu_mask(a.value());

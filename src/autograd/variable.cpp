@@ -1,7 +1,10 @@
 #include "src/autograd/variable.h"
 
+#include <memory>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "src/util/arena.h"
 
 namespace blurnet::autograd {
 
@@ -31,11 +34,18 @@ void Node::accumulate_grad(const tensor::Tensor& g) {
 }
 
 Variable Variable::leaf(tensor::Tensor value, bool requires_grad) {
+  // Leaves are parameters and attacked inputs — long-lived by nature, so they
+  // always live on the heap, never in a request arena.
   return Variable(std::make_shared<Node>(std::move(value), requires_grad, "leaf"));
 }
 
 Variable Variable::constant(tensor::Tensor value) {
-  return Variable(std::make_shared<Node>(std::move(value), false, "const"));
+  // Constants are the nodes the inference fast paths churn through on every
+  // forward; allocate_shared through the scratch layer puts the node and its
+  // control block in the request arena when one is bound (zero heap
+  // allocations on a warm serving thread), and on the heap otherwise.
+  return Variable(std::allocate_shared<Node>(util::ScratchAllocator<Node>(),
+                                             std::move(value), false, "const"));
 }
 
 float Variable::scalar_value() const {
@@ -57,7 +67,8 @@ Variable make_op(const std::string& name, tensor::Tensor value,
       }
     }
   }
-  auto node = std::make_shared<Node>(std::move(value), any_requires, name);
+  auto node = std::allocate_shared<Node>(util::ScratchAllocator<Node>(),
+                                         std::move(value), any_requires, name);
   if (any_requires) {
     for (const auto& p : parents) {
       if (p.defined()) node->parents().push_back(p.node());

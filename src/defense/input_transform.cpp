@@ -265,6 +265,11 @@ InputTransform::InputTransform(TransformSpec spec) : spec_(spec), name_(spec.nam
   spec_.validate();
 }
 
+InputTransform::InputTransform(TransformSpec spec, std::string name)
+    : spec_(spec), name_(std::move(name)) {
+  spec_.validate();
+}
+
 Tensor InputTransform::apply(const Tensor& images) const {
   switch (spec_.kind) {
     case TransformKind::kNone:

@@ -57,11 +57,22 @@ struct TransformSpec {
 class InputTransform {
  public:
   explicit InputTransform(TransformSpec spec);
+  virtual ~InputTransform() = default;
 
   const TransformSpec& spec() const { return spec_; }
   const std::string& name() const { return name_; }
 
-  tensor::Tensor apply(const tensor::Tensor& images) const;
+  /// Virtual so custom preprocess stages can be injected into the serving
+  /// pipeline (InferenceEngine::register_pipeline_variant) — the load tests
+  /// use a gate transform that blocks here to fill queues deterministically.
+  /// Overrides must keep the contract above: same shape, deterministic,
+  /// per-image, thread-safe.
+  virtual tensor::Tensor apply(const tensor::Tensor& images) const;
+
+ protected:
+  /// For subclasses providing their own apply(): records the spec (typically
+  /// kNone) under a custom zoo name.
+  InputTransform(TransformSpec spec, std::string name);
 
  private:
   TransformSpec spec_;

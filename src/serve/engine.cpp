@@ -1,10 +1,12 @@
 #include "src/serve/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "src/tensor/ops.h"
+#include "src/util/arena.h"
 
 namespace blurnet::serve {
 
@@ -54,6 +56,14 @@ int effective_max_batch(const Options& options, int engine_default, const std::s
 
 }  // namespace
 
+const char* to_string(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kReject: return "reject";
+    case OverloadPolicy::kBlock: return "block";
+  }
+  return "?";
+}
+
 void EngineConfig::validate() const {
   if (max_batch < 1) {
     throw std::invalid_argument("EngineConfig: max_batch must be >= 1 (got " +
@@ -63,17 +73,38 @@ void EngineConfig::validate() const {
     throw std::invalid_argument("EngineConfig: replicas must be >= 1 (got " +
                                 std::to_string(replicas) + ")");
   }
+  if (queue_capacity < 1) {
+    throw std::invalid_argument("EngineConfig: queue_capacity must be >= 1 (got " +
+                                std::to_string(queue_capacity) + ")");
+  }
+  if (block_timeout_ms < 0) {
+    throw std::invalid_argument("EngineConfig: block_timeout_ms must be >= 0 (got " +
+                                std::to_string(block_timeout_ms) +
+                                "; 0 waits indefinitely under OverloadPolicy::kBlock)");
+  }
+  if (overload_policy == OverloadPolicy::kReject && block_timeout_ms != 0) {
+    throw std::invalid_argument(
+        "EngineConfig: block_timeout_ms (" + std::to_string(block_timeout_ms) +
+        ") only applies to OverloadPolicy::kBlock — a kReject engine never waits; "
+        "set it to 0 or switch overload_policy to kBlock");
+  }
 }
 
 InferenceEngine::InferenceEngine(EngineConfig config)
-    // Validate before the model is built: a bad batch/replica knob must not
-    // cost a full weight allocation (and must carry the EngineConfig prefix).
+    // Validate before the model is built: a bad batch/replica/queue knob must
+    // not cost a full weight allocation (and must carry the EngineConfig
+    // prefix).
     : InferenceEngine([&config] { config.validate(); return nn::LisaCnn(config.model); }(),
-                      config.defense, config.max_batch, config.replicas) {}
+                      config.defense, config.max_batch, config.replicas,
+                      config.queue_capacity, config.overload_policy,
+                      config.block_timeout_ms) {}
 
 InferenceEngine::InferenceEngine(nn::LisaCnn model, nn::FixedFilterSpec defense,
-                                 int max_batch, int replicas)
-    : model_(std::move(model)), max_batch_(max_batch), default_replicas_(replicas) {
+                                 int max_batch, int replicas, int queue_capacity,
+                                 OverloadPolicy overload_policy, int block_timeout_ms)
+    : model_(std::move(model)), max_batch_(max_batch), default_replicas_(replicas),
+      queue_capacity_(queue_capacity), overload_policy_(overload_policy),
+      block_timeout_ms_(block_timeout_ms) {
   if (max_batch_ < 1) {
     throw std::invalid_argument("InferenceEngine: max_batch must be >= 1 (got " +
                                 std::to_string(max_batch_) + ")");
@@ -81,6 +112,19 @@ InferenceEngine::InferenceEngine(nn::LisaCnn model, nn::FixedFilterSpec defense,
   if (default_replicas_ < 1) {
     throw std::invalid_argument("InferenceEngine: replicas must be >= 1 (got " +
                                 std::to_string(default_replicas_) + ")");
+  }
+  if (queue_capacity_ < 1) {
+    throw std::invalid_argument("InferenceEngine: queue_capacity must be >= 1 (got " +
+                                std::to_string(queue_capacity_) + ")");
+  }
+  if (block_timeout_ms_ < 0) {
+    throw std::invalid_argument("InferenceEngine: block_timeout_ms must be >= 0 (got " +
+                                std::to_string(block_timeout_ms_) + ")");
+  }
+  if (overload_policy_ == OverloadPolicy::kReject && block_timeout_ms_ != 0) {
+    throw std::invalid_argument(
+        "InferenceEngine: block_timeout_ms (" + std::to_string(block_timeout_ms_) +
+        ") only applies to OverloadPolicy::kBlock — a kReject engine never waits");
   }
   register_variant_locked(kBaseVariant, model_.config(), default_replicas_);
   defense_enabled_ = defense.placement != nn::FilterPlacement::kNone && defense.kernel > 0;
@@ -102,7 +146,10 @@ InferenceEngine::~InferenceEngine() {
   }
   {
     std::lock_guard<std::mutex> lock(shards_mutex_);
-    for (auto& shard : shards_) shard->cv.notify_all();
+    for (auto& shard : shards_) {
+      shard->cv.notify_all();
+      shard->space_cv.notify_all();  // wake kBlock submitters into the stop check
+    }
   }
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -166,6 +213,16 @@ void InferenceEngine::register_transform_variant(const std::string& name,
   // registration is exactly a plain weight-transfer variant of the base
   // config — the transform-off path stays bitwise the bare forward path.
   defense::TransformPtr transform = defense::make_transform(spec);
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  register_shard_locked(name, model_, model_.config(), replicas, /*from_base=*/true,
+                        std::move(transform));
+}
+
+void InferenceEngine::register_pipeline_variant(const std::string& name,
+                                                defense::TransformPtr transform,
+                                                int replicas) {
+  // The stage is taken as-built (any InputTransform subclass); weights still
+  // transfer from the base model, so refresh_variant() works as usual.
   std::lock_guard<std::mutex> lock(shards_mutex_);
   register_shard_locked(name, model_, model_.config(), replicas, /*from_base=*/true,
                         std::move(transform));
@@ -345,13 +402,16 @@ std::future<Prediction> InferenceEngine::submit(Tensor image, Options options) {
     throw std::invalid_argument("InferenceEngine::submit: expected a single image, got a batch of " +
                                 std::to_string(batch.dim(0)));
   }
-  Request request;
-  // Deep-copy: the caller may reuse its buffer before a worker runs.
-  request.image = batch.reshape(Shape{batch.dim(1), batch.dim(2), batch.dim(3)}).clone();
-  request.max_batch = cap;
+  // Deep-copy the image: the caller may reuse its buffer before a worker
+  // runs. Aggregate init so the Tensor member is built directly from the
+  // clone (a default-constructed member would cost a dead scalar allocation
+  // per submit).
+  Request request{batch.reshape(Shape{batch.dim(1), batch.dim(2), batch.dim(3)}).clone(),
+                  cap, {}, {}};
   std::future<Prediction> future = request.promise.get_future();
+  const auto capacity = static_cast<std::size_t>(queue_capacity_);
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::unique_lock<std::mutex> lock(queue_mutex_);
     if (stop_) throw std::runtime_error("InferenceEngine::submit: engine is shutting down");
     // Workers are spawned lazily, per variant, on its first queued request:
     // classify()-only engines and never-submitted variants pay for nothing.
@@ -361,7 +421,36 @@ std::future<Prediction> InferenceEngine::submit(Tensor image, Options options) {
       }
       shard.workers_spawned = true;
     }
+    // Bounded queue: admission control happens here, before the request is
+    // visible to any worker, so a shed request costs the engine nothing.
+    if (shard.pending.size() >= capacity) {
+      if (overload_policy_ == OverloadPolicy::kReject) {
+        ++shard.rejected;
+        throw OverloadError("InferenceEngine::submit: variant \"" + options.variant +
+                            "\" queue is full (" + std::to_string(capacity) +
+                            " pending, policy reject)");
+      }
+      // kBlock: backpressure — wait for a worker to drain a slot.
+      ++shard.blocked;
+      auto has_space = [&] { return stop_ || shard.pending.size() < capacity; };
+      if (block_timeout_ms_ > 0) {
+        if (!shard.space_cv.wait_for(lock, std::chrono::milliseconds(block_timeout_ms_),
+                                     has_space)) {
+          ++shard.rejected;
+          throw OverloadError("InferenceEngine::submit: variant \"" + options.variant +
+                              "\" queue is full (" + std::to_string(capacity) +
+                              " pending, policy block, timed out after " +
+                              std::to_string(block_timeout_ms_) + " ms)");
+        }
+      } else {
+        shard.space_cv.wait(lock, has_space);
+      }
+      if (stop_) throw std::runtime_error("InferenceEngine::submit: engine is shutting down");
+    }
+    request.enqueued = std::chrono::steady_clock::now();
     shard.pending.push_back(std::move(request));
+    shard.queue_peak = std::max(shard.queue_peak,
+                                static_cast<std::int64_t>(shard.pending.size()));
   }
   shard.cv.notify_one();
   return future;
@@ -386,31 +475,66 @@ void InferenceEngine::worker_loop(VariantShard* shard, Replica* replica) {
       } while (!shard->pending.empty() &&
                coalesced.size() < static_cast<std::size_t>(cap));
     }
+    // Popping the coalesced batch freed up to `cap` slots; wake every
+    // backpressured submitter so each can claim one.
+    shard->space_cv.notify_all();
 
     const std::int64_t count = static_cast<std::int64_t>(coalesced.size());
     replica->begin_call();  // queued batches count toward the router's load
-    try {
-      const Tensor& first = coalesced.front().image;
-      Tensor batch(Shape::nchw(count, first.dim(0), first.dim(1), first.dim(2)));
-      const std::int64_t stride = first.numel();
-      for (std::int64_t i = 0; i < count; ++i) {
-        const Tensor& image = coalesced[static_cast<std::size_t>(i)].image;
-        std::copy(image.data(), image.data() + stride, batch.data() + i * stride);
-      }
-      // Stats are counted inside run(), before the promises resolve: a caller
-      // observing its future must see its batch reflected in stats().
-      std::vector<Prediction> predictions = replica->run(batch, cap, /*queued=*/true);
-      for (std::int64_t i = 0; i < count; ++i) {
-        coalesced[static_cast<std::size_t>(i)].promise.set_value(
-            std::move(predictions[static_cast<std::size_t>(i)]));
-      }
-    } catch (...) {
-      for (auto& request : coalesced) {
-        request.promise.set_exception(std::current_exception());
+    {
+      // The assembled batch tensor is transient: frame it in this worker's
+      // request arena (run() opens its own nested frame) so steady-state
+      // submit traffic allocates nothing from the heap.
+      util::ArenaScope frame(Replica::serving_arena());
+      try {
+        const Tensor& first = coalesced.front().image;
+        Tensor batch(Shape::nchw(count, first.dim(0), first.dim(1), first.dim(2)));
+        const std::int64_t stride = first.numel();
+        for (std::int64_t i = 0; i < count; ++i) {
+          const Tensor& image = coalesced[static_cast<std::size_t>(i)].image;
+          std::copy(image.data(), image.data() + stride, batch.data() + i * stride);
+        }
+        // Stats are counted inside run(), before the promises resolve: a caller
+        // observing its future must see its batch reflected in stats().
+        std::vector<Prediction> predictions = replica->run(batch, cap, /*queued=*/true);
+        // Latency (enqueue→resolve) is recorded before the promises resolve
+        // for the same reason: a caller that has observed its future must
+        // find its request in the latency snapshot.
+        const auto now = std::chrono::steady_clock::now();
+        for (const auto& request : coalesced) {
+          shard->latency.record(
+              std::chrono::duration<double, std::micro>(now - request.enqueued).count());
+        }
+        for (std::int64_t i = 0; i < count; ++i) {
+          coalesced[static_cast<std::size_t>(i)].promise.set_value(
+              std::move(predictions[static_cast<std::size_t>(i)]));
+        }
+      } catch (...) {
+        for (auto& request : coalesced) {
+          request.promise.set_exception(std::current_exception());
+        }
       }
     }
     replica->end_call();
   }
+}
+
+VariantStats InferenceEngine::shard_stats(const VariantShard& shard) const {
+  VariantStats stats;
+  stats.variant = shard.name;  // aliases report the shard they resolve to
+  stats.replicas.reserve(shard.replicas.size());
+  for (const auto& replica : shard.replicas) stats.replicas.push_back(replica->stats());
+  {
+    // Brief queue-lock acquisition; safe after shards_mutex_ because no path
+    // waits for shards_mutex_ while holding queue_mutex_.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stats.queue_depth = static_cast<std::int64_t>(shard.pending.size());
+    stats.queue_peak = shard.queue_peak;
+    stats.rejected = shard.rejected;
+    stats.blocked = shard.blocked;
+  }
+  stats.latency = shard.latency.snapshot();
+  return stats;
 }
 
 EngineStats InferenceEngine::stats() const {
@@ -418,29 +542,23 @@ EngineStats InferenceEngine::stats() const {
   EngineStats stats;
   stats.variants.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    VariantStats per_variant;
-    per_variant.variant = shard->name;
-    per_variant.replicas.reserve(shard->replicas.size());
-    for (const auto& replica : shard->replicas) {
-      ReplicaStats rs = replica->stats();
+    VariantStats per_variant = shard_stats(*shard);
+    for (const auto& rs : per_variant.replicas) {
       stats.requests += rs.requests;
       stats.batches += rs.batches;
       stats.images += rs.images;
       stats.largest_batch = std::max(stats.largest_batch, rs.largest_batch);
-      per_variant.replicas.push_back(std::move(rs));
     }
+    stats.rejected += per_variant.rejected;
+    stats.blocked += per_variant.blocked;
+    stats.queue_peak = std::max(stats.queue_peak, per_variant.queue_peak);
     stats.variants.push_back(std::move(per_variant));
   }
   return stats;
 }
 
 VariantStats InferenceEngine::variant_stats(const std::string& name) const {
-  const VariantShard& shard = require_shard(name);
-  VariantStats stats;
-  stats.variant = shard.name;  // aliases report the shard they resolve to
-  stats.replicas.reserve(shard.replicas.size());
-  for (const auto& replica : shard.replicas) stats.replicas.push_back(replica->stats());
-  return stats;
+  return shard_stats(require_shard(name));
 }
 
 std::int64_t InferenceEngine::images_served(const std::string& name) const {

@@ -38,6 +38,13 @@
 //     replica runs a worker that coalesces compatible queued requests (same
 //     variant) into one forward pass of up to max_batch images; with R
 //     replicas, R coalesced batches of a variant can be in flight at once.
+//     Queues are bounded (EngineConfig::queue_capacity): a full queue either
+//     rejects the submit with OverloadError or blocks the caller for
+//     backpressure, per EngineConfig::overload_policy, so overload degrades
+//     into explicit sheds or bounded waiting instead of unbounded memory
+//     growth and runaway tail latency. Per-variant queue depth high-water
+//     marks and enqueue→resolve latency quantiles are readable mid-run
+//     through stats().
 //
 // Every replica is a deep clone of the base weights (LisaCnn::clone), so
 // per-image results are bitwise identical for any replica count, batch
@@ -46,17 +53,20 @@
 // retraining; like retraining itself, it must not race in-flight requests.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/nn/lisa_cnn.h"
+#include "src/serve/qos.h"
 #include "src/serve/replica.h"
 
 namespace blurnet::serve {
@@ -64,6 +74,21 @@ namespace blurnet::serve {
 /// Default variant names registered by every engine.
 inline constexpr const char* kBaseVariant = "base";
 inline constexpr const char* kDefendedVariant = "defended";
+
+/// What submit() does when a variant's bounded queue is full.
+enum class OverloadPolicy {
+  kReject,  // fail fast: throw OverloadError, caller sheds the request
+  kBlock,   // backpressure: block the caller until a slot frees (or timeout)
+};
+
+const char* to_string(OverloadPolicy policy);
+
+/// Thrown by submit() when the target variant's queue is full under kReject,
+/// or a kBlock wait exceeds block_timeout_ms. Distinct from logic errors so
+/// load generators can count sheds without swallowing real failures.
+struct OverloadError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct EngineConfig {
   nn::LisaCnnConfig model;
@@ -74,9 +99,20 @@ struct EngineConfig {
   int max_batch = 64;
   /// Serving replicas per variant (>= 1).
   int replicas = 1;
+  /// Most requests a variant's submit() queue holds before the overload
+  /// policy kicks in (>= 1). Bounds worst-case queueing delay: a full queue
+  /// is capacity/throughput seconds of latency already committed.
+  int queue_capacity = 1024;
+  /// What submit() does when the queue is full.
+  OverloadPolicy overload_policy = OverloadPolicy::kReject;
+  /// kBlock only: longest a submit() waits for a slot before giving up with
+  /// OverloadError. 0 = wait indefinitely. Must be 0 under kReject (a
+  /// reject-policy engine never waits, so a timeout there is a config bug).
+  int block_timeout_ms = 0;
 
   /// Reject malformed configs with a descriptive std::invalid_argument
-  /// (non-positive max_batch / replicas). Called by the engine constructor.
+  /// (non-positive max_batch / replicas / queue_capacity, negative timeout,
+  /// timeout combined with kReject). Called by the engine constructor.
   void validate() const;
 };
 
@@ -91,6 +127,12 @@ struct Options {
 struct VariantStats {
   std::string variant;
   std::vector<ReplicaStats> replicas;  // one entry per replica, index order
+  std::int64_t queue_depth = 0;  // requests pending right now
+  std::int64_t queue_peak = 0;   // high-water mark of the pending queue
+  std::int64_t rejected = 0;     // submits shed by the overload policy
+  std::int64_t blocked = 0;      // submits that had to wait for a slot
+  /// Enqueue→resolve latency over the ring window; readable mid-run.
+  LatencySnapshot latency;
 };
 
 struct EngineStats {
@@ -98,6 +140,9 @@ struct EngineStats {
   std::int64_t batches = 0;        // coalesced queue batches run
   std::int64_t images = 0;         // images through classify*/submit in total
   std::int64_t largest_batch = 0;  // biggest coalesced queue batch so far
+  std::int64_t rejected = 0;       // submits shed by the overload policy
+  std::int64_t blocked = 0;        // submits that had to wait for a slot
+  std::int64_t queue_peak = 0;     // deepest any variant's queue has been
   std::vector<VariantStats> variants;  // exact per-replica breakdown
 };
 
@@ -110,7 +155,9 @@ class InferenceEngine {
   /// deep-clones the weights at registration — call refresh_variant() if the
   /// base model is retrained afterwards.
   InferenceEngine(nn::LisaCnn model, nn::FixedFilterSpec defense, int max_batch = 64,
-                  int replicas = 1);
+                  int replicas = 1, int queue_capacity = 1024,
+                  OverloadPolicy overload_policy = OverloadPolicy::kReject,
+                  int block_timeout_ms = 0);
   ~InferenceEngine();
 
   InferenceEngine(const InferenceEngine&) = delete;
@@ -143,6 +190,14 @@ class InferenceEngine {
   /// semantics: deep clones of `source`, refresh_variant() throws).
   void register_transform_model(const std::string& name, const nn::LisaCnn& source,
                                 const defense::TransformSpec& spec, int replicas = 0);
+  /// Register the base weights behind an arbitrary already-built preprocess
+  /// stage — any InputTransform subclass, not just the stock spec zoo. This
+  /// is the injection point for custom pipeline stages (the load tests gate a
+  /// variant's preprocess to fill its queue deterministically). nullptr
+  /// serves the bare forward path. The stage must honor the InputTransform
+  /// contract: deterministic, per-image, thread-safe, shape-preserving.
+  void register_pipeline_variant(const std::string& name, defense::TransformPtr transform,
+                                 int replicas = 0);
   /// Register `name` as an alias of an existing variant: same shard, same
   /// replicas, no extra weight clones (e.g. serving a zoo model's name next
   /// to "base" when they are the same weights, or a "canary" alias).
@@ -191,7 +246,10 @@ class InferenceEngine {
 
   /// Queue one CHW (or [1,C,H,W]) image for coalesced classification through
   /// the named variant. Replica workers are spawned lazily on the first call,
-  /// so classify()-only engines never pay for them.
+  /// so classify()-only engines never pay for them. The variant's queue is
+  /// bounded by EngineConfig::queue_capacity: when full, kReject throws
+  /// OverloadError immediately and kBlock waits for a slot (throwing
+  /// OverloadError only if block_timeout_ms elapses first).
   std::future<Prediction> submit(tensor::Tensor image, Options options = {});
 
   EngineStats stats() const;
@@ -206,8 +264,13 @@ class InferenceEngine {
   struct Request {
     tensor::Tensor image;  // CHW
     int max_batch = 0;  // cap for the coalesced batch this request leads
+    std::chrono::steady_clock::time_point enqueued;  // for the latency ring
     std::promise<Prediction> promise;
   };
+
+  /// Samples each variant's latency ring holds. Large enough that a p999 over
+  /// the window is meaningful, small enough that snapshot()'s sort is cheap.
+  static constexpr std::size_t kLatencyWindow = 4096;
 
   struct VariantShard {
     std::string name;
@@ -216,12 +279,18 @@ class InferenceEngine {
     defense::TransformPtr transform;  // preprocess stage; nullptr = bare forward
     std::vector<std::unique_ptr<Replica>> replicas;
     std::size_t next_replica = 0;  // round-robin tiebreak; guarded by shards_mutex_
-    // Queued path, all guarded by the engine-wide queue_mutex_. Each shard
-    // has its own queue and condition variable so a submit() wakes only this
-    // variant's workers and the head lookup is O(1).
+    // Queued path, all guarded by the engine-wide queue_mutex_ (except
+    // `latency`, which has its own lock). Each shard has its own queue and
+    // condition variables so a submit() wakes only this variant's workers and
+    // the head lookup is O(1).
     std::deque<Request> pending;
-    std::condition_variable cv;
+    std::condition_variable cv;        // workers wait here for requests
+    std::condition_variable space_cv;  // kBlock submitters wait here for slots
     bool workers_spawned = false;
+    std::int64_t queue_peak = 0;  // high-water mark of pending.size()
+    std::int64_t rejected = 0;    // submits shed by the overload policy
+    std::int64_t blocked = 0;     // submits that had to wait for a slot
+    LatencyRing latency{kLatencyWindow};  // enqueue→resolve, microseconds
   };
 
   /// _locked variants assume shards_mutex_ is held by the caller.
@@ -235,11 +304,16 @@ class InferenceEngine {
                              const nn::LisaCnnConfig& config, int replicas, bool from_base,
                              defense::TransformPtr transform = nullptr);
   static std::string shard_kind(const VariantShard& shard);
+  /// Full per-variant snapshot (replica counters + queue counters + latency).
+  VariantStats shard_stats(const VariantShard& shard) const;
   void worker_loop(VariantShard* shard, Replica* replica);
 
   nn::LisaCnn model_;
   int max_batch_ = 64;
   int default_replicas_ = 1;
+  int queue_capacity_ = 1024;
+  OverloadPolicy overload_policy_ = OverloadPolicy::kReject;
+  int block_timeout_ms_ = 0;
   bool defense_enabled_ = false;
 
   /// Guards shards_/aliases_ layout and the router's round-robin cursors.

@@ -1,0 +1,298 @@
+#include "src/serve/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/util/rng.h"
+
+namespace blurnet::serve {
+
+using Clock = std::chrono::steady_clock;
+
+const char* to_string(ArrivalProcess arrival) {
+  switch (arrival) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kOnOff: return "onoff";
+    case ArrivalProcess::kUniform: return "uniform";
+  }
+  return "?";
+}
+
+void LoadConfig::validate() const {
+  if (!(offered_rps > 0.0)) {
+    throw std::invalid_argument("LoadConfig: offered_rps must be > 0 (got " +
+                                std::to_string(offered_rps) + ")");
+  }
+  if (requests < 1) {
+    throw std::invalid_argument("LoadConfig: requests must be >= 1 (got " +
+                                std::to_string(requests) + ")");
+  }
+  if (reservoir < 1) {
+    throw std::invalid_argument("LoadConfig: reservoir must be >= 1 (got " +
+                                std::to_string(reservoir) + ")");
+  }
+  if (max_batch < 0) {
+    throw std::invalid_argument("LoadConfig: max_batch must be >= 0 (0 = engine default, got " +
+                                std::to_string(max_batch) + ")");
+  }
+  if (arrival == ArrivalProcess::kOnOff) {
+    if (!(on_fraction > 0.0) || on_fraction > 1.0) {
+      throw std::invalid_argument("LoadConfig: on_fraction must be in (0, 1] (got " +
+                                  std::to_string(on_fraction) + ")");
+    }
+    if (!(burst_cycle_s > 0.0)) {
+      throw std::invalid_argument("LoadConfig: burst_cycle_s must be > 0 (got " +
+                                  std::to_string(burst_cycle_s) + ")");
+    }
+  }
+  for (const auto& entry : mix) {
+    if (entry.variant.empty()) {
+      throw std::invalid_argument("LoadConfig: mix entries must name a variant");
+    }
+    if (!(entry.weight > 0.0)) {
+      throw std::invalid_argument("LoadConfig: mix weight for variant \"" + entry.variant +
+                                  "\" must be > 0 (got " + std::to_string(entry.weight) + ")");
+    }
+  }
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    for (std::size_t j = i + 1; j < mix.size(); ++j) {
+      if (mix[i].variant == mix[j].variant) {
+        throw std::invalid_argument("LoadConfig: variant \"" + mix[i].variant +
+                                    "\" appears twice in the mix; merge the weights");
+      }
+    }
+  }
+}
+
+LoadGenerator::LoadGenerator(InferenceEngine& engine, LoadConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  config_.validate();
+  mix_ = config_.mix;
+  if (mix_.empty()) mix_.push_back({kBaseVariant, 1.0});
+  build_schedule();
+}
+
+void LoadGenerator::build_schedule() {
+  // One generator, fixed draw order (inter-arrival, then variant, per
+  // request): the schedule is a pure function of the config.
+  util::Rng rng(config_.seed);
+  const auto n = static_cast<std::size_t>(config_.requests);
+  offsets_.reserve(n);
+  variants_.reserve(n);
+
+  double total_weight = 0.0;
+  for (const auto& entry : mix_) total_weight += entry.weight;
+
+  // kOnOff generates Poisson arrivals in *active* time at the boosted on-rate
+  // and maps active time onto wall time by skipping every cycle's off window,
+  // so the long-run mean stays offered_rps while bursts run hotter.
+  const double on_len = config_.on_fraction * config_.burst_cycle_s;
+  const double rate = config_.arrival == ArrivalProcess::kOnOff
+                          ? config_.offered_rps / config_.on_fraction
+                          : config_.offered_rps;
+  double active = 0.0;  // kPoisson/kOnOff clock; kUniform paces directly
+  for (std::size_t i = 0; i < n; ++i) {
+    double offset;
+    switch (config_.arrival) {
+      case ArrivalProcess::kUniform:
+        offset = static_cast<double>(i) / config_.offered_rps;
+        break;
+      case ArrivalProcess::kPoisson:
+        active += -std::log(1.0 - rng.uniform()) / rate;
+        offset = active;
+        break;
+      case ArrivalProcess::kOnOff: {
+        active += -std::log(1.0 - rng.uniform()) / rate;
+        const double cycles = std::floor(active / on_len);
+        offset = cycles * config_.burst_cycle_s + (active - cycles * on_len);
+        break;
+      }
+    }
+    offsets_.push_back(offset);
+
+    double pick = rng.uniform() * total_weight;
+    std::size_t chosen = mix_.size() - 1;
+    for (std::size_t m = 0; m < mix_.size(); ++m) {
+      pick -= mix_[m].weight;
+      if (pick < 0.0) {
+        chosen = m;
+        break;
+      }
+    }
+    variants_.push_back(chosen);
+  }
+}
+
+namespace {
+
+/// Completion-side state for one mix variant. The sender pushes futures in
+/// submission order; the harvester thread resolves them in that order and
+/// records completion − scheduled-arrival into a fixed ring.
+struct Harvest {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::pair<std::size_t, std::future<Prediction>>> inbox;
+  bool done = false;
+
+  std::vector<double> window;  // latency ring, microseconds
+  std::int64_t count = 0;
+  std::int64_t served = 0;
+  std::int64_t failed = 0;
+  Clock::time_point last_completion{};
+};
+
+}  // namespace
+
+LoadReport LoadGenerator::run(const tensor::Tensor& image) {
+  // Fail before any traffic if the mix names an unknown variant.
+  for (const auto& entry : mix_) {
+    if (!engine_.has_variant(entry.variant)) {
+      throw std::invalid_argument("LoadGenerator: mix variant \"" + entry.variant +
+                                  "\" is not registered with the engine");
+    }
+  }
+
+  const auto reservoir = static_cast<std::size_t>(config_.reservoir);
+  std::vector<Harvest> harvests(mix_.size());
+  std::vector<std::int64_t> rejected(mix_.size(), 0);
+
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> harvesters;
+  harvesters.reserve(mix_.size());
+  for (std::size_t m = 0; m < mix_.size(); ++m) {
+    harvesters.emplace_back([this, &harvests, t0, reservoir, m] {
+      Harvest& h = harvests[m];
+      for (;;) {
+        std::pair<std::size_t, std::future<Prediction>> item;
+        {
+          std::unique_lock<std::mutex> lock(h.mutex);
+          h.cv.wait(lock, [&] { return h.done || !h.inbox.empty(); });
+          if (h.inbox.empty()) return;  // done and drained
+          item = std::move(h.inbox.front());
+          h.inbox.pop_front();
+        }
+        bool ok = true;
+        try {
+          item.second.get();
+        } catch (...) {
+          ok = false;
+        }
+        const Clock::time_point now = Clock::now();
+        const double scheduled_s = offsets_[item.first];
+        const double latency_us =
+            std::chrono::duration<double, std::micro>(now - t0).count() -
+            scheduled_s * 1e6;
+        if (ok) {
+          if (h.window.size() < reservoir) {
+            h.window.push_back(latency_us);
+          } else {
+            h.window[static_cast<std::size_t>(h.count) % reservoir] = latency_us;
+          }
+          ++h.count;
+          ++h.served;
+        } else {
+          ++h.failed;
+        }
+        h.last_completion = now;
+      }
+    });
+  }
+
+  // Open-loop sender: fire each request at its scheduled absolute time,
+  // regardless of how far behind the engine is. A shed (OverloadError) is
+  // counted and never retried.
+  for (std::size_t i = 0; i < offsets_.size(); ++i) {
+    const std::size_t m = variants_[i];
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(offsets_[i])));
+    Options options;
+    options.variant = mix_[m].variant;
+    options.max_batch = config_.max_batch;
+    try {
+      std::future<Prediction> future = engine_.submit(image.clone(), std::move(options));
+      Harvest& h = harvests[m];
+      {
+        std::lock_guard<std::mutex> lock(h.mutex);
+        h.inbox.emplace_back(i, std::move(future));
+      }
+      h.cv.notify_one();
+    } catch (const OverloadError&) {
+      ++rejected[m];
+    }
+  }
+  for (auto& h : harvests) {
+    {
+      std::lock_guard<std::mutex> lock(h.mutex);
+      h.done = true;
+    }
+    h.cv.notify_one();
+  }
+  for (auto& t : harvesters) t.join();
+
+  LoadReport report;
+  report.offered_rps = config_.offered_rps;
+  report.offered = static_cast<std::int64_t>(offsets_.size());
+  Clock::time_point end = Clock::now();
+  std::vector<double> merged;
+  for (std::size_t m = 0; m < mix_.size(); ++m) {
+    Harvest& h = harvests[m];
+    VariantLoadStats vs;
+    vs.variant = mix_[m].variant;
+    for (const std::size_t idx : variants_) {
+      if (idx == m) ++vs.offered;
+    }
+    vs.served = h.served;
+    vs.rejected = rejected[m];
+    vs.failed = h.failed;
+    vs.latency.count = h.count;
+    vs.latency.window = static_cast<std::int64_t>(h.window.size());
+    if (!h.window.empty()) {
+      double sum = 0.0, mx = h.window.front();
+      for (const double v : h.window) {
+        sum += v;
+        mx = std::max(mx, v);
+      }
+      vs.latency.mean_us = sum / static_cast<double>(h.window.size());
+      vs.latency.max_us = mx;
+      vs.latency.p50_us = latency_quantile(h.window, 0.50);
+      vs.latency.p99_us = latency_quantile(h.window, 0.99);
+      vs.latency.p999_us = latency_quantile(h.window, 0.999);
+    }
+    merged.insert(merged.end(), h.window.begin(), h.window.end());
+    report.served += vs.served;
+    report.rejected += vs.rejected;
+    report.failed += vs.failed;
+    if (h.count > 0) end = std::max(end, h.last_completion);
+    report.variants.push_back(std::move(vs));
+  }
+  report.duration_s = std::chrono::duration<double>(end - t0).count();
+  report.latency.count = report.served;
+  report.latency.window = static_cast<std::int64_t>(merged.size());
+  if (!merged.empty()) {
+    double sum = 0.0, mx = merged.front();
+    for (const double v : merged) {
+      sum += v;
+      mx = std::max(mx, v);
+    }
+    report.latency.mean_us = sum / static_cast<double>(merged.size());
+    report.latency.max_us = mx;
+    report.latency.p50_us = latency_quantile(merged, 0.50);
+    report.latency.p99_us = latency_quantile(merged, 0.99);
+    report.latency.p999_us = latency_quantile(std::move(merged), 0.999);
+  }
+  if (report.duration_s > 0.0) {
+    report.achieved_rps = static_cast<double>(report.served) / report.duration_s;
+  }
+  return report;
+}
+
+}  // namespace blurnet::serve

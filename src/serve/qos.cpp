@@ -1,0 +1,71 @@
+#include "src/serve/qos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace blurnet::serve {
+
+LatencyRing::LatencyRing(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("LatencyRing: capacity must be positive");
+  }
+  samples_.reserve(capacity_);
+}
+
+void LatencyRing::record(double micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.size() < capacity_) {
+    samples_.push_back(micros);
+  } else {
+    samples_[next_] = micros;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++count_;
+}
+
+LatencySnapshot LatencyRing::snapshot() const {
+  std::vector<double> window;
+  LatencySnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    window = samples_;
+    snap.count = count_;
+  }
+  snap.window = static_cast<std::int64_t>(window.size());
+  if (window.empty()) return snap;
+  double sum = 0.0, mx = window.front();
+  for (const double v : window) {
+    sum += v;
+    mx = std::max(mx, v);
+  }
+  snap.mean_us = sum / static_cast<double>(window.size());
+  snap.max_us = mx;
+  std::sort(window.begin(), window.end());
+  auto rank = [&](double q) {
+    const auto n = static_cast<std::int64_t>(window.size());
+    std::int64_t r = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(n)));
+    if (r < 1) r = 1;
+    if (r > n) r = n;
+    return window[static_cast<std::size_t>(r - 1)];
+  };
+  snap.p50_us = rank(0.50);
+  snap.p99_us = rank(0.99);
+  snap.p999_us = rank(0.999);
+  return snap;
+}
+
+double latency_quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("latency_quantile: q must be in [0, 1]");
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<std::int64_t>(samples.size());
+  std::int64_t r = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(n)));
+  if (r < 1) r = 1;
+  if (r > n) r = n;
+  return samples[static_cast<std::size_t>(r - 1)];
+}
+
+}  // namespace blurnet::serve

@@ -1,0 +1,59 @@
+// Serving-QoS instrumentation shared by the engine and the load generator.
+//
+// LatencyRing is a fixed-size sliding-window reservoir of latency samples:
+// record() is O(1) under a private mutex (safe from any number of replica
+// workers), snapshot() copies the window out and derives order statistics.
+// Like eval::VictimProgress, snapshots are readable mid-run — the engine
+// exposes one per variant shard through EngineStats, so an operator (or the
+// load harness) can watch p99 move while traffic is in flight.
+//
+// Quantiles use the nearest-rank method on the sorted window: p(q) is the
+// ceil(q * n)-th smallest sample. The window is fixed at construction, so a
+// long benchmark sees the *latest* capacity samples — steady-state tails —
+// rather than averaging warm-up spikes into the run.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace blurnet::serve {
+
+struct LatencySnapshot {
+  std::int64_t count = 0;   // samples ever recorded
+  std::int64_t window = 0;  // samples in this snapshot (<= ring capacity)
+  double mean_us = 0.0;     // over the window
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;      // over the window
+};
+
+class LatencyRing {
+ public:
+  explicit LatencyRing(std::size_t capacity);
+
+  LatencyRing(const LatencyRing&) = delete;
+  LatencyRing& operator=(const LatencyRing&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Record one latency sample (microseconds). Thread-safe.
+  void record(double micros);
+
+  /// Order statistics over the current window. Thread-safe, readable mid-run.
+  LatencySnapshot snapshot() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;  // ring buffer, size grows to capacity_ once
+  std::size_t next_ = 0;
+  std::int64_t count_ = 0;
+};
+
+/// Nearest-rank quantile of an unsorted sample vector (q in [0, 1]); sorts a
+/// copy. Exposed for the load generator's report assembly and for tests.
+double latency_quantile(std::vector<double> samples, double q);
+
+}  // namespace blurnet::serve

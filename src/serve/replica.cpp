@@ -5,11 +5,23 @@
 #include <stdexcept>
 
 #include "src/tensor/ops.h"
+#include "src/util/arena.h"
 
 namespace blurnet::serve {
 
 using tensor::Shape;
 using tensor::Tensor;
+
+/// Per-serving-thread request arena. One per thread (classify() callers and
+/// submit() workers alike); run() opens a frame per call, so the arena's
+/// high-water mark settles at one request's transient footprint and the
+/// steady-state forward path stops touching the heap. Frames nest — a
+/// worker's batch-assembly frame stays live while run()'s inner frame comes
+/// and goes.
+util::Arena& Replica::serving_arena() {
+  static thread_local util::Arena arena;
+  return arena;
+}
 
 Replica::Replica(const nn::LisaCnn& source, const nn::LisaCnnConfig& config,
                  defense::TransformPtr transform)
@@ -40,6 +52,13 @@ std::vector<Prediction> Replica::forward(const Tensor& batch) {
 
 std::vector<Prediction> Replica::run(const Tensor& batch, int max_batch, bool queued) {
   if (max_batch < 1) throw std::invalid_argument("Replica::run: max_batch must be >= 1");
+  // Every tensor this call creates — transform output, activations, logits,
+  // slices — is transient, so it bump-allocates from the thread's request
+  // arena and is reclaimed wholesale when the frame closes. Results are
+  // copied into plain Prediction vectors below, never arena memory, so
+  // nothing escapes the frame. The arena only changes where bytes live, not
+  // any arithmetic: outputs stay bitwise identical to the heap path.
+  util::ArenaScope frame(serving_arena());
   // Bound each forward pass (and therefore the im2col scratch footprint) by
   // max_batch: callers may hand classify() a whole dataset. Per-image results
   // are independent, so slicing cannot change them.

@@ -23,6 +23,7 @@
 
 #include "src/defense/input_transform.h"
 #include "src/nn/lisa_cnn.h"
+#include "src/util/arena.h"
 
 namespace blurnet::serve {
 
@@ -76,6 +77,13 @@ class Replica {
   int in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
   void begin_call() { in_flight_.fetch_add(1, std::memory_order_relaxed); }
   void end_call() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  /// The calling thread's request arena. run() opens a frame in it per call;
+  /// the engine's workers open an outer frame around batch assembly. One
+  /// arena per serving thread, so after warm-up the steady-state forward
+  /// path performs zero heap allocations (results are copied out to plain
+  /// heap containers before each frame closes).
+  static util::Arena& serving_arena();
 
  private:
   /// One pipeline pass over a slice: preprocess (optional) then forward.

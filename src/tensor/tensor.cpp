@@ -2,23 +2,90 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <new>
 #include <stdexcept>
+
+#include "src/util/arena.h"
 
 namespace blurnet::tensor {
 
+// ---- storage ----------------------------------------------------------------
+// One scratch_alloc block per buffer: [StorageHeader | pad to 64 | floats].
+// Copying a Tensor bumps the count; the last release frees heap blocks and
+// no-ops arena blocks (the owning ArenaScope's rewind reclaims those).
+
+Tensor::StorageHeader* Tensor::header() const noexcept {
+  return reinterpret_cast<StorageHeader*>(reinterpret_cast<char*>(data_) - kDataOffset);
+}
+
+void Tensor::allocate_storage() {
+  static_assert(kDataOffset >= sizeof(StorageHeader), "header must fit the offset");
+  const std::size_t n = static_cast<std::size_t>(shape_.numel());
+  char* block = static_cast<char*>(util::scratch_alloc(kDataOffset + n * sizeof(float), 64));
+  new (block) StorageHeader{{1}};
+  data_ = reinterpret_cast<float*>(block + kDataOffset);
+  std::memset(data_, 0, n * sizeof(float));
+}
+
+void Tensor::retain() const noexcept {
+  if (data_ != nullptr) header()->refs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tensor::release() noexcept {
+  if (data_ == nullptr) return;
+  StorageHeader* h = header();
+  if (h->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    h->~StorageHeader();
+    util::scratch_free(h);
+  }
+  data_ = nullptr;
+}
+
+Tensor::Tensor(const Tensor& other) noexcept : shape_(other.shape_), data_(other.data_) {
+  retain();
+}
+
+Tensor& Tensor::operator=(const Tensor& other) noexcept {
+  if (this != &other) {
+    other.retain();
+    release();
+    shape_ = other.shape_;
+    data_ = other.data_;
+  }
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)), data_(other.data_) {
+  other.data_ = nullptr;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    release();
+    shape_ = std::move(other.shape_);
+    data_ = other.data_;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+Tensor::~Tensor() { release(); }
+
+// ---- construction -----------------------------------------------------------
+
 Tensor::Tensor() : Tensor(Shape::scalar()) {}
 
-Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      storage_(std::make_shared<std::vector<float>>(
-          static_cast<std::size_t>(shape_.numel()), 0.0f)) {}
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) { allocate_storage(); }
 
 Tensor::Tensor(Shape shape, std::vector<float> values) : shape_(std::move(shape)) {
   if (static_cast<std::int64_t>(values.size()) != shape_.numel()) {
     throw std::invalid_argument("Tensor: value count does not match shape " +
                                 shape_.to_string());
   }
-  storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  allocate_storage();
+  std::copy(values.begin(), values.end(), data_);
 }
 
 Tensor Tensor::full(Shape shape, float value) {
@@ -29,7 +96,7 @@ Tensor Tensor::full(Shape shape, float value) {
 
 Tensor Tensor::scalar(float value) {
   Tensor t(Shape::scalar());
-  (*t.storage_)[0] = value;
+  t.data_[0] = value;
   return t;
 }
 
@@ -40,13 +107,19 @@ Tensor Tensor::from_vector(std::vector<float> values) {
 
 Tensor Tensor::randn(Shape shape, util::Rng& rng, float mean, float stddev) {
   Tensor t(std::move(shape));
-  for (auto& v : *t.storage_) v = static_cast<float>(rng.normal(mean, stddev));
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    t.data_[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
   return t;
 }
 
 Tensor Tensor::rand_uniform(Shape shape, util::Rng& rng, float lo, float hi) {
   Tensor t(std::move(shape));
-  for (auto& v : *t.storage_) v = static_cast<float>(rng.uniform(lo, hi));
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    t.data_[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
   return t;
 }
 
@@ -57,26 +130,26 @@ std::int64_t Tensor::flat4(std::int64_t n, std::int64_t c, std::int64_t h,
 }
 
 float& Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
-  return (*storage_)[static_cast<std::size_t>(flat4(n, c, h, w))];
+  return data_[flat4(n, c, h, w)];
 }
 
 float Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
-  return (*storage_)[static_cast<std::size_t>(flat4(n, c, h, w))];
+  return data_[flat4(n, c, h, w)];
 }
 
 float& Tensor::at2(std::int64_t r, std::int64_t c) {
   if (rank() != 2) throw std::logic_error("Tensor::at2 on non-2D tensor " + shape_.to_string());
-  return (*storage_)[static_cast<std::size_t>(r * shape_[1] + c)];
+  return data_[r * shape_[1] + c];
 }
 
 float Tensor::at2(std::int64_t r, std::int64_t c) const {
   if (rank() != 2) throw std::logic_error("Tensor::at2 on non-2D tensor " + shape_.to_string());
-  return (*storage_)[static_cast<std::size_t>(r * shape_[1] + c)];
+  return data_[r * shape_[1] + c];
 }
 
 Tensor Tensor::clone() const {
   Tensor out(shape_);
-  *out.storage_ = *storage_;
+  std::copy(data_, data_ + numel(), out.data_);
   return out;
 }
 
@@ -90,7 +163,7 @@ Tensor Tensor::reshape(Shape new_shape) const {
   return out;
 }
 
-void Tensor::fill(float value) { std::fill(storage_->begin(), storage_->end(), value); }
+void Tensor::fill(float value) { std::fill(data_, data_ + numel(), value); }
 
 void Tensor::add_(const Tensor& other) { add_scaled_(other, 1.0f); }
 
@@ -105,12 +178,14 @@ void Tensor::add_scaled_(const Tensor& other, float alpha) {
 }
 
 void Tensor::scale_(float alpha) {
-  for (auto& v : *storage_) v *= alpha;
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) data_[i] *= alpha;
 }
 
 float Tensor::sum() const {
   double acc = 0.0;
-  for (const auto v : *storage_) acc += v;
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += data_[i];
   return static_cast<float>(acc);
 }
 
@@ -119,22 +194,26 @@ float Tensor::mean() const {
 }
 
 float Tensor::min() const {
-  return *std::min_element(storage_->begin(), storage_->end());
+  return *std::min_element(data_, data_ + numel());
 }
 
 float Tensor::max() const {
-  return *std::max_element(storage_->begin(), storage_->end());
+  return *std::max_element(data_, data_ + numel());
 }
 
 float Tensor::abs_max() const {
   float m = 0.0f;
-  for (const auto v : *storage_) m = std::max(m, std::fabs(v));
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(data_[i]));
   return m;
 }
 
 double Tensor::l2_norm() const {
   double acc = 0.0;
-  for (const auto v : *storage_) acc += static_cast<double>(v) * v;
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(data_[i]) * data_[i];
+  }
   return std::sqrt(acc);
 }
 

@@ -4,9 +4,17 @@
 // and shares the underlying buffer; use clone() for a deep copy. reshape()
 // returns a tensor sharing storage with a different shape. All data is
 // contiguous row-major; NCHW layout for image batches.
+//
+// Storage is one intrusively ref-counted buffer obtained through
+// util::scratch_alloc, so a tensor built inside a util::ArenaScope (the
+// serving request path) costs a pointer bump instead of a heap allocation,
+// and a tensor built anywhere else costs exactly one heap allocation as
+// before. Arena-backed tensors must not outlive their scope — callers copy
+// escaping values (see src/util/arena.h).
 #pragma once
 
-#include <memory>
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "src/tensor/shape.h"
@@ -18,6 +26,12 @@ class Tensor {
  public:
   /// Empty scalar-shaped tensor holding a single zero.
   Tensor();
+
+  Tensor(const Tensor& other) noexcept;
+  Tensor& operator=(const Tensor& other) noexcept;
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
 
   /// Zero-initialized tensor of the given shape.
   explicit Tensor(Shape shape);
@@ -41,11 +55,11 @@ class Tensor {
   int rank() const { return shape_.rank(); }
   std::int64_t dim(int axis) const { return shape_[axis]; }
 
-  float* data() { return storage_->data(); }
-  const float* data() const { return storage_->data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
 
-  float& operator[](std::int64_t flat_index) { return (*storage_)[static_cast<std::size_t>(flat_index)]; }
-  float operator[](std::int64_t flat_index) const { return (*storage_)[static_cast<std::size_t>(flat_index)]; }
+  float& operator[](std::int64_t flat_index) { return data_[flat_index]; }
+  float operator[](std::int64_t flat_index) const { return data_[flat_index]; }
 
   /// 4-D accessor (NCHW). Bounds are checked in debug-style: throws on rank
   /// mismatch, asserts indices by flat computation.
@@ -63,7 +77,9 @@ class Tensor {
   Tensor reshape(Shape new_shape) const;
 
   /// True when two tensors share the same buffer.
-  bool shares_storage_with(const Tensor& other) const { return storage_ == other.storage_; }
+  bool shares_storage_with(const Tensor& other) const {
+    return data_ != nullptr && data_ == other.data_;
+  }
 
   void fill(float value);
   void zero() { fill(0.0f); }
@@ -82,9 +98,23 @@ class Tensor {
   double l2_norm() const;
 
  private:
+  /// Reference count living `kDataOffset` bytes before the float data, in the
+  /// same scratch_alloc block, so one allocation covers count + payload and
+  /// the data stays 64-byte aligned for future SIMD kernels.
+  struct StorageHeader {
+    std::atomic<std::int64_t> refs;
+  };
+  static constexpr std::size_t kDataOffset = 64;
+
+  /// Allocate (zero-filled) storage for shape_.numel() floats.
+  void allocate_storage();
+  void retain() const noexcept;
+  void release() noexcept;
+  StorageHeader* header() const noexcept;
+
   std::int64_t flat4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
   Shape shape_;
-  std::shared_ptr<std::vector<float>> storage_;
+  float* data_ = nullptr;
 };
 
 }  // namespace blurnet::tensor

@@ -1,0 +1,162 @@
+#include "src/util/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+
+namespace blurnet::util {
+
+namespace {
+
+thread_local Arena* t_current_arena = nullptr;
+
+std::atomic<std::int64_t> g_scratch_heap_allocations{0};
+
+/// Hidden prefix of every scratch_alloc'd block. 16 bytes, placed immediately
+/// before the returned pointer (which is aligned to >= 16, so the header is
+/// too). `base` is the raw malloc pointer for heap blocks, nullptr for arena
+/// blocks; the tag tells scratch_free which case it is looking at.
+struct ScratchHeader {
+  void* base;
+  std::uint64_t tag;
+};
+static_assert(sizeof(ScratchHeader) == 16, "header must stay 16 bytes");
+
+constexpr std::uint64_t kHeapTag = 0x48454150u;   // "HEAP"
+constexpr std::uint64_t kArenaTag = 0x4152454eu;  // "AREN"
+
+std::size_t align_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t block_bytes) : block_bytes_(block_bytes) {
+  if (block_bytes_ == 0) {
+    throw std::invalid_argument("Arena: block_bytes must be positive");
+  }
+}
+
+Arena::~Arena() {
+  for (auto& block : blocks_) std::free(block.data);
+}
+
+void Arena::grow(std::size_t min_bytes) {
+  Block block;
+  block.size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+  block.data = static_cast<char*>(std::malloc(block.size));
+  if (block.data == nullptr) throw std::bad_alloc();
+  blocks_.push_back(block);
+  ++growths_;
+  g_scratch_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument("Arena::allocate: align must be a power of two");
+  }
+  // First-fit walk over the block chain from the current bump position: after
+  // a rewind the same allocation sequence lands on the same addresses, which
+  // is what makes warm-path reuse (and the reset-reuse tests) deterministic.
+  while (current_ < blocks_.size()) {
+    const Block& block = blocks_[current_];
+    const std::size_t base = reinterpret_cast<std::size_t>(block.data);
+    const std::size_t aligned = align_up(base + offset_, align) - base;
+    if (aligned + bytes <= block.size) {
+      offset_ = aligned + bytes;
+      return block.data + aligned;
+    }
+    ++current_;
+    offset_ = 0;
+  }
+  // Nothing fits: grow. Oversized requests get a block of exactly their size
+  // (plus alignment slack) so they do not inflate every later block.
+  grow(bytes + align);
+  current_ = blocks_.size() - 1;
+  const Block& block = blocks_[current_];
+  const std::size_t base = reinterpret_cast<std::size_t>(block.data);
+  const std::size_t aligned = align_up(base, align) - base;
+  offset_ = aligned + bytes;
+  return block.data + aligned;
+}
+
+void Arena::rewind(Mark m) {
+  if (m.block > blocks_.size()) {
+    throw std::invalid_argument("Arena::rewind: mark is not from this arena");
+  }
+  current_ = m.block;
+  offset_ = m.offset;
+}
+
+std::size_t Arena::capacity() const {
+  std::size_t total = 0;
+  for (const auto& block : blocks_) total += block.size;
+  return total;
+}
+
+std::size_t Arena::used() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < current_ && i < blocks_.size(); ++i) {
+    total += blocks_[i].size;
+  }
+  return total + offset_;
+}
+
+Arena* current_arena() { return t_current_arena; }
+
+ArenaScope::ArenaScope(Arena& arena)
+    : arena_(&arena), previous_(t_current_arena), mark_(arena.mark()) {
+  t_current_arena = arena_;
+}
+
+ArenaScope::~ArenaScope() {
+  // Rewind before unbinding: every allocation this frame handed out is dead
+  // by the time the scope object is destroyed (locals die in reverse
+  // declaration order, and escaping values are copied by contract).
+  arena_->rewind(mark_);
+  t_current_arena = previous_;
+}
+
+void* scratch_alloc(std::size_t bytes, std::size_t align) {
+  if (align < 16) align = 16;
+  // The payload sits `pad` bytes into the block so that it is `align`-aligned
+  // with the 16-byte header immediately before it.
+  const std::size_t pad = align_up(sizeof(ScratchHeader), align);
+  if (Arena* arena = t_current_arena) {
+    char* raw = static_cast<char*>(arena->allocate(pad + bytes, align));
+    char* p = raw + pad;
+    auto* header = reinterpret_cast<ScratchHeader*>(p) - 1;
+    header->base = nullptr;
+    header->tag = kArenaTag;
+    return p;
+  }
+  // Heap fallback: over-allocate so the payload can be aligned with the
+  // header immediately before it, and remember the raw pointer for free().
+  void* raw = std::malloc(pad + bytes + align);
+  if (raw == nullptr) throw std::bad_alloc();
+  g_scratch_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  char* p = static_cast<char*>(raw) + sizeof(ScratchHeader);
+  p = reinterpret_cast<char*>(align_up(reinterpret_cast<std::size_t>(p), align));
+  auto* header = reinterpret_cast<ScratchHeader*>(p) - 1;
+  header->base = raw;
+  header->tag = kHeapTag;
+  return p;
+}
+
+void scratch_free(void* p) noexcept {
+  if (p == nullptr) return;
+  auto* header = reinterpret_cast<ScratchHeader*>(p) - 1;
+  if (header->tag == kHeapTag) {
+    std::free(header->base);
+  }
+  // Arena blocks: nothing to do — the owning scope's rewind reclaims them.
+  // (Freeing after that rewind is a contract violation; the header may
+  // already be reused, which is why escape-by-copy is mandatory.)
+}
+
+std::int64_t scratch_heap_allocations() {
+  return g_scratch_heap_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace blurnet::util

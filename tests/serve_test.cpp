@@ -1,14 +1,22 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/defense/input_transform.h"
 #include "src/serve/engine.h"
+#include "src/serve/loadgen.h"
+#include "src/serve/qos.h"
 #include "src/tensor/ops.h"
+#include "src/util/arena.h"
 #include "src/util/parallel.h"
 #include "src/util/rng.h"
 
@@ -666,6 +674,441 @@ TEST(Engine, ConfidenceIsSoftmaxOfPredictedLabel) {
   EXPECT_GE(prediction.confidence, 1.0f / 18.0f - 1e-6f);  // at least uniform mass
   EXPECT_LE(prediction.confidence, 1.0f);
   EXPECT_EQ(prediction.logits.size(), 18u);
+}
+
+// ---- bounded queues & overload policies -------------------------------------
+
+/// Preprocess stage whose apply() blocks until released — the deterministic
+/// way to hold a variant's worker mid-batch and fill its bounded queue.
+class GateTransform : public defense::InputTransform {
+ public:
+  GateTransform() : InputTransform(defense::TransformSpec::none(), "gate") {}
+
+  tensor::Tensor apply(const tensor::Tensor& images) const override {
+    entered_.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return open_; });
+    return images.clone();
+  }
+
+  /// Spin until `n` apply() calls have started (i.e. a worker holds a batch).
+  void wait_entered(int n) const {
+    while (entered_.load() < n) std::this_thread::yield();
+  }
+
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::atomic<int> entered_{0};
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(EngineConfig, ValidatesQueueAndOverloadKnobs) {
+  EngineConfig config = small_engine_config();
+  config.queue_capacity = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  EXPECT_THROW(InferenceEngine{config}, std::invalid_argument);
+  config.queue_capacity = -3;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = small_engine_config();
+  config.block_timeout_ms = -1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  // The nonsensical combination: a reject-policy engine never waits.
+  config = small_engine_config();
+  config.overload_policy = OverloadPolicy::kReject;
+  config.block_timeout_ms = 100;
+  try {
+    config.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("block_timeout_ms"), std::string::npos) << message;
+    EXPECT_NE(message.find("kBlock"), std::string::npos) << message;
+  }
+
+  // The same timeout is fine under kBlock.
+  config.overload_policy = OverloadPolicy::kBlock;
+  EXPECT_NO_THROW(config.validate());
+  config.block_timeout_ms = 0;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Engine, RejectPolicyShedsWhenQueueIsFullAndServesAfterDraining) {
+  EngineConfig config = small_engine_config();
+  config.queue_capacity = 2;
+  config.overload_policy = OverloadPolicy::kReject;
+  InferenceEngine engine(config);
+  auto gate = std::make_shared<GateTransform>();
+  engine.register_pipeline_variant("gated", gate);
+
+  const auto batch = random_batch(8, 71);
+  const Options options{"gated"};
+  std::vector<std::future<Prediction>> futures;
+  // First submit: its worker takes it and parks inside the gate.
+  futures.push_back(engine.submit(single_image(batch, 0), options));
+  gate->wait_entered(1);
+  // Two more fill the queue to capacity...
+  futures.push_back(engine.submit(single_image(batch, 1), options));
+  futures.push_back(engine.submit(single_image(batch, 2), options));
+  // ...and the next one is shed.
+  EXPECT_THROW(engine.submit(single_image(batch, 3), options), OverloadError);
+
+  VariantStats stats = engine.variant_stats("gated");
+  EXPECT_EQ(stats.queue_depth, 2);
+  EXPECT_EQ(stats.queue_peak, 2);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.blocked, 0);
+
+  // Release the gate: every admitted request resolves, bitwise equal to the
+  // synchronous path, and the drained engine serves new traffic again.
+  gate->open();
+  const auto expected = engine.classify(batch, options);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    expect_bitwise_equal(futures[i].get(), expected[i], "admitted " + std::to_string(i));
+  }
+  auto after = engine.submit(single_image(batch, 3), options);
+  expect_bitwise_equal(after.get(), expected[3], "post-drain");
+  stats = engine.variant_stats("gated");
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.rejected, 1);  // sheds are not forgotten
+  EXPECT_EQ(stats.latency.count, 4);  // 3 admitted + 1 post-drain
+  EXPECT_GT(stats.latency.p99_us, 0.0);
+}
+
+TEST(Engine, BlockPolicyBackpressuresUntilASlotFrees) {
+  EngineConfig config = small_engine_config();
+  config.queue_capacity = 1;
+  config.overload_policy = OverloadPolicy::kBlock;
+  InferenceEngine engine(config);
+  auto gate = std::make_shared<GateTransform>();
+  engine.register_pipeline_variant("gated", gate);
+
+  const auto batch = random_batch(4, 73);
+  const Options options{"gated"};
+  auto first = engine.submit(single_image(batch, 0), options);
+  gate->wait_entered(1);                                        // worker parked
+  auto second = engine.submit(single_image(batch, 1), options);  // queue now full
+
+  std::atomic<bool> third_submitted{false};
+  std::future<Prediction> third;
+  std::thread submitter([&] {
+    third = engine.submit(single_image(batch, 2), options);  // must block
+    third_submitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_submitted.load());  // still backpressured
+
+  gate->open();  // worker drains; the blocked submit admits and resolves
+  submitter.join();
+  EXPECT_TRUE(third_submitted.load());
+
+  const auto expected = engine.classify(batch, options);
+  expect_bitwise_equal(first.get(), expected[0], "first");
+  expect_bitwise_equal(second.get(), expected[1], "second");
+  expect_bitwise_equal(third.get(), expected[2], "third");
+  const VariantStats stats = engine.variant_stats("gated");
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_GE(stats.blocked, 1);
+  EXPECT_EQ(stats.queue_peak, 1);
+}
+
+TEST(Engine, BlockPolicyTimeoutShedsWithOverloadError) {
+  EngineConfig config = small_engine_config();
+  config.queue_capacity = 1;
+  config.overload_policy = OverloadPolicy::kBlock;
+  config.block_timeout_ms = 40;
+  InferenceEngine engine(config);
+  auto gate = std::make_shared<GateTransform>();
+  engine.register_pipeline_variant("gated", gate);
+
+  const auto batch = random_batch(3, 77);
+  const Options options{"gated"};
+  auto first = engine.submit(single_image(batch, 0), options);
+  gate->wait_entered(1);
+  auto second = engine.submit(single_image(batch, 1), options);  // fills the queue
+  try {
+    engine.submit(single_image(batch, 2), options);
+    FAIL() << "expected OverloadError after the block timeout";
+  } catch (const OverloadError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("timed out"), std::string::npos) << message;
+  }
+  const VariantStats stats = engine.variant_stats("gated");
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_GE(stats.blocked, 1);
+  gate->open();
+  first.get();
+  second.get();
+}
+
+TEST(Engine, SubmitIsBitwiseDeterministicAcrossQueueCapacities) {
+  const auto batch = random_batch(12, 79);
+  const InferenceEngine reference(small_engine_config());
+  const auto expected = reference.classify(batch);
+
+  for (const int capacity : {1, 2, 8, 1024}) {
+    for (const int replicas : {1, 3}) {
+      EngineConfig config = small_engine_config(replicas);
+      config.queue_capacity = capacity;
+      // Backpressure, never shed: every request is served no matter how
+      // small the queue, so the comparison covers all 12 images.
+      config.overload_policy = OverloadPolicy::kBlock;
+      InferenceEngine engine(config);
+      std::vector<std::future<Prediction>> futures;
+      for (std::int64_t i = 0; i < batch.dim(0); ++i) {
+        futures.push_back(engine.submit(single_image(batch, i)));
+      }
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        expect_bitwise_equal(futures[i].get(), expected[i],
+                             "capacity " + std::to_string(capacity) + " replicas " +
+                                 std::to_string(replicas) + " image " + std::to_string(i));
+      }
+    }
+  }
+}
+
+// ---- request arena: allocation-free steady state ----------------------------
+
+TEST(Engine, ArenaForwardPathMatchesUnscopedHeapPathBitwise) {
+  const InferenceEngine engine(small_engine_config());
+  const auto batch = random_batch(6, 83);
+  // classify() runs inside an arena frame; calling the model directly on this
+  // thread (no frame bound) takes the heap path. The arena must only move
+  // bytes, never change arithmetic.
+  const auto via_engine = engine.classify(batch);
+  const auto expected = engine.variant(kBaseVariant).logits(batch);
+  for (std::int64_t i = 0; i < batch.dim(0); ++i) {
+    for (std::int64_t k = 0; k < expected.dim(1); ++k) {
+      EXPECT_EQ(via_engine[static_cast<std::size_t>(i)].logits[static_cast<std::size_t>(k)],
+                expected.at2(i, k));
+    }
+  }
+}
+
+TEST(Engine, SteadyStateClassifyPerformsZeroScratchHeapAllocations) {
+  const InferenceEngine engine(small_engine_config());
+  const auto batch = random_batch(16, 89);
+  // Warm-up: grows the caller thread's arena (and the conv scratch) to the
+  // batch's high-water mark.
+  for (int i = 0; i < 3; ++i) engine.classify(batch);
+
+  const std::int64_t before = util::scratch_heap_allocations();
+  const auto warm = engine.classify(batch);
+  const auto again = engine.classify(batch);
+  // Zero scratch-layer heap traffic: every tensor and autograd node of the
+  // forward chain came out of the warmed arena.
+  EXPECT_EQ(util::scratch_heap_allocations(), before);
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    expect_bitwise_equal(warm[i], again[i], "warm repeat " + std::to_string(i));
+  }
+}
+
+TEST(Engine, SteadyStateSubmitForwardPathIsAllocationFree) {
+  EngineConfig config = small_engine_config();
+  InferenceEngine engine(config);
+  const auto batch = random_batch(8, 97);
+  std::vector<tensor::Tensor> images;
+  for (std::int64_t i = 0; i < batch.dim(0); ++i) images.push_back(single_image(batch, i));
+  // max_batch 1 pins every coalesced batch to one image, so the worker
+  // arena's high-water mark is timing-independent and warm-up is exact.
+  Options options;
+  options.max_batch = 1;
+  const auto submit_all = [&] {
+    std::vector<std::future<Prediction>> futures;
+    for (const auto& image : images) futures.push_back(engine.submit(image, options));
+    std::vector<Prediction> out;
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  };
+  // Warm-up: spawns the worker and grows its arena to steady state.
+  for (int i = 0; i < 3; ++i) submit_all();
+
+  const std::int64_t before = util::scratch_heap_allocations();
+  const auto warm = submit_all();
+  // The worker-side forward path is allocation-free; the only scratch-layer
+  // heap events are the admission-side image clones (one per request), whose
+  // storage must outlive submit() and so cannot live in any frame.
+  EXPECT_EQ(util::scratch_heap_allocations(), before + batch.dim(0));
+  const auto expected = engine.classify(batch);
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    expect_bitwise_equal(warm[i], expected[i], "submit steady " + std::to_string(i));
+  }
+}
+
+// ---- latency ring -----------------------------------------------------------
+
+TEST(LatencyRing, NearestRankQuantilesOverKnownSamples) {
+  LatencyRing ring(256);
+  for (int v = 1; v <= 100; ++v) ring.record(static_cast<double>(v));
+  const LatencySnapshot snap = ring.snapshot();
+  EXPECT_EQ(snap.count, 100);
+  EXPECT_EQ(snap.window, 100);
+  EXPECT_DOUBLE_EQ(snap.mean_us, 50.5);
+  EXPECT_DOUBLE_EQ(snap.p50_us, 50.0);
+  EXPECT_DOUBLE_EQ(snap.p99_us, 99.0);
+  EXPECT_DOUBLE_EQ(snap.p999_us, 100.0);
+  EXPECT_DOUBLE_EQ(snap.max_us, 100.0);
+}
+
+TEST(LatencyRing, WindowKeepsTheLatestSamples) {
+  LatencyRing ring(10);
+  for (int v = 1; v <= 25; ++v) ring.record(static_cast<double>(v));
+  const LatencySnapshot snap = ring.snapshot();
+  EXPECT_EQ(snap.count, 25);
+  EXPECT_EQ(snap.window, 10);
+  EXPECT_DOUBLE_EQ(snap.max_us, 25.0);
+  // Window is exactly {16..25}.
+  EXPECT_DOUBLE_EQ(snap.p50_us, 20.0);
+  EXPECT_DOUBLE_EQ(snap.mean_us, 20.5);
+}
+
+TEST(LatencyRing, EmptyAndInvalid) {
+  EXPECT_THROW(LatencyRing(0), std::invalid_argument);
+  LatencyRing ring(4);
+  const LatencySnapshot snap = ring.snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.window, 0);
+  EXPECT_DOUBLE_EQ(snap.p99_us, 0.0);
+  EXPECT_DOUBLE_EQ(latency_quantile({}, 0.5), 0.0);
+  EXPECT_THROW(latency_quantile({1.0}, 1.5), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(latency_quantile({3.0, 1.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(latency_quantile({3.0, 1.0, 2.0}, 1.0), 3.0);
+}
+
+// ---- load generator ---------------------------------------------------------
+
+TEST(LoadGen, ValidatesConfig) {
+  InferenceEngine engine(small_engine_config());
+  LoadConfig config;
+  config.offered_rps = 0.0;
+  EXPECT_THROW(LoadGenerator(engine, config), std::invalid_argument);
+  config = {};
+  config.requests = 0;
+  EXPECT_THROW(LoadGenerator(engine, config), std::invalid_argument);
+  config = {};
+  config.arrival = ArrivalProcess::kOnOff;
+  config.on_fraction = 1.5;
+  EXPECT_THROW(LoadGenerator(engine, config), std::invalid_argument);
+  config.on_fraction = 0.5;
+  config.burst_cycle_s = 0.0;
+  EXPECT_THROW(LoadGenerator(engine, config), std::invalid_argument);
+  config = {};
+  config.mix = {{kBaseVariant, 1.0}, {kBaseVariant, 2.0}};
+  EXPECT_THROW(LoadGenerator(engine, config), std::invalid_argument);
+  config = {};
+  config.mix = {{"nope", 1.0}};
+  LoadGenerator generator(engine, config);  // builds fine...
+  EXPECT_THROW(generator.run(single_image(random_batch(1), 0)),
+               std::invalid_argument);  // ...fails fast against this engine
+}
+
+TEST(LoadGen, ScheduleIsDeterministicPerSeed) {
+  InferenceEngine engine(small_engine_config());
+  LoadConfig config;
+  config.requests = 200;
+  config.seed = 1234;
+  config.mix = {{kBaseVariant, 3.0}, {kDefendedVariant, 1.0}};
+  const LoadGenerator a(engine, config), b(engine, config);
+  // Same seed ⇒ bitwise-identical arrivals and routing.
+  ASSERT_EQ(a.arrival_offsets().size(), 200u);
+  EXPECT_EQ(a.arrival_offsets(), b.arrival_offsets());
+  EXPECT_EQ(a.variant_schedule(), b.variant_schedule());
+
+  config.seed = 1235;
+  const LoadGenerator c(engine, config);
+  EXPECT_NE(a.arrival_offsets(), c.arrival_offsets());
+
+  // Arrivals are sorted and the mix is honored in rough proportion.
+  double previous = 0.0;
+  for (const double offset : a.arrival_offsets()) {
+    EXPECT_GE(offset, previous);
+    previous = offset;
+  }
+  std::size_t to_base = 0;
+  for (const std::size_t m : a.variant_schedule()) {
+    if (m == 0) ++to_base;
+  }
+  EXPECT_GT(to_base, 120u);  // ~150 expected of 200 at weight 3:1
+  EXPECT_LT(to_base, 180u);
+}
+
+TEST(LoadGen, UniformPacingAndOnOffWindows) {
+  InferenceEngine engine(small_engine_config());
+  LoadConfig config;
+  config.arrival = ArrivalProcess::kUniform;
+  config.offered_rps = 50.0;
+  config.requests = 10;
+  const LoadGenerator uniform(engine, config);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(uniform.arrival_offsets()[i], static_cast<double>(i) / 50.0);
+  }
+
+  config.arrival = ArrivalProcess::kOnOff;
+  config.offered_rps = 500.0;
+  config.requests = 400;
+  config.on_fraction = 0.25;
+  config.burst_cycle_s = 0.1;
+  const LoadGenerator bursty(engine, config);
+  const double on_len = 0.25 * 0.1;
+  for (const double offset : bursty.arrival_offsets()) {
+    const double in_cycle = std::fmod(offset, 0.1);
+    // Every arrival lands inside its cycle's on-window.
+    EXPECT_LE(in_cycle, on_len + 1e-9) << "offset " << offset;
+  }
+}
+
+TEST(LoadGen, ReplayAccountsForEveryScheduledRequest) {
+  EngineConfig engine_config = small_engine_config();
+  InferenceEngine engine(engine_config);
+  LoadConfig config;
+  config.offered_rps = 2000.0;  // fast: ~25 ms of schedule
+  config.requests = 50;
+  config.seed = 7;
+  config.mix = {{kBaseVariant, 1.0}, {kDefendedVariant, 1.0}};
+  LoadGenerator generator(engine, config);
+  const LoadReport report = generator.run(single_image(random_batch(1, 41), 0));
+
+  EXPECT_EQ(report.offered, 50);
+  EXPECT_EQ(report.served + report.rejected + report.failed, 50);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_EQ(report.rejected, 0);  // default queue capacity is ample
+  EXPECT_GT(report.achieved_rps, 0.0);
+  EXPECT_GT(report.duration_s, 0.0);
+  EXPECT_EQ(report.latency.count, report.served);
+  EXPECT_GT(report.latency.p99_us, 0.0);
+  EXPECT_GE(report.latency.p99_us, report.latency.p50_us);
+
+  ASSERT_EQ(report.variants.size(), 2u);
+  std::int64_t offered_sum = 0, served_sum = 0;
+  for (std::size_t m = 0; m < report.variants.size(); ++m) {
+    const auto& vs = report.variants[m];
+    // Offered counts are exactly the schedule's routing counts.
+    std::int64_t scheduled = 0;
+    for (const std::size_t idx : generator.variant_schedule()) {
+      if (idx == m) ++scheduled;
+    }
+    EXPECT_EQ(vs.offered, scheduled) << vs.variant;
+    EXPECT_EQ(vs.served, vs.offered) << vs.variant;
+    offered_sum += vs.offered;
+    served_sum += vs.served;
+  }
+  EXPECT_EQ(offered_sum, 50);
+  EXPECT_EQ(served_sum, report.served);
+
+  // Engine-side latency rings saw the same traffic.
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 50);
+  EXPECT_EQ(stats.rejected, 0);
 }
 
 }  // namespace

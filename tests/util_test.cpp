@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "src/util/arena.h"
 #include "src/util/cli.h"
 #include "src/util/env.h"
 #include "src/util/parallel.h"
@@ -298,6 +299,113 @@ TEST(Env, FlagParsing) {
   ::unsetenv("BLURNET_TEST_FLAG");
   EXPECT_FALSE(env_flag("BLURNET_TEST_FLAG"));
   EXPECT_EQ(env_int("BLURNET_TEST_FLAG", 9), 9);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena(1024);
+  for (const std::size_t align : {std::size_t(8), std::size_t(16), std::size_t(64),
+                                  std::size_t(128)}) {
+    for (const std::size_t bytes : {std::size_t(1), std::size_t(7), std::size_t(100)}) {
+      void* p = arena.allocate(bytes, align);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+          << bytes << " bytes at alignment " << align;
+    }
+  }
+}
+
+TEST(Arena, ResetReplaysIdenticalPointersWithoutHeapTraffic) {
+  Arena arena;
+  std::vector<void*> first;
+  for (int i = 0; i < 32; ++i) first.push_back(arena.allocate(1000, 64));
+  const std::size_t blocks = arena.block_count();
+  const std::int64_t heap_before = scratch_heap_allocations();
+  for (int round = 0; round < 5; ++round) {
+    arena.reset();
+    // The first-fit walk replays the same sequence onto the same addresses —
+    // the property the bitwise-determinism contract of the serving path
+    // leans on — and a warmed arena never touches the heap again.
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(arena.allocate(1000, 64), first[static_cast<std::size_t>(i)])
+          << "round " << round << " allocation " << i;
+    }
+  }
+  EXPECT_EQ(arena.block_count(), blocks);
+  EXPECT_EQ(scratch_heap_allocations(), heap_before);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(1024);  // block size far below the request
+  void* big = arena.allocate(1 << 16, 64);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(arena.capacity(), std::size_t(1) << 16);
+  // The oversized block joins the chain and is reused after reset.
+  arena.reset();
+  EXPECT_EQ(arena.allocate(1 << 16, 64), big);
+}
+
+TEST(Arena, MarkRewindReleasesOnlyInnerAllocations) {
+  Arena arena(512);
+  void* outer = arena.allocate(100, 16);
+  const Arena::Mark mark = arena.mark();
+  const std::size_t used_at_mark = arena.used();
+  void* inner1 = arena.allocate(200, 16);
+  EXPECT_NE(inner1, outer);
+  arena.rewind(mark);
+  EXPECT_EQ(arena.used(), used_at_mark);
+  // Inner memory is reusable, outer memory untouched.
+  EXPECT_EQ(arena.allocate(200, 16), inner1);
+}
+
+TEST(ArenaScope, BindsAndRestoresThreadLocalArena) {
+  EXPECT_EQ(current_arena(), nullptr);
+  Arena outer_arena, inner_arena;
+  {
+    ArenaScope outer(outer_arena);
+    EXPECT_EQ(current_arena(), &outer_arena);
+    {
+      ArenaScope inner(inner_arena);
+      EXPECT_EQ(current_arena(), &inner_arena);
+    }
+    EXPECT_EQ(current_arena(), &outer_arena);
+  }
+  EXPECT_EQ(current_arena(), nullptr);
+}
+
+TEST(ArenaScope, ScopeExitRewindsItsOwnFrame) {
+  Arena arena;
+  ArenaScope outer_frame(arena);
+  void* outer = scratch_alloc(64);
+  const std::size_t used_before = arena.used();
+  {
+    ArenaScope inner_frame(arena);
+    scratch_alloc(4096);
+    EXPECT_GT(arena.used(), used_before);
+  }
+  EXPECT_EQ(arena.used(), used_before);  // inner frame fully reclaimed
+  scratch_free(outer);                   // no-op for arena memory
+  EXPECT_EQ(arena.used(), used_before);  // ...so usage is unchanged
+}
+
+TEST(ScratchAlloc, HeapFallbackIsCountedArenaPathIsNot) {
+  // Unbound: every scratch_alloc is a counted heap allocation.
+  const std::int64_t before = scratch_heap_allocations();
+  void* heap_block = scratch_alloc(128);
+  EXPECT_EQ(scratch_heap_allocations(), before + 1);
+  scratch_free(heap_block);
+
+  Arena arena;
+  {
+    ArenaScope scope(arena);
+    scratch_alloc(128);  // warms the arena: one counted block growth
+  }
+  const std::int64_t warmed = scratch_heap_allocations();
+  {
+    ArenaScope scope(arena);
+    for (int i = 0; i < 100; ++i) scratch_free(scratch_alloc(128));
+  }
+  // A warmed arena serves any number of scratch blocks heap-free.
+  EXPECT_EQ(scratch_heap_allocations(), warmed);
 }
 
 }  // namespace
