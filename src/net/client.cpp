@@ -1,0 +1,118 @@
+#include "src/net/client.h"
+
+#include <utility>
+
+namespace blurnet::net {
+
+namespace {
+constexpr std::size_t kReadChunk = 64 * 1024;
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port, std::size_t max_frame_bytes)
+    : socket_(tcp_connect(host, port)), decoder_(max_frame_bytes) {}
+
+std::uint32_t Client::send_frame(Opcode opcode, const std::vector<std::uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (!socket_.is_open()) {
+    throw SocketError("Client: connection is closed");
+  }
+  const std::uint32_t request_id = next_request_id_++;
+  if (next_request_id_ == 0) next_request_id_ = 1;  // id 0 is the connection-fatal sentinel
+  const std::vector<std::uint8_t> frame = encode_frame(opcode, request_id, payload);
+  write_all(socket_.fd(), frame.data(), frame.size());
+  return request_id;
+}
+
+Frame Client::receive_frame(std::uint32_t request_id, Opcode expected) {
+  std::unique_lock<std::mutex> lock(receive_mutex_);
+  for (;;) {
+    const auto stashed = stash_.find(request_id);
+    Frame frame;
+    if (stashed != stash_.end()) {
+      frame = std::move(stashed->second);
+      stash_.erase(stashed);
+    } else {
+      if (!socket_.is_open()) {
+        throw SocketError("Client: connection is closed");
+      }
+      std::uint8_t chunk[kReadChunk];
+      if (!decoder_.next(frame)) {
+        const std::size_t got = read_some(socket_.fd(), chunk, sizeof(chunk));
+        if (got == 0) {
+          throw SocketError("Client: server closed the connection while a response for request " +
+                            std::to_string(request_id) + " was pending");
+        }
+        decoder_.feed(chunk, got);
+        continue;
+      }
+      if (frame.request_id != request_id) {
+        // An error frame with id 0 is connection-fatal (framing violation on
+        // our side) — surface it to whoever is reading, immediately.
+        if (frame.opcode == Opcode::kErrorResponse && frame.request_id == 0) {
+          throw_error(decode_error(frame.payload.data(), frame.payload.size()));
+        }
+        stash_[frame.request_id] = std::move(frame);
+        continue;
+      }
+    }
+    if (frame.opcode == Opcode::kErrorResponse) {
+      throw_error(decode_error(frame.payload.data(), frame.payload.size()));
+    }
+    if (frame.opcode != expected) {
+      throw WireError(std::string("Client: expected ") + to_string(expected) + " for request " +
+                      std::to_string(request_id) + " but received " + to_string(frame.opcode));
+    }
+    return frame;
+  }
+}
+
+std::uint32_t Client::send_classify(const tensor::Tensor& image, const std::string& variant,
+                                    std::int32_t max_batch) {
+  ClassifyRequest request{variant, max_batch, image};
+  return send_frame(Opcode::kClassify, encode_classify_request(request, /*batch=*/false));
+}
+
+std::uint32_t Client::send_classify_batch(const tensor::Tensor& images, const std::string& variant,
+                                          std::int32_t max_batch) {
+  ClassifyRequest request{variant, max_batch, images};
+  return send_frame(Opcode::kClassifyBatch, encode_classify_request(request, /*batch=*/true));
+}
+
+serve::Prediction Client::receive_classify(std::uint32_t request_id) {
+  const Frame frame = receive_frame(request_id, Opcode::kClassifyResponse);
+  return decode_predictions(frame.payload.data(), frame.payload.size(), /*batch=*/false).front();
+}
+
+std::vector<serve::Prediction> Client::receive_classify_batch(std::uint32_t request_id) {
+  const Frame frame = receive_frame(request_id, Opcode::kClassifyBatchResponse);
+  return decode_predictions(frame.payload.data(), frame.payload.size(), /*batch=*/true);
+}
+
+serve::Prediction Client::classify(const tensor::Tensor& image, const std::string& variant,
+                                   std::int32_t max_batch) {
+  return receive_classify(send_classify(image, variant, max_batch));
+}
+
+std::vector<serve::Prediction> Client::classify_batch(const tensor::Tensor& images,
+                                                      const std::string& variant,
+                                                      std::int32_t max_batch) {
+  return receive_classify_batch(send_classify_batch(images, variant, max_batch));
+}
+
+void Client::ping() {
+  const std::uint32_t request_id = send_frame(Opcode::kPing, {});
+  receive_frame(request_id, Opcode::kPongResponse);
+}
+
+ServerStats Client::stats() {
+  const std::uint32_t request_id = send_frame(Opcode::kStats, {});
+  const Frame frame = receive_frame(request_id, Opcode::kStatsResponse);
+  return decode_stats(frame.payload.data(), frame.payload.size());
+}
+
+void Client::close() {
+  std::lock_guard<std::mutex> send_lock(send_mutex_);
+  socket_.close();
+}
+
+}  // namespace blurnet::net

@@ -1,0 +1,98 @@
+// Blocking client for the blurnetd wire protocol, with pipelining.
+//
+// The simple calls — classify(), classify_batch(), ping(), stats() — send one
+// request and block until its response frame arrives. The split send_* /
+// receive_* pairs pipeline: send_classify() returns immediately with the
+// request id it put on the wire, so a caller can keep many requests in flight
+// on one connection and collect responses later in any order —
+// receive_classify(id) stashes frames for other ids until their owner asks.
+// The open-loop load generator drives the server exactly this way.
+//
+// Error frames become the typed C++ exceptions the in-process engine throws
+// (see wire.h throw_error): a shed request surfaces as serve::OverloadError, a
+// validation failure as std::invalid_argument, a draining server as
+// ShuttingDownError — so a caller can swap `engine.submit(...)` for a Client
+// without changing its error handling.
+//
+// Thread-safety: one sender and one receiver may run concurrently (sends and
+// receives take separate locks, matching the socket's full-duplex nature), but
+// multiple concurrent senders or receivers serialize on those locks. The load
+// generator gives each worker its own Client instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/serve/replica.h"
+#include "src/tensor/tensor.h"
+
+namespace blurnet::net {
+
+class Client {
+ public:
+  /// Connect to a blurnetd server. Throws SocketError when nothing listens.
+  Client(const std::string& host, std::uint16_t port,
+         std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // ---- blocking convenience calls -------------------------------------------
+
+  /// Classify one CHW image; blocks for the prediction. `max_batch` 0 uses the
+  /// engine default.
+  serve::Prediction classify(const tensor::Tensor& image,
+                             const std::string& variant = serve::kBaseVariant,
+                             std::int32_t max_batch = 0);
+  /// Classify an NCHW batch; blocks for all predictions, in input order.
+  std::vector<serve::Prediction> classify_batch(const tensor::Tensor& images,
+                                                const std::string& variant = serve::kBaseVariant,
+                                                std::int32_t max_batch = 0);
+  /// Round-trip a ping frame (connectivity / liveness check).
+  void ping();
+  /// Fetch the server's counter snapshot.
+  ServerStats stats();
+
+  // ---- pipelined calls ------------------------------------------------------
+
+  /// Put a classify request on the wire and return its request id without
+  /// waiting. Collect the prediction later with receive_classify(id).
+  std::uint32_t send_classify(const tensor::Tensor& image,
+                              const std::string& variant = serve::kBaseVariant,
+                              std::int32_t max_batch = 0);
+  std::uint32_t send_classify_batch(const tensor::Tensor& images,
+                                    const std::string& variant = serve::kBaseVariant,
+                                    std::int32_t max_batch = 0);
+  /// Block until the response for `request_id` arrives (frames for other ids
+  /// are stashed for their own receive_* calls). Throws the typed exception if
+  /// the server answered with an error frame.
+  serve::Prediction receive_classify(std::uint32_t request_id);
+  std::vector<serve::Prediction> receive_classify_batch(std::uint32_t request_id);
+
+  /// Close the connection. Further calls throw. Idempotent.
+  void close();
+  bool is_open() const { return socket_.is_open(); }
+
+ private:
+  std::uint32_t send_frame(Opcode opcode, const std::vector<std::uint8_t>& payload);
+  /// Block until the frame for `request_id` is available; expects
+  /// `expected` (or an error frame, which throws).
+  Frame receive_frame(std::uint32_t request_id, Opcode expected);
+
+  Socket socket_;
+  FrameDecoder decoder_;
+
+  std::mutex send_mutex_;  // serializes writes (frame bytes must not interleave)
+  std::uint32_t next_request_id_ = 1;
+
+  std::mutex receive_mutex_;  // serializes reads + guards the stash
+  std::map<std::uint32_t, Frame> stash_;  // frames read while waiting for another id
+};
+
+}  // namespace blurnet::net

@@ -1,0 +1,68 @@
+// Frame codec for the blurnetd wire protocol (see wire.h for the layout).
+//
+// FrameDecoder is the read side: a byte-stream reassembler fed arbitrary
+// chunks (whatever recv() returned — single bytes, half a header, three frames
+// at once) that yields complete validated frames. It enforces the protocol
+// invariants at the framing layer, before any payload decoding runs:
+//
+//   * magic must match (catches a non-blurnet peer immediately),
+//   * version must be kVersion,
+//   * the reserved header bytes must be zero,
+//   * the opcode must be known, and
+//   * the length prefix must not exceed the configured frame bound — a
+//     hostile or corrupt length can therefore never balloon the buffer.
+//
+// Violations throw WireError; a framing error is not recoverable (byte
+// alignment is lost), so the server closes the connection after reporting it.
+//
+// encode_frame / append_frame are the write side: header assembly around an
+// already-encoded payload. append_frame writes into an existing buffer so the
+// server's per-connection outbox can batch frames into one send().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/wire.h"
+
+namespace blurnet::net {
+
+/// One complete, validated frame.
+struct Frame {
+  Opcode opcode = Opcode::kPing;
+  std::uint32_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Header + payload as one contiguous byte vector.
+std::vector<std::uint8_t> encode_frame(Opcode opcode, std::uint32_t request_id,
+                                       const std::vector<std::uint8_t>& payload);
+/// Append header + payload to `out` (the outbox form of encode_frame).
+void append_frame(std::vector<std::uint8_t>& out, Opcode opcode, std::uint32_t request_id,
+                  const std::vector<std::uint8_t>& payload);
+
+class FrameDecoder {
+ public:
+  /// `max_frame_bytes` bounds header + payload of any single frame.
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Buffer `n` more bytes of the stream.
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Extract the next complete frame into `out`. Returns false when the
+  /// buffered bytes do not yet hold a full frame. Throws WireError on any
+  /// protocol violation (bad magic/version/reserved/opcode, oversized length).
+  bool next(Frame& out);
+
+  /// Bytes buffered but not yet consumed (mid-frame partial data).
+  std::size_t buffered() const { return buffer_.size() - offset_; }
+
+  std::size_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  const std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t offset_ = 0;  // consumed prefix; compacted once it grows
+};
+
+}  // namespace blurnet::net

@@ -1,0 +1,206 @@
+// blurnetd: the socket serving front-end for serve::InferenceEngine.
+//
+// A Server binds one TCP listen socket and runs a small poll()-based event
+// loop on its own thread: the loop accepts connections, reassembles frames
+// from nonblocking reads (FrameDecoder), decodes requests, and writes queued
+// response bytes back with short-write handling. Classify work never executes
+// on the loop — each decoded image is handed to the engine's existing
+// submit() path, so remote traffic inherits batching, replica sharding,
+// bounded-queue admission control and latency measurement unchanged:
+//
+//   wire → decode → submit() → coalesced replica forward → encode → wire
+//
+// Each connection owns one harvester thread that waits on its submitted
+// futures in FIFO order, encodes the prediction (or typed error) frame, and
+// appends it to the connection's outbox for the event loop to flush. Replies
+// to classify requests therefore come back in per-connection submission
+// order, while ping/stats replies are written immediately by the loop and may
+// overtake them — clients correlate by request id (the client library
+// pipelines on exactly this).
+//
+// Failure is always a *frame*, never a dropped connection (except framing
+// violations, where byte alignment is lost): an engine OverloadError becomes
+// an ErrorCode::kOverload frame, validation failures (unknown variant, bad
+// shape — the engine's descriptive messages, which list the registered
+// variants) become kInvalidRequest, and requests arriving while the server
+// drains become kShuttingDown.
+//
+// stop() is graceful: the listener closes immediately, requests already
+// admitted keep draining (bounded by ServerConfig::drain_timeout_ms), new
+// classify requests are refused with kShuttingDown frames, and once every
+// connection is idle — or the deadline passes — connections are closed and
+// all threads join. The destructor calls stop().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/serve/engine.h"
+
+namespace blurnet::net {
+
+struct ServerConfig {
+  /// Numeric IPv4 bind address. Loopback by default: blurnetd speaks an
+  /// unauthenticated protocol, so exposing it beyond the host is a deliberate
+  /// operator decision.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the real one back with Server::port().
+  std::uint16_t port = 0;
+  int backlog = 64;
+  /// Bound on any single frame (header + payload), both directions.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// stop(): longest wait for in-flight requests to drain before connections
+  /// are closed anyway. Must be >= 1 — an unbounded drain would let one stuck
+  /// request wedge shutdown forever.
+  int drain_timeout_ms = 5000;
+
+  /// Reject malformed configs with a descriptive std::invalid_argument
+  /// (engine validation style).
+  void validate() const;
+};
+
+class Server {
+ public:
+  /// Validates the config, binds and listens, and starts the event loop.
+  /// The engine must outlive the server.
+  Server(serve::InferenceEngine& engine, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves an ephemeral bind).
+  std::uint16_t port() const { return port_; }
+  const ServerConfig& config() const { return config_; }
+
+  /// True once stop() has been requested (drain may still be in progress).
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Graceful shutdown: stop accepting, refuse new classify requests with
+  /// kShuttingDown frames, drain in-flight requests (bounded by
+  /// drain_timeout_ms), flush outboxes, then close every connection and join
+  /// all threads. Idempotent and safe to call from any thread; blocks until
+  /// shutdown is complete.
+  void stop();
+
+  /// Counter snapshot: per-opcode totals, per-open-connection counters, and
+  /// the engine's per-variant stats (every name from variant_names(), aliases
+  /// included). This is exactly the Stats opcode's payload.
+  ServerStats stats() const;
+
+ private:
+  /// One classify (or classify-batch) request handed to the harvester: the
+  /// engine futures for each image, in image order.
+  struct PendingReply {
+    std::uint32_t request_id = 0;
+    bool batch = false;
+    std::vector<std::future<serve::Prediction>> futures;
+  };
+
+  struct Connection {
+    Connection(Socket sock, std::uint64_t id, std::size_t max_frame_bytes)
+        : socket(std::move(sock)), id(id), decoder(max_frame_bytes) {}
+
+    Socket socket;
+    const std::uint64_t id;
+    FrameDecoder decoder;
+
+    std::mutex mutex;            // guards inbox, outbox, flags below
+    std::condition_variable cv;  // harvester waits for inbox work / abandon
+    std::deque<PendingReply> inbox;
+    std::vector<std::uint8_t> outbox;  // encoded frames awaiting write
+    std::size_t outbox_offset = 0;     // flushed prefix of outbox
+    bool input_closed = false;    // no further requests will be enqueued
+    bool close_after_flush = false;  // framing error: flush the error frame, then close
+
+    std::atomic<bool> abandoned{false};   // harvester: drop pending work now
+    std::atomic<int> replies_in_flight{0};  // inbox + currently harvesting
+    std::atomic<bool> harvester_done{false};
+    std::thread harvester;
+
+    // Per-connection counters (atomic: loop + harvester both touch them).
+    std::atomic<std::int64_t> frames_in{0};
+    std::atomic<std::int64_t> requests{0};
+    std::atomic<std::int64_t> responses{0};
+    std::atomic<std::int64_t> bytes_in{0};
+    std::atomic<std::int64_t> bytes_out{0};
+  };
+
+  void event_loop();
+  void accept_ready();
+  /// Read-ready connection: pull bytes, decode frames, dispatch. Returns
+  /// false when the connection should be torn down (EOF/reset).
+  bool read_ready(Connection& conn);
+  /// Flush as much outbox as the socket accepts. Returns false on write
+  /// failure (peer gone).
+  bool flush_outbox(Connection& conn);
+  void handle_frame(Connection& conn, const Frame& frame);
+  void handle_classify(Connection& conn, const Frame& frame, bool batch);
+  /// Queue an error frame on the connection (counts errors_sent + specific
+  /// counters per code).
+  void queue_error(Connection& conn, std::uint32_t request_id, ErrorCode code,
+                   const std::string& message);
+  void queue_frame(Connection& conn, Opcode opcode, std::uint32_t request_id,
+                   const std::vector<std::uint8_t>& payload);
+  void harvester_loop(const std::shared_ptr<Connection>& conn);
+  /// Abandon + close a connection and move it to the zombie list for joining.
+  void retire(std::size_t index);
+  /// Signal the event loop (harvesters call this after queueing output).
+  void wake();
+
+  serve::InferenceEngine& engine_;
+  ServerConfig config_;
+  std::uint16_t port_ = 0;
+
+  Socket listener_;
+  int wake_read_fd_ = -1;   // self-pipe: poll() wake-up
+  int wake_write_fd_ = -1;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> loop_exited_{false};
+
+  std::thread loop_;
+  // Connections are owned by shared_ptrs handed to both the loop and the
+  // harvester; `connections_` (loop-only) holds the live set, `zombies_`
+  // (mutex-guarded) the retired ones awaiting a join.
+  std::vector<std::shared_ptr<Connection>> connections_;
+  mutable std::mutex zombies_mutex_;
+  std::vector<std::shared_ptr<Connection>> zombies_;
+
+  std::mutex lifecycle_mutex_;  // serializes stop() callers
+  bool stopped_ = false;
+
+  std::atomic<std::uint64_t> next_connection_id_{1};
+  std::atomic<std::int64_t> accepted_{0};
+  std::atomic<std::int64_t> frames_in_{0};
+  std::atomic<std::int64_t> frames_out_{0};
+  std::atomic<std::int64_t> bytes_in_{0};
+  std::atomic<std::int64_t> bytes_out_{0};
+  std::atomic<std::int64_t> classify_{0};
+  std::atomic<std::int64_t> classify_batch_{0};
+  std::atomic<std::int64_t> stats_{0};
+  std::atomic<std::int64_t> ping_{0};
+  std::atomic<std::int64_t> errors_sent_{0};
+  std::atomic<std::int64_t> protocol_errors_{0};
+  std::atomic<std::int64_t> overloads_{0};
+  std::atomic<std::int64_t> shutdown_rejected_{0};
+
+  // `connections_` is loop-thread-only, but stats() runs on caller threads;
+  // this mutex guards the snapshot the loop maintains for it.
+  mutable std::mutex roster_mutex_;
+  std::vector<std::shared_ptr<Connection>> roster_;
+};
+
+}  // namespace blurnet::net

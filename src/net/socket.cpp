@@ -1,0 +1,126 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace blurnet::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_address(const std::string& host, std::uint16_t port,
+                         const std::string& what) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    throw SocketError(what + ": \"" + host +
+                      "\" is not a dotted-quad IPv4 address (blurnetd binds numeric "
+                      "addresses only; use 127.0.0.1 for loopback)");
+  }
+  return address;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Socket tcp_listen(const std::string& host, std::uint16_t port, int backlog) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.is_open()) fail("tcp_listen: socket()");
+  const int one = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in address = make_address(host, port, "tcp_listen");
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    fail("tcp_listen: bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(socket.fd(), backlog) != 0) fail("tcp_listen: listen()");
+  return socket;
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.is_open()) fail("tcp_connect: socket()");
+  const sockaddr_in address = make_address(host, port, "tcp_connect");
+  if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    fail("tcp_connect: connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  // Frames are assembled in full before sending; Nagle only adds latency.
+  const int one = 1;
+  ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in address{};
+  socklen_t length = sizeof(address);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length) != 0) {
+    fail("local_port: getsockname()");
+  }
+  return ntohs(address.sin_port);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    fail("set_nonblocking: fcntl()");
+  }
+}
+
+void write_all(int fd, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not a process signal.
+    const ssize_t wrote = ::send(fd, bytes + sent, n - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      fail("write_all: send()");
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+}
+
+std::size_t read_some(int fd, void* data, std::size_t n) {
+  for (;;) {
+    const ssize_t got = ::recv(fd, data, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      fail("read_some: recv()");
+    }
+    return static_cast<std::size_t>(got);
+  }
+}
+
+}  // namespace blurnet::net

@@ -1,0 +1,60 @@
+// Thin POSIX TCP helpers shared by the blurnetd server and client. No
+// external dependencies — just sockets, with the two failure modes the wire
+// layer cares about made explicit: SocketError for syscall failures and a
+// clean-EOF signal from read_some().
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace blurnet::net {
+
+/// Connect/bind/IO syscall failures (carries errno text).
+struct SocketError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Move-only owning fd. close() is idempotent.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  int fd() const { return fd_; }
+  bool is_open() const { return fd_ >= 0; }
+  void close();
+  /// Release ownership without closing.
+  int release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on host:port (port 0 = ephemeral; read it back with
+/// local_port). Throws SocketError.
+Socket tcp_listen(const std::string& host, std::uint16_t port, int backlog);
+
+/// Blocking connect to host:port. Throws SocketError.
+Socket tcp_connect(const std::string& host, std::uint16_t port);
+
+/// The locally-bound port of a socket (resolves ephemeral binds).
+std::uint16_t local_port(int fd);
+
+void set_nonblocking(int fd);
+
+/// Write all `n` bytes (blocking fd), retrying short writes and EINTR.
+/// Throws SocketError on failure (including a peer that closed: EPIPE).
+void write_all(int fd, const void* data, std::size_t n);
+
+/// One blocking read of up to `n` bytes. Returns the byte count, 0 on clean
+/// EOF. Throws SocketError on failure. Retries EINTR.
+std::size_t read_some(int fd, void* data, std::size_t n);
+
+}  // namespace blurnet::net

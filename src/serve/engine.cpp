@@ -285,12 +285,9 @@ InferenceEngine::VariantShard& InferenceEngine::require_shard_locked(
     const std::string& name) const {
   if (VariantShard* shard = find_shard_locked(name)) return *shard;
   std::string known;
-  for (const auto& shard : shards_) {
+  for (const auto& registered : variant_names_locked()) {
     if (!known.empty()) known += ", ";
-    known += shard->name;
-  }
-  for (const auto& alias : aliases_) {
-    known += ", " + alias.first;
+    known += "\"" + registered + "\"";
   }
   throw std::invalid_argument("InferenceEngine: unknown variant \"" + name +
                               "\" (registered: " + known + ")");
@@ -301,13 +298,17 @@ InferenceEngine::VariantShard& InferenceEngine::require_shard(const std::string&
   return require_shard_locked(name);
 }
 
-std::vector<std::string> InferenceEngine::variant_names() const {
-  std::lock_guard<std::mutex> lock(shards_mutex_);
+std::vector<std::string> InferenceEngine::variant_names_locked() const {
   std::vector<std::string> names;
   names.reserve(shards_.size() + aliases_.size());
   for (const auto& shard : shards_) names.push_back(shard->name);
   for (const auto& alias : aliases_) names.push_back(alias.first);
   return names;
+}
+
+std::vector<std::string> InferenceEngine::variant_names() const {
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  return variant_names_locked();
 }
 
 bool InferenceEngine::has_variant(const std::string& name) const {
@@ -430,12 +431,28 @@ std::future<Prediction> InferenceEngine::submit(Tensor image, Options options) {
                             "\" queue is full (" + std::to_string(capacity) +
                             " pending, policy reject)");
       }
-      // kBlock: backpressure — wait for a worker to drain a slot.
+      // kBlock: backpressure — wait for a worker to drain a slot. Admission is
+      // FIFO by ticket: only the longest-waiting submitter may take a freed
+      // slot, so a notify_all never turns into a thundering-herd race where
+      // the scheduler picks the winner. Each admitted (or departing) waiter
+      // erases its ticket and re-notifies, cascading slots down the line in
+      // arrival order.
       ++shard.blocked;
-      auto has_space = [&] { return stop_ || shard.pending.size() < capacity; };
+      const std::uint64_t ticket = shard.next_block_ticket++;
+      shard.block_waiters.push_back(ticket);
+      auto admitted = [&] {
+        return stop_ || (shard.block_waiters.front() == ticket &&
+                         shard.pending.size() < capacity);
+      };
+      auto leave_line = [&] {
+        auto it = std::find(shard.block_waiters.begin(), shard.block_waiters.end(), ticket);
+        if (it != shard.block_waiters.end()) shard.block_waiters.erase(it);
+        shard.space_cv.notify_all();  // the next ticket in line may now be admissible
+      };
       if (block_timeout_ms_ > 0) {
         if (!shard.space_cv.wait_for(lock, std::chrono::milliseconds(block_timeout_ms_),
-                                     has_space)) {
+                                     admitted)) {
+          leave_line();
           ++shard.rejected;
           throw OverloadError("InferenceEngine::submit: variant \"" + options.variant +
                               "\" queue is full (" + std::to_string(capacity) +
@@ -443,8 +460,9 @@ std::future<Prediction> InferenceEngine::submit(Tensor image, Options options) {
                               std::to_string(block_timeout_ms_) + " ms)");
         }
       } else {
-        shard.space_cv.wait(lock, has_space);
+        shard.space_cv.wait(lock, admitted);
       }
+      leave_line();
       if (stop_) throw std::runtime_error("InferenceEngine::submit: engine is shutting down");
     }
     request.enqueued = std::chrono::steady_clock::now();

@@ -286,6 +286,13 @@ class InferenceEngine {
     std::deque<Request> pending;
     std::condition_variable cv;        // workers wait here for requests
     std::condition_variable space_cv;  // kBlock submitters wait here for slots
+    // kBlock admission is FIFO: each backpressured submit() takes a ticket and
+    // only the queue's front may claim a freed slot, so slots go to waiters in
+    // arrival order instead of whichever thread the scheduler wakes first. A
+    // waiter that gives up (timeout, stop) erases its own ticket wherever it
+    // sits and re-notifies, so the line never stalls behind a ghost.
+    std::deque<std::uint64_t> block_waiters;
+    std::uint64_t next_block_ticket = 0;
     bool workers_spawned = false;
     std::int64_t queue_peak = 0;  // high-water mark of pending.size()
     std::int64_t rejected = 0;    // submits shed by the overload policy
@@ -294,6 +301,7 @@ class InferenceEngine {
   };
 
   /// _locked variants assume shards_mutex_ is held by the caller.
+  std::vector<std::string> variant_names_locked() const;
   VariantShard* find_shard_locked(const std::string& name) const;
   VariantShard& require_shard_locked(const std::string& name) const;
   VariantShard& require_shard(const std::string& name) const;

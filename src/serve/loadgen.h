@@ -87,6 +87,22 @@ struct VariantLoadStats {
   LatencySnapshot latency;    // completion − scheduled arrival, microseconds
 };
 
+/// Where run_socket() sends its traffic: a running blurnetd server. The
+/// schedule (arrivals, variant routing) is identical to run()'s — the
+/// transport only changes *how* each request travels. Request i is pipelined
+/// on client connection i % connections, so the per-connection interleaving is
+/// itself deterministic.
+struct SocketTransport {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Concurrent client connections (>= 1). Each connection pipelines its share
+  /// of the schedule and harvests responses on its own thread.
+  int connections = 2;
+
+  /// Reject malformed configs with a descriptive std::invalid_argument.
+  void validate() const;
+};
+
 struct LoadReport {
   double offered_rps = 0.0;   // from the config
   double achieved_rps = 0.0;  // served / duration
@@ -120,6 +136,16 @@ class LoadGenerator {
   /// (CHW). Blocks until every non-rejected request resolves. May be called
   /// repeatedly; each run replays the identical schedule.
   LoadReport run(const tensor::Tensor& image);
+
+  /// Replay the same schedule against a blurnetd server over TCP instead of
+  /// the in-process engine: requests travel as kClassify frames, pipelined
+  /// across `transport.connections` client connections, and latency is still
+  /// measured open-loop (completion − scheduled arrival), now including the
+  /// wire. Server-side sheds come back as kOverload error frames and are
+  /// counted per variant as `rejected`; kShuttingDown / kInvalidRequest /
+  /// transport failures count as `failed`. The engine this generator was built
+  /// with is not touched — the server may wrap it or live in another process.
+  LoadReport run_socket(const SocketTransport& transport, const tensor::Tensor& image);
 
  private:
   void build_schedule();

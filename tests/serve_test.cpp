@@ -851,6 +851,95 @@ TEST(Engine, BlockPolicyTimeoutShedsWithOverloadError) {
   second.get();
 }
 
+/// A gate that admits one apply() per release(): lets a test free exactly one
+/// queue slot at a time and watch who gets it.
+class StepGate : public defense::InputTransform {
+ public:
+  StepGate() : InputTransform(defense::TransformSpec::none(), "step-gate") {}
+
+  tensor::Tensor apply(const tensor::Tensor& images) const override {
+    entered_.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return tokens_ > 0; });
+    --tokens_;
+    return images.clone();
+  }
+
+  /// Spin until `n` apply() calls have started (a worker holds a batch).
+  void wait_entered(int n) const {
+    while (entered_.load() < n) std::this_thread::yield();
+  }
+
+  void release(int n = 1) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tokens_ += n;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::atomic<int> entered_{0};
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  mutable int tokens_ = 0;
+};
+
+TEST(Engine, BlockAdmissionIsFifo) {
+  // One replica, a one-slot queue, and a gate that serves one image per
+  // release: freeing a single slot must admit the *longest-waiting* blocked
+  // submitter, not whichever thread the scheduler happens to wake.
+  EngineConfig config = small_engine_config();
+  config.queue_capacity = 1;
+  config.overload_policy = OverloadPolicy::kBlock;
+  InferenceEngine engine(config);
+  auto gate = std::make_shared<StepGate>();
+  engine.register_pipeline_variant("gated", gate);
+
+  const auto batch = random_batch(4, 83);
+  Options options{"gated"};
+  options.max_batch = 1;  // one image per coalesced batch: slots free one at a time
+
+  auto leader = engine.submit(single_image(batch, 0), options);
+  gate->wait_entered(1);                                         // worker parks in the gate
+  auto filler = engine.submit(single_image(batch, 1), options);  // queue now full
+
+  auto blocked_count = [&] { return engine.variant_stats("gated").blocked; };
+  std::atomic<bool> first_admitted{false}, second_admitted{false};
+  std::future<Prediction> first_waiter, second_waiter;
+  std::thread first_thread([&] {
+    first_waiter = engine.submit(single_image(batch, 2), options);
+    first_admitted.store(true);
+  });
+  while (blocked_count() < 1) std::this_thread::yield();  // first waiter is in line
+  std::thread second_thread([&] {
+    second_waiter = engine.submit(single_image(batch, 3), options);
+    second_admitted.store(true);
+  });
+  while (blocked_count() < 2) std::this_thread::yield();  // second waiter queued behind
+
+  // Serve the leader: the worker then pops the filler, freeing exactly one
+  // slot. FIFO admission means the first waiter takes it — deterministically.
+  gate->release();
+  while (!first_admitted.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_admitted.load()) << "slot went to the later arrival";
+
+  // Serve the filler: the next freed slot admits the second waiter.
+  gate->release();
+  second_thread.join();
+  EXPECT_TRUE(second_admitted.load());
+  first_thread.join();
+
+  gate->release(100);  // let the waiters' requests and the check below through
+  const auto expected = engine.classify(batch, options);
+  expect_bitwise_equal(leader.get(), expected[0], "leader");
+  expect_bitwise_equal(filler.get(), expected[1], "filler");
+  expect_bitwise_equal(first_waiter.get(), expected[2], "first waiter");
+  expect_bitwise_equal(second_waiter.get(), expected[3], "second waiter");
+  EXPECT_GE(engine.variant_stats("gated").blocked, 2);
+}
+
 TEST(Engine, SubmitIsBitwiseDeterministicAcrossQueueCapacities) {
   const auto batch = random_batch(12, 79);
   const InferenceEngine reference(small_engine_config());
