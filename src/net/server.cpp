@@ -57,11 +57,25 @@ void ServerConfig::validate() const {
         "ServerConfig: drain_timeout_ms must be >= 1 (got " + std::to_string(drain_timeout_ms) +
         "); an unbounded drain would let one stuck request wedge shutdown");
   }
+  if (max_outbox_bytes < 1) {
+    throw std::invalid_argument("ServerConfig: max_outbox_bytes must be >= 1");
+  }
+  if (max_inflight_requests < 1) {
+    throw std::invalid_argument("ServerConfig: max_inflight_requests must be >= 1 (got " +
+                                std::to_string(max_inflight_requests) + ")");
+  }
 }
 
 Server::Server(serve::InferenceEngine& engine, ServerConfig config)
     : engine_(engine), config_(std::move(config)) {
   config_.validate();
+  if (engine_.overload_policy() == serve::OverloadPolicy::kBlock &&
+      engine_.block_timeout_ms() == 0) {
+    throw std::invalid_argument(
+        "Server: the engine uses OverloadPolicy::kBlock with block_timeout_ms == 0; an "
+        "unbounded blocking submit() could wedge a connection submitter (and stop()) "
+        "forever — serve with kReject or a finite block timeout");
+  }
   listener_ = tcp_listen(config_.host, config_.port, config_.backlog);
   set_nonblocking(listener_.fd());
   port_ = local_port(listener_.fd());
@@ -98,6 +112,7 @@ void Server::stop() {
     zombies.swap(zombies_);
   }
   for (auto& conn : zombies) {
+    if (conn->submitter.joinable()) conn->submitter.join();
     if (conn->harvester.joinable()) conn->harvester.join();
   }
   if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
@@ -125,7 +140,15 @@ void Server::event_loop() {
       short events = 0;
       {
         std::lock_guard<std::mutex> lock(conn->mutex);
-        if (!conn->input_closed) events |= POLLIN;
+        // Backpressure: stop reading from a peer whose replies it is not
+        // consuming (unflushed outbox past the bound) or that already has a
+        // full pipeline of unanswered classify requests. Reads resume once
+        // the backlog drains — harvesters wake the loop as replies complete.
+        const bool outbox_full =
+            conn->outbox.size() - conn->outbox_offset > config_.max_outbox_bytes;
+        const bool pipeline_full = conn->replies_in_flight.load(std::memory_order_acquire) >=
+                                   config_.max_inflight_requests;
+        if (!conn->input_closed && !outbox_full && !pipeline_full) events |= POLLIN;
         if (conn->outbox_offset < conn->outbox.size()) events |= POLLOUT;
       }
       fds.push_back({conn->socket.fd(), events, 0});
@@ -191,7 +214,9 @@ void Server::event_loop() {
     {
       std::lock_guard<std::mutex> lock(zombies_mutex_);
       for (auto it = zombies_.begin(); it != zombies_.end();) {
-        if ((*it)->harvester_done.load(std::memory_order_acquire)) {
+        if ((*it)->harvester_done.load(std::memory_order_acquire) &&
+            (*it)->submitter_done.load(std::memory_order_acquire)) {
+          if ((*it)->submitter.joinable()) (*it)->submitter.join();
           if ((*it)->harvester.joinable()) (*it)->harvester.join();
           it = zombies_.erase(it);
         } else {
@@ -233,6 +258,7 @@ void Server::accept_ready() {
     auto conn = std::make_shared<Connection>(
         std::move(socket), next_connection_id_.fetch_add(1, std::memory_order_relaxed),
         config_.max_frame_bytes);
+    conn->submitter = std::thread([this, conn] { submitter_loop(conn); });
     conn->harvester = std::thread([this, conn] { harvester_loop(conn); });
     connections_.push_back(conn);
     accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -352,11 +378,19 @@ void Server::handle_frame(Connection& conn, const Frame& frame) {
 }
 
 void Server::handle_classify(Connection& conn, const Frame& frame, bool batch) {
-  ClassifyRequest request;
+  PendingRequest pending;
+  pending.request_id = frame.request_id;
+  pending.batch = batch;
   try {
-    request = decode_classify_request(frame.payload.data(), frame.payload.size(), batch);
+    pending.request =
+        decode_classify_request(frame.payload.data(), frame.payload.size(), batch);
   } catch (const WireError& e) {
     // Payload decode failure: framing was fine, so only this request fails.
+    queue_error(conn, frame.request_id, ErrorCode::kInvalidRequest, e.what());
+    return;
+  } catch (const std::exception& e) {
+    // Defense in depth: a failure past the codec's own validation (e.g. the
+    // image allocation) fails the request, never the process.
     queue_error(conn, frame.request_id, ErrorCode::kInvalidRequest, e.what());
     return;
   }
@@ -366,43 +400,19 @@ void Server::handle_classify(Connection& conn, const Frame& frame, bool batch) {
     return;
   }
 
-  const int count = batch ? request.images.dim(0) : 1;
-  PendingReply reply;
-  reply.request_id = frame.request_id;
-  reply.batch = batch;
-  reply.futures.reserve(static_cast<std::size_t>(count));
-  serve::Options options;
-  options.variant = request.variant;
-  options.max_batch = request.max_batch;
-  try {
-    for (int i = 0; i < count; ++i) {
-      reply.futures.push_back(
-          engine_.submit(batch ? slice_image(request.images, i) : request.images, options));
-    }
-  } catch (const serve::OverloadError& e) {
-    // Mid-batch shed: the whole request fails as one unit. Futures already
-    // obtained are dropped — the engine resolves them into the void.
-    queue_error(conn, frame.request_id, ErrorCode::kOverload, e.what());
-    return;
-  } catch (const std::invalid_argument& e) {
-    // Unknown variant / bad shape: the engine's message lists the registered
-    // variants, which travels back to the client verbatim.
-    queue_error(conn, frame.request_id, ErrorCode::kInvalidRequest, e.what());
-    return;
-  }
-
-  conn.requests.fetch_add(count, std::memory_order_relaxed);
+  // Admission happens on the connection's submitter thread, never here: a
+  // submit() that waits for queue space (kBlock) must not stall the loop.
   {
     std::lock_guard<std::mutex> lock(conn.mutex);
     conn.replies_in_flight.fetch_add(1, std::memory_order_release);
-    conn.inbox.push_back(std::move(reply));
+    conn.inbox.push_back(std::move(pending));
   }
   conn.cv.notify_one();
 }
 
-void Server::harvester_loop(const std::shared_ptr<Connection>& conn) {
+void Server::submitter_loop(const std::shared_ptr<Connection>& conn) {
   for (;;) {
-    PendingReply reply;
+    PendingRequest pending;
     {
       std::unique_lock<std::mutex> lock(conn->mutex);
       conn->cv.wait(lock, [&] {
@@ -414,8 +424,84 @@ void Server::harvester_loop(const std::shared_ptr<Connection>& conn) {
         if (conn->input_closed) break;  // drained: nothing more will arrive
         continue;
       }
-      reply = std::move(conn->inbox.front());
+      pending = std::move(conn->inbox.front());
       conn->inbox.pop_front();
+    }
+
+    const int count = pending.batch ? static_cast<int>(pending.request.images.dim(0)) : 1;
+    PendingReply reply;
+    reply.request_id = pending.request_id;
+    reply.batch = pending.batch;
+    reply.futures.reserve(static_cast<std::size_t>(count));
+    serve::Options options;
+    options.variant = pending.request.variant;
+    options.max_batch = pending.request.max_batch;
+
+    bool failed = false;
+    if (draining_.load(std::memory_order_acquire)) {
+      // Decoded before the drain began, not yet admitted: refuse it typed.
+      queue_error(*conn, pending.request_id, ErrorCode::kShuttingDown,
+                  "blurnetd is draining; no new classify requests accepted");
+      failed = true;
+    } else {
+      try {
+        for (int i = 0; i < count; ++i) {
+          if (conn->abandoned.load(std::memory_order_acquire)) break;
+          reply.futures.push_back(engine_.submit(
+              pending.batch ? slice_image(pending.request.images, i) : pending.request.images,
+              options));
+        }
+      } catch (const serve::OverloadError& e) {
+        // Mid-batch shed: the whole request fails as one unit. Futures already
+        // obtained are dropped — the engine resolves them into the void.
+        queue_error(*conn, pending.request_id, ErrorCode::kOverload, e.what());
+        failed = true;
+      } catch (const std::invalid_argument& e) {
+        // Unknown variant / bad shape: the engine's message lists the
+        // registered variants, which travels back to the client verbatim.
+        queue_error(*conn, pending.request_id, ErrorCode::kInvalidRequest, e.what());
+        failed = true;
+      } catch (const std::exception& e) {
+        // Anything else the engine throws (e.g. "engine is shutting down"
+        // when it stops while the server is live) becomes a typed frame,
+        // never an escaped exception that would terminate the process.
+        queue_error(*conn, pending.request_id, ErrorCode::kInternal, e.what());
+        failed = true;
+      }
+    }
+    if (failed) {
+      conn->replies_in_flight.fetch_sub(1, std::memory_order_release);
+      wake();
+      continue;
+    }
+    conn->requests.fetch_add(count, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->submitted.push_back(std::move(reply));
+    }
+    conn->harvest_cv.notify_one();
+  }
+  conn->submitter_done.store(true, std::memory_order_release);
+  conn->harvest_cv.notify_all();  // harvester may be waiting for more work
+  wake();
+}
+
+void Server::harvester_loop(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    PendingReply reply;
+    {
+      std::unique_lock<std::mutex> lock(conn->mutex);
+      conn->harvest_cv.wait(lock, [&] {
+        return conn->abandoned.load(std::memory_order_acquire) || !conn->submitted.empty() ||
+               conn->submitter_done.load(std::memory_order_acquire);
+      });
+      if (conn->abandoned.load(std::memory_order_acquire)) break;
+      if (conn->submitted.empty()) {
+        if (conn->submitter_done.load(std::memory_order_acquire)) break;  // drained
+        continue;
+      }
+      reply = std::move(conn->submitted.front());
+      conn->submitted.pop_front();
     }
 
     std::vector<serve::Prediction> predictions;
@@ -467,6 +553,7 @@ void Server::retire(std::size_t index) {
     conn->socket.close();
   }
   conn->cv.notify_all();
+  conn->harvest_cv.notify_all();
   std::lock_guard<std::mutex> lock(zombies_mutex_);
   zombies_.push_back(std::move(conn));
 }

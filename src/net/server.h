@@ -4,19 +4,32 @@
 // loop on its own thread: the loop accepts connections, reassembles frames
 // from nonblocking reads (FrameDecoder), decodes requests, and writes queued
 // response bytes back with short-write handling. Classify work never executes
-// on the loop — each decoded image is handed to the engine's existing
-// submit() path, so remote traffic inherits batching, replica sharding,
-// bounded-queue admission control and latency measurement unchanged:
+// on the loop — and neither does admission: decoded requests queue to a
+// per-connection submitter thread that calls the engine's existing submit()
+// path, so remote traffic inherits batching, replica sharding, bounded-queue
+// admission control and latency measurement unchanged, and a submit() that
+// waits for queue space (OverloadPolicy::kBlock) backpressures only its own
+// connection, never the loop:
 //
-//   wire → decode → submit() → coalesced replica forward → encode → wire
+//   wire → decode → [submitter] submit() → coalesced replica forward → encode → wire
 //
-// Each connection owns one harvester thread that waits on its submitted
+// Because a blocked submitter must still be joinable by stop(), the
+// constructor rejects engines configured with kBlock and no block timeout —
+// socket serving requires kReject or a finite block_timeout_ms.
+//
+// Each connection also owns one harvester thread that waits on its submitted
 // futures in FIFO order, encodes the prediction (or typed error) frame, and
 // appends it to the connection's outbox for the event loop to flush. Replies
 // to classify requests therefore come back in per-connection submission
 // order, while ping/stats replies are written immediately by the loop and may
 // overtake them — clients correlate by request id (the client library
 // pipelines on exactly this).
+//
+// Backpressure is bidirectional: the loop stops reading from a connection
+// whose unflushed outbox exceeds ServerConfig::max_outbox_bytes (a client
+// that pipelines requests without reading replies cannot grow server memory
+// without bound) or that already has max_inflight_requests classify requests
+// unanswered; reads resume as the backlog drains.
 //
 // Failure is always a *frame*, never a dropped connection (except framing
 // violations, where byte alignment is lost): an engine OverloadError becomes
@@ -65,6 +78,15 @@ struct ServerConfig {
   /// are closed anyway. Must be >= 1 — an unbounded drain would let one stuck
   /// request wedge shutdown forever.
   int drain_timeout_ms = 5000;
+  /// Write backpressure: while a connection's unflushed outbox exceeds this
+  /// many bytes, the loop stops reading from it (resuming once the backlog
+  /// flushes), so a peer that pipelines requests without reading replies
+  /// cannot grow server memory without bound.
+  std::size_t max_outbox_bytes = std::size_t{8} << 20;
+  /// Read backpressure: while a connection has this many decoded classify
+  /// requests unanswered, the loop stops reading from it. Bounds the decoded
+  /// image tensors a pipelining client can park server-side.
+  int max_inflight_requests = 1024;
 
   /// Reject malformed configs with a descriptive std::invalid_argument
   /// (engine validation style).
@@ -101,8 +123,16 @@ class Server {
   ServerStats stats() const;
 
  private:
-  /// One classify (or classify-batch) request handed to the harvester: the
-  /// engine futures for each image, in image order.
+  /// One decoded classify (or classify-batch) request awaiting submission by
+  /// the connection's submitter thread.
+  struct PendingRequest {
+    std::uint32_t request_id = 0;
+    bool batch = false;
+    ClassifyRequest request;
+  };
+
+  /// One submitted request handed to the harvester: the engine futures for
+  /// each image, in image order.
   struct PendingReply {
     std::uint32_t request_id = 0;
     bool batch = false;
@@ -117,17 +147,21 @@ class Server {
     const std::uint64_t id;
     FrameDecoder decoder;
 
-    std::mutex mutex;            // guards inbox, outbox, flags below
-    std::condition_variable cv;  // harvester waits for inbox work / abandon
-    std::deque<PendingReply> inbox;
+    std::mutex mutex;            // guards inbox, submitted, outbox, flags below
+    std::condition_variable cv;  // submitter waits for inbox work / abandon
+    std::condition_variable harvest_cv;  // harvester waits for submitted work
+    std::deque<PendingRequest> inbox;   // decoded, not yet submitted
+    std::deque<PendingReply> submitted;  // submitted, awaiting harvest
     std::vector<std::uint8_t> outbox;  // encoded frames awaiting write
     std::size_t outbox_offset = 0;     // flushed prefix of outbox
     bool input_closed = false;    // no further requests will be enqueued
     bool close_after_flush = false;  // framing error: flush the error frame, then close
 
-    std::atomic<bool> abandoned{false};   // harvester: drop pending work now
-    std::atomic<int> replies_in_flight{0};  // inbox + currently harvesting
+    std::atomic<bool> abandoned{false};   // submitter/harvester: drop pending work now
+    std::atomic<int> replies_in_flight{0};  // inbox + submitted + currently harvesting
+    std::atomic<bool> submitter_done{false};
     std::atomic<bool> harvester_done{false};
+    std::thread submitter;
     std::thread harvester;
 
     // Per-connection counters (atomic: loop + harvester both touch them).
@@ -154,6 +188,11 @@ class Server {
                    const std::string& message);
   void queue_frame(Connection& conn, Opcode opcode, std::uint32_t request_id,
                    const std::vector<std::uint8_t>& payload);
+  /// Per-connection submitter: pops decoded requests off the inbox and runs
+  /// engine submit() — off the event loop, so blocking admission (kBlock)
+  /// stalls only this connection. Engine-side failures become typed error
+  /// frames (kOverload / kInvalidRequest / kInternal), never a crash.
+  void submitter_loop(const std::shared_ptr<Connection>& conn);
   void harvester_loop(const std::shared_ptr<Connection>& conn);
   /// Abandon + close a connection and move it to the zombie list for joining.
   void retire(std::size_t index);

@@ -227,7 +227,20 @@ ClassifyRequest decode_classify_request(const std::uint8_t* data, std::size_t si
                     std::to_string(n) + ", c=" + std::to_string(c) + ", h=" +
                     std::to_string(h) + ", w=" + std::to_string(w) + ")");
   }
-  const std::int64_t numel = n * c * h * w;
+  // n is a raw u32 and c/h/w raw u16s: forming n*c*h*w directly can overflow
+  // even int64 (and a product that wraps to match the payload size would
+  // drive a gigantic Tensor allocation). Bound n against what the payload
+  // could possibly hold before multiplying — c*h*w itself is safe, three
+  // u16 factors stay far below 2^63.
+  const std::int64_t per_image = c * h * w;
+  const std::size_t per_image_bytes = static_cast<std::size_t>(per_image) * 4;
+  if (static_cast<std::uint64_t>(n) > r.remaining() / per_image_bytes) {
+    throw WireError("decode_classify_request: batch of " + std::to_string(n) + " " +
+                    std::to_string(c) + "x" + std::to_string(h) + "x" + std::to_string(w) +
+                    " images cannot fit the " + std::to_string(r.remaining()) +
+                    " payload bytes present");
+  }
+  const std::int64_t numel = n * per_image;
   const std::size_t expect = static_cast<std::size_t>(numel) * 4;
   if (r.remaining() != expect) {
     throw WireError("decode_classify_request: image payload holds " +
@@ -263,7 +276,16 @@ std::vector<serve::Prediction> decode_predictions(const std::uint8_t* data, std:
                                                   bool batch) {
   WireReader r(data, size);
   std::size_t n = 1;
-  if (batch) n = r.get_u32("prediction count");
+  if (batch) {
+    n = r.get_u32("prediction count");
+    // label + confidence + logit count = 12 bytes minimum per prediction;
+    // reject a hostile count before reserving anything against it.
+    if (n > r.remaining() / 12) {
+      throw WireError("decode_predictions: prediction count " + std::to_string(n) +
+                      " exceeds what " + std::to_string(r.remaining()) +
+                      " payload bytes can hold");
+    }
+  }
   std::vector<serve::Prediction> predictions;
   predictions.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -271,6 +293,11 @@ std::vector<serve::Prediction> decode_predictions(const std::uint8_t* data, std:
     p.label = static_cast<int>(r.get_u32("label"));
     p.confidence = r.get_f32("confidence");
     const std::uint32_t k = r.get_u32("logit count");
+    if (k > r.remaining() / 4) {
+      throw WireError("decode_predictions: logit count " + std::to_string(k) +
+                      " exceeds what " + std::to_string(r.remaining()) +
+                      " payload bytes can hold");
+    }
     p.logits.reserve(k);
     for (std::uint32_t j = 0; j < k; ++j) p.logits.push_back(r.get_f32("logits"));
     predictions.push_back(std::move(p));
@@ -384,6 +411,12 @@ ServerStats decode_stats(const std::uint8_t* data, std::size_t size) {
   stats.overloads = r.get_i64("overloads");
   stats.shutdown_rejected = r.get_i64("shutdown_rejected");
   const std::uint32_t variants = r.get_u32("variant count");
+  // Name prefix + 8 i64 counters + 4 f64 quantiles = 98 bytes minimum each.
+  if (variants > r.remaining() / 98) {
+    throw WireError("decode_stats: variant count " + std::to_string(variants) +
+                    " exceeds what " + std::to_string(r.remaining()) +
+                    " payload bytes can hold");
+  }
   stats.variants.reserve(variants);
   for (std::uint32_t i = 0; i < variants; ++i) {
     WireVariantStats v;
@@ -403,6 +436,12 @@ ServerStats decode_stats(const std::uint8_t* data, std::size_t size) {
     stats.variants.push_back(std::move(v));
   }
   const std::uint32_t connections = r.get_u32("connection count");
+  // Connection id + 5 i64 counters = 48 bytes minimum each.
+  if (connections > r.remaining() / 48) {
+    throw WireError("decode_stats: connection count " + std::to_string(connections) +
+                    " exceeds what " + std::to_string(r.remaining()) +
+                    " payload bytes can hold");
+  }
   stats.connections.reserve(connections);
   for (std::uint32_t i = 0; i < connections; ++i) {
     WireConnectionStats c;

@@ -232,6 +232,13 @@ class InferenceEngine {
   /// True when the "defended" variant actually wraps a filter.
   bool defense_enabled() const { return defense_enabled_; }
 
+  /// The admission-control knobs the engine was built with. Front-ends that
+  /// call submit() from threads they must be able to join (e.g. the socket
+  /// server's per-connection submitters) validate against these: kBlock with
+  /// block_timeout_ms == 0 waits for queue space indefinitely.
+  OverloadPolicy overload_policy() const { return overload_policy_; }
+  int block_timeout_ms() const { return block_timeout_ms_; }
+
   /// Classify a CHW image or an NCHW batch through the named variant.
   /// Returns one Prediction per image, in input order. Thread-safe.
   std::vector<Prediction> classify(const tensor::Tensor& images,

@@ -228,6 +228,57 @@ TEST(Wire, ClassifyRequestRejectsTruncationAndTrailingBytes) {
   EXPECT_THROW(decode_classify_request(bytes.data(), bytes.size(), false), WireError);
 }
 
+TEST(Wire, ClassifyRequestRejectsOverflowingDims) {
+  // n*c*h*w = 2^62 elements: the byte count wraps mod 2^64 to 0, which would
+  // match an empty payload and drive a gigantic Tensor allocation if the
+  // decoder multiplied blindly. It must reject from the dims alone.
+  WireWriter w;
+  w.put_string(serve::kBaseVariant);
+  w.put_u32(0);        // max_batch
+  w.put_u32(131072);   // n = 2^17
+  w.put_u16(0x8000);   // c = 2^15
+  w.put_u16(0x8000);   // h
+  w.put_u16(0x8000);   // w
+  const auto& bytes = w.bytes();
+  EXPECT_THROW(decode_classify_request(bytes.data(), bytes.size(), true), WireError);
+
+  // Non-wrapping but still absurd: a huge batch count over a tiny payload.
+  WireWriter big;
+  big.put_string(serve::kBaseVariant);
+  big.put_u32(0);
+  big.put_u32(0xFFFFFFFFu);
+  big.put_u16(3);
+  big.put_u16(32);
+  big.put_u16(32);
+  big.bytes().resize(big.bytes().size() + 64, 0);  // 16 pixels of payload
+  EXPECT_THROW(decode_classify_request(big.bytes().data(), big.bytes().size(), true),
+               WireError);
+}
+
+TEST(Wire, PredictionsRejectHostileCountsBeforeAllocating) {
+  {
+    WireWriter w;
+    w.put_u32(0xFFFFFFFFu);  // prediction count with no bytes behind it
+    const auto& bytes = w.bytes();
+    EXPECT_THROW(decode_predictions(bytes.data(), bytes.size(), true), WireError);
+  }
+  {
+    WireWriter w;  // one prediction claiming 2^32-1 logits
+    w.put_u32(3);            // label
+    w.put_f32(1.0f);         // confidence
+    w.put_u32(0xFFFFFFFFu);  // logit count
+    const auto& bytes = w.bytes();
+    EXPECT_THROW(decode_predictions(bytes.data(), bytes.size(), false), WireError);
+  }
+  {
+    WireWriter w;  // stats snapshot claiming 2^32-1 variant entries
+    for (int i = 0; i < 14; ++i) w.put_i64(0);  // scalar counters
+    w.put_u32(0xFFFFFFFFu);
+    const auto& bytes = w.bytes();
+    EXPECT_THROW(decode_stats(bytes.data(), bytes.size()), WireError);
+  }
+}
+
 TEST(Wire, PredictionsRoundTripBitwise) {
   std::vector<serve::Prediction> predictions(2);
   predictions[0].label = 3;
@@ -418,6 +469,80 @@ TEST(Server, OverloadComesBackAsOverloadError) {
   server.stop();
 }
 
+TEST(Server, RejectsUnboundedBlockingEngine) {
+  serve::EngineConfig config = small_engine_config();
+  config.overload_policy = serve::OverloadPolicy::kBlock;
+  config.block_timeout_ms = 0;  // engine-legal, but a submitter could block forever
+  serve::InferenceEngine engine(config);
+  EXPECT_THROW(Server(engine, {}), std::invalid_argument);
+}
+
+TEST(Server, EventLoopStaysResponsiveWhileBlockAdmissionWaits) {
+  serve::EngineConfig config = small_engine_config();
+  config.queue_capacity = 1;
+  config.overload_policy = serve::OverloadPolicy::kBlock;
+  config.block_timeout_ms = 10000;
+  serve::InferenceEngine engine(config);
+  auto gate = std::make_shared<GateTransform>();
+  engine.register_pipeline_variant("gated", gate);
+  Server server(engine, {});
+
+  // Fill the gated variant: one request parked inside the gate, one in the
+  // single queue slot, and a third whose admission must wait for space.
+  Client blocked("127.0.0.1", server.port());
+  const auto batch = random_batch(3, 67);
+  std::vector<std::uint32_t> ids;
+  ids.push_back(blocked.send_classify(single_image(batch, 0), "gated"));
+  gate->wait_entered(1);
+  ids.push_back(blocked.send_classify(single_image(batch, 1), "gated"));
+  while (engine.variant_stats("gated").queue_depth < 1) std::this_thread::yield();
+  ids.push_back(blocked.send_classify(single_image(batch, 2), "gated"));
+  while (engine.variant_stats("gated").blocked < 1) std::this_thread::yield();
+
+  // The blocked submit() stalls only its own connection's submitter thread;
+  // the event loop must keep serving other connections meanwhile.
+  Client probe("127.0.0.1", server.port());
+  const auto t0 = std::chrono::steady_clock::now();
+  probe.ping();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 2000) << "ping stalled behind a blocking admission";
+
+  gate->open();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    expect_bitwise_equal(blocked.receive_classify(ids[i]),
+                         engine.classify(single_image(batch, static_cast<std::int64_t>(i)),
+                                         serve::Options{"gated"})[0],
+                         "blocked-admission image " + std::to_string(i));
+  }
+  server.stop();
+}
+
+TEST(Server, ReadBackpressureBoundsPipelinedRequests) {
+  serve::InferenceEngine engine(small_engine_config());
+  ServerConfig config;
+  config.max_inflight_requests = 4;  // pause reads past 4 unanswered requests
+  config.max_outbox_bytes = 1;       // and while any reply bytes await flushing
+  Server server(engine, config);
+  Client client("127.0.0.1", server.port());
+
+  // Pipeline far more requests than the pipeline bound: the loop pauses and
+  // resumes reading as replies drain, and every request is still served in
+  // order, bitwise equal to the in-process path.
+  const auto batch = random_batch(24, 71);
+  const auto expected = engine.classify(batch);
+  std::vector<std::uint32_t> ids;
+  for (std::int64_t i = 0; i < 24; ++i) {
+    ids.push_back(client.send_classify(single_image(batch, i)));
+  }
+  for (std::int64_t i = 0; i < 24; ++i) {
+    expect_bitwise_equal(client.receive_classify(ids[static_cast<std::size_t>(i)]),
+                         expected[static_cast<std::size_t>(i)],
+                         "backpressured image " + std::to_string(i));
+  }
+  server.stop();
+}
+
 TEST(Server, MidFrameDisconnectLeavesServerServing) {
   serve::InferenceEngine engine(small_engine_config());
   Server server(engine, {});
@@ -539,6 +664,12 @@ TEST(Server, ValidatesConfig) {
   EXPECT_THROW(Server(engine, config), std::invalid_argument);
   config = {};
   config.max_frame_bytes = 4;
+  EXPECT_THROW(Server(engine, config), std::invalid_argument);
+  config = {};
+  config.max_outbox_bytes = 0;
+  EXPECT_THROW(Server(engine, config), std::invalid_argument);
+  config = {};
+  config.max_inflight_requests = 0;
   EXPECT_THROW(Server(engine, config), std::invalid_argument);
   config = {};
   config.host = "not-a-host-name";
