@@ -1,0 +1,177 @@
+// Shared fuzz drivers: the one-input entry points behind every harness.
+//
+// Each driver feeds attacker-controlled bytes into one decode surface and
+// enforces the surface's contract: *either* a successful decode *or* the
+// decoder's declared error type (net::WireError for the wire codec,
+// std::runtime_error for the checkpoint reader) — never a crash, a sanitizer
+// report, or an unbounded allocation. Any other exception escapes the driver,
+// which libFuzzer (and the corpus-replay gtest) treat as a finding.
+//
+// The same functions back two builds:
+//   * fuzz/fuzz_*.cpp wraps one driver each in LLVMFuzzerTestOneInput
+//     (clang, -fsanitize=fuzzer; gcc builds get a file-replay main()), and
+//   * tests/fuzz_replay_test.cpp replays every checked-in corpus file through
+//     its driver in every CI configuration, gcc included.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/autograd/variable.h"
+#include "src/net/frame.h"
+#include "src/net/wire.h"
+#include "src/nn/model_io.h"
+#include "src/tensor/tensor.h"
+#include "src/util/serialize.h"
+
+namespace blurnet::fuzzing {
+
+/// Route a complete frame's payload through the payload decoder its opcode
+/// selects, the way the server/client dispatch would. WireError is the
+/// decoders' declared failure mode and is swallowed.
+inline void decode_payload(const net::Frame& frame) {
+  try {
+    switch (frame.opcode) {
+      case net::Opcode::kClassify:
+        net::decode_classify_request(frame.payload.data(), frame.payload.size(), false);
+        break;
+      case net::Opcode::kClassifyBatch:
+        net::decode_classify_request(frame.payload.data(), frame.payload.size(), true);
+        break;
+      case net::Opcode::kClassifyResponse:
+        net::decode_predictions(frame.payload.data(), frame.payload.size(), false);
+        break;
+      case net::Opcode::kClassifyBatchResponse:
+        net::decode_predictions(frame.payload.data(), frame.payload.size(), true);
+        break;
+      case net::Opcode::kStatsResponse:
+        net::decode_stats(frame.payload.data(), frame.payload.size());
+        break;
+      case net::Opcode::kErrorResponse:
+        net::decode_error(frame.payload.data(), frame.payload.size());
+        break;
+      case net::Opcode::kStats:
+      case net::Opcode::kPing:
+      case net::Opcode::kPongResponse:
+        break;  // empty payloads; nothing to decode
+    }
+  } catch (const net::WireError&) {
+  }
+}
+
+/// FrameDecoder::feed/next, differentially: the whole input in one feed()
+/// against the same bytes one byte at a time. Chunking is a transport
+/// artifact, so the two runs must reassemble the same frames and agree on
+/// whether the stream is malformed; a divergence throws std::logic_error.
+inline void drive_frame_decoder(const std::uint8_t* data, std::size_t size) {
+  struct Outcome {
+    std::size_t frames = 0;
+    bool wire_error = false;
+  };
+  const auto run = [&](std::size_t chunk) {
+    Outcome outcome;
+    // Small bound so hostile-length rejection is reachable with tiny inputs.
+    net::FrameDecoder decoder(/*max_frame_bytes=*/std::size_t{1} << 16);
+    try {
+      for (std::size_t at = 0; at < size; at += chunk) {
+        const std::size_t n = std::min(chunk, size - at);
+        decoder.feed(data + at, n);
+        net::Frame frame;
+        while (decoder.next(frame)) {
+          ++outcome.frames;
+          decode_payload(frame);
+        }
+      }
+    } catch (const net::WireError&) {
+      outcome.wire_error = true;
+    }
+    return outcome;
+  };
+  if (size == 0) return;
+  const Outcome whole = run(size);
+  const Outcome bytewise = run(1);
+  if (whole.frames != bytewise.frames || whole.wire_error != bytewise.wire_error) {
+    throw std::logic_error(
+        "frame decoder diverged across chunkings: whole={frames=" + std::to_string(whole.frames) +
+        ", error=" + std::to_string(whole.wire_error) + "} bytewise={frames=" +
+        std::to_string(bytewise.frames) + ", error=" + std::to_string(bytewise.wire_error) + "}");
+  }
+}
+
+/// decode_classify_request. First input byte selects single vs batch form.
+inline void drive_classify_request(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return;
+  const bool batch = (data[0] & 1) != 0;
+  try {
+    net::decode_classify_request(data + 1, size - 1, batch);
+  } catch (const net::WireError&) {
+  }
+}
+
+/// decode_predictions. First input byte selects single vs batch form.
+inline void drive_predictions(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return;
+  const bool batch = (data[0] & 1) != 0;
+  try {
+    net::decode_predictions(data + 1, size - 1, batch);
+  } catch (const net::WireError&) {
+  }
+}
+
+inline void drive_stats(const std::uint8_t* data, std::size_t size) {
+  try {
+    net::decode_stats(data, size);
+  } catch (const net::WireError&) {
+  }
+}
+
+inline void drive_error(const std::uint8_t* data, std::size_t size) {
+  try {
+    net::decode_error(data, size);
+  } catch (const net::WireError&) {
+  }
+}
+
+/// nn::load_parameters over an in-memory checkpoint image, against a small
+/// fixed parameter set (built once; reused across inputs).
+inline void drive_model_load(const std::uint8_t* data, std::size_t size) {
+  static std::vector<std::pair<std::string, autograd::Variable>>* params = [] {
+    auto* p = new std::vector<std::pair<std::string, autograd::Variable>>();
+    p->emplace_back("conv1.weight",
+                    autograd::Variable::leaf(tensor::Tensor(tensor::Shape{2, 3, 3, 3})));
+    p->emplace_back("fc.bias", autograd::Variable::leaf(tensor::Tensor(tensor::Shape{4})));
+    return p;
+  }();
+  try {
+    nn::load_parameters(data, size, *params);
+  } catch (const std::runtime_error&) {
+    // Bad magic/version, truncation, hostile counts, missing/mismatched
+    // parameters: the reader's declared failure mode.
+  }
+}
+
+/// util::BinaryReader: the input is an op tape — each iteration reads a u32
+/// selector and performs the corresponding read. Every malformed length must
+/// surface as std::runtime_error before any oversized allocation happens.
+inline void drive_serialize_reader(const std::uint8_t* data, std::size_t size) {
+  util::BinaryReader reader(data, size, "<fuzz input>");
+  try {
+    while (!reader.at_end()) {
+      switch (reader.read_u32() % 6) {
+        case 0: reader.read_u32(); break;
+        case 1: reader.read_i64(); break;
+        case 2: reader.read_f32(); break;
+        case 3: reader.read_string(); break;
+        case 4: reader.read_f32_array(); break;
+        case 5: reader.read_i64_array(); break;
+      }
+    }
+  } catch (const std::runtime_error&) {
+  }
+}
+
+}  // namespace blurnet::fuzzing

@@ -1,0 +1,11 @@
+// libFuzzer harness for blurnet::fuzzing::drive_frame_decoder (see drivers.h for the
+// contract). Build with -DBLURNET_FUZZ=ON; clang links -fsanitize=fuzzer,
+// other compilers get a corpus-file replay main().
+#include "fuzz/drivers.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  blurnet::fuzzing::drive_frame_decoder(data, size);
+  return 0;
+}
+
+#include "fuzz/standalone_main.inc"

@@ -116,8 +116,19 @@ std::map<std::string, ZooEntry> build_specs(const ZooConfig& zoo) {
 
 }  // namespace
 
-ModelZoo::ModelZoo(ZooConfig config)
-    : config_(std::move(config)), specs_(build_specs(config_)) {}
+void ZooConfig::validate() const {
+  if (epochs <= 0) {
+    throw std::invalid_argument("ZooConfig: epochs must be positive");
+  }
+  if (cache_dir.empty()) {
+    throw std::invalid_argument("ZooConfig: cache_dir must not be empty");
+  }
+}
+
+ModelZoo::ModelZoo(ZooConfig config) : config_(std::move(config)) {
+  config_.validate();
+  specs_ = build_specs(config_);
+}
 
 std::vector<std::string> ModelZoo::known_variants() {
   return {"baseline", "dw3",      "dw5",      "dw7",      "tv1e-4",  "tv1e-5",

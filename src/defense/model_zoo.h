@@ -21,6 +21,11 @@ struct ZooConfig {
   int epochs = 15;
   std::string cache_dir = ".cache/models";
   bool verbose = false;
+
+  /// Reject malformed configs with a descriptive std::invalid_argument
+  /// (non-positive epochs, empty cache dir). Called by the ModelZoo
+  /// constructor.
+  void validate() const;
 };
 
 /// Scale knobs from the environment (BLURNET_FAST / BLURNET_PAPER /

@@ -8,8 +8,18 @@
 
 namespace blurnet::defense {
 
+void SmoothingConfig::validate() const {
+  if (sigma < 0.0) {
+    throw std::invalid_argument("SmoothingConfig: sigma must be non-negative");
+  }
+  if (samples <= 0) {
+    throw std::invalid_argument("SmoothingConfig: samples must be positive");
+  }
+}
+
 std::vector<int> smoothed_predict(const SampleClassifier& classify, int num_classes,
                                   const tensor::Tensor& images, const SmoothingConfig& config) {
+  config.validate();
   if (images.rank() != 4) throw std::invalid_argument("smoothed_predict: expected NCHW");
   if (!classify) throw std::invalid_argument("smoothed_predict: classifier must be callable");
   const std::int64_t n = images.dim(0);

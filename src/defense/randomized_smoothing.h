@@ -16,6 +16,11 @@ struct SmoothingConfig {
   double sigma = 0.1;
   int samples = 100;
   std::uint64_t seed = 5;
+
+  /// Reject malformed configs with a descriptive std::invalid_argument
+  /// (negative sigma, non-positive sample count). Called by
+  /// smoothed_predict.
+  void validate() const;
 };
 
 /// Base-classifier hook: labels for one NCHW batch of noisy samples. In the

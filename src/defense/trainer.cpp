@@ -1,5 +1,7 @@
 #include "src/defense/trainer.h"
 
+#include <stdexcept>
+
 #include "src/autograd/ops.h"
 #include "src/data/augment.h"
 #include "src/nn/optim.h"
@@ -35,8 +37,25 @@ double classifier_accuracy(const nn::LisaCnn& model, const data::Dataset& datase
   return static_cast<double>(correct) / static_cast<double>(n);
 }
 
+void TrainConfig::validate() const {
+  if (epochs <= 0) {
+    throw std::invalid_argument("TrainConfig: epochs must be positive");
+  }
+  if (batch_size <= 0) {
+    throw std::invalid_argument("TrainConfig: batch_size must be positive");
+  }
+  if (learning_rate <= 0.0) {
+    throw std::invalid_argument("TrainConfig: learning_rate must be positive");
+  }
+  if (gaussian_sigma < 0.0) {
+    throw std::invalid_argument("TrainConfig: gaussian_sigma must be non-negative");
+  }
+  if (adversarial) adversarial_pgd.validate();
+}
+
 TrainStats train_classifier(nn::LisaCnn& model, const data::Dataset& train,
                             const data::Dataset& test, const TrainConfig& config) {
+  config.validate();
   util::Rng rng(config.seed);
   // Paper §II-D: Adam with β1=0.9, β2=0.999, ε=1e-8.
   nn::Adam optimizer(model.parameters(), config.learning_rate, 0.9, 0.999, 1e-8);

@@ -29,6 +29,12 @@ struct TrainConfig {
   attack::PgdConfig adversarial_pgd;
 
   bool verbose = false;
+
+  /// Reject malformed configs with a descriptive std::invalid_argument
+  /// (non-positive epochs/batch/learning rate, negative sigma; the PGD
+  /// sub-config validates when adversarial training is on). Called by
+  /// train_classifier.
+  void validate() const;
 };
 
 struct TrainStats {

@@ -12,7 +12,7 @@ Client::Client(const std::string& host, std::uint16_t port, std::size_t max_fram
     : socket_(tcp_connect(host, port)), decoder_(max_frame_bytes) {}
 
 std::uint32_t Client::send_frame(Opcode opcode, const std::vector<std::uint8_t>& payload) {
-  std::lock_guard<std::mutex> lock(send_mutex_);
+  std::lock_guard<util::DebugMutex> lock(send_mutex_);
   if (!socket_.is_open()) {
     throw SocketError("Client: connection is closed");
   }
@@ -24,7 +24,7 @@ std::uint32_t Client::send_frame(Opcode opcode, const std::vector<std::uint8_t>&
 }
 
 Frame Client::receive_frame(std::uint32_t request_id, Opcode expected) {
-  std::unique_lock<std::mutex> lock(receive_mutex_);
+  std::unique_lock<util::DebugMutex> lock(receive_mutex_);
   for (;;) {
     const auto stashed = stash_.find(request_id);
     Frame frame;
@@ -111,7 +111,7 @@ ServerStats Client::stats() {
 }
 
 void Client::close() {
-  std::lock_guard<std::mutex> send_lock(send_mutex_);
+  std::lock_guard<util::DebugMutex> send_lock(send_mutex_);
   socket_.close();
 }
 

@@ -28,6 +28,7 @@
 
 #include "src/net/frame.h"
 #include "src/net/socket.h"
+#include "src/util/lockdep.h"
 #include "src/net/wire.h"
 #include "src/serve/replica.h"
 #include "src/tensor/tensor.h"
@@ -88,10 +89,12 @@ class Client {
   Socket socket_;
   FrameDecoder decoder_;
 
-  std::mutex send_mutex_;  // serializes writes (frame bytes must not interleave)
+  // serializes writes (frame bytes must not interleave)
+  util::DebugMutex send_mutex_ BLURNET_LOCK_CLASS("net::Client::send");
   std::uint32_t next_request_id_ = 1;
 
-  std::mutex receive_mutex_;  // serializes reads + guards the stash
+  // serializes reads + guards the stash
+  util::DebugMutex receive_mutex_ BLURNET_LOCK_CLASS("net::Client::receive");
   std::map<std::uint32_t, Frame> stash_;  // frames read while waiting for another id
 };
 

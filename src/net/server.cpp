@@ -99,7 +99,7 @@ void Server::wake() {
 }
 
 void Server::stop() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  std::lock_guard<util::DebugMutex> lifecycle(lifecycle_mutex_);
   if (stopped_) return;
   stopped_ = true;
   draining_.store(true, std::memory_order_release);
@@ -108,7 +108,7 @@ void Server::stop() {
   // The loop exits only after retiring every connection into zombies_.
   std::vector<std::shared_ptr<Connection>> zombies;
   {
-    std::lock_guard<std::mutex> lock(zombies_mutex_);
+    std::lock_guard<util::DebugMutex> lock(zombies_mutex_);
     zombies.swap(zombies_);
   }
   for (auto& conn : zombies) {
@@ -139,7 +139,7 @@ void Server::event_loop() {
     for (auto& conn : connections_) {
       short events = 0;
       {
-        std::lock_guard<std::mutex> lock(conn->mutex);
+        std::lock_guard<util::DebugMutex> lock(conn->mutex);
         // Backpressure: stop reading from a peer whose replies it is not
         // consuming (unflushed outbox past the bound) or that already has a
         // full pipeline of unanswered classify requests. Reads resume once
@@ -198,7 +198,7 @@ void Server::event_loop() {
       if (alive) {
         // Fully served and peer finished sending: close once nothing is
         // pending and everything queued has hit the wire.
-        std::lock_guard<std::mutex> lock(conn.mutex);
+        std::lock_guard<util::DebugMutex> lock(conn.mutex);
         const bool flushed = conn.outbox_offset >= conn.outbox.size();
         if (flushed && conn.close_after_flush) alive = false;
         if (flushed && conn.input_closed && conn.inbox.empty() &&
@@ -212,7 +212,7 @@ void Server::event_loop() {
 
     // Reap retired connections whose harvester has finished.
     {
-      std::lock_guard<std::mutex> lock(zombies_mutex_);
+      std::lock_guard<util::DebugMutex> lock(zombies_mutex_);
       for (auto it = zombies_.begin(); it != zombies_.end();) {
         if ((*it)->harvester_done.load(std::memory_order_acquire) &&
             (*it)->submitter_done.load(std::memory_order_acquire)) {
@@ -228,7 +228,7 @@ void Server::event_loop() {
     if (drain_started) {
       bool idle = true;
       for (auto& conn : connections_) {
-        std::lock_guard<std::mutex> lock(conn->mutex);
+        std::lock_guard<util::DebugMutex> lock(conn->mutex);
         if (conn->replies_in_flight.load(std::memory_order_acquire) != 0 ||
             !conn->inbox.empty() || conn->outbox_offset < conn->outbox.size()) {
           idle = false;
@@ -262,7 +262,7 @@ void Server::accept_ready() {
     conn->harvester = std::thread([this, conn] { harvester_loop(conn); });
     connections_.push_back(conn);
     accepted_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(roster_mutex_);
+    std::lock_guard<util::DebugMutex> lock(roster_mutex_);
     roster_ = connections_;
   }
 }
@@ -279,7 +279,7 @@ bool Server::read_ready(Connection& conn) {
     if (got == 0) {
       // Peer finished sending (half-close). Pending replies still flush; the
       // connection closes once they have.
-      std::lock_guard<std::mutex> lock(conn.mutex);
+      std::lock_guard<util::DebugMutex> lock(conn.mutex);
       conn.input_closed = true;
       conn.cv.notify_all();
       break;
@@ -299,7 +299,7 @@ bool Server::read_ready(Connection& conn) {
       // error frame carries id 0 — it cannot be tied to a request.
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       queue_error(conn, 0, ErrorCode::kInvalidRequest, e.what());
-      std::lock_guard<std::mutex> lock(conn.mutex);
+      std::lock_guard<util::DebugMutex> lock(conn.mutex);
       conn.input_closed = true;
       conn.close_after_flush = true;
       conn.cv.notify_all();
@@ -310,7 +310,7 @@ bool Server::read_ready(Connection& conn) {
 }
 
 bool Server::flush_outbox(Connection& conn) {
-  std::lock_guard<std::mutex> lock(conn.mutex);
+  std::lock_guard<util::DebugMutex> lock(conn.mutex);
   while (conn.outbox_offset < conn.outbox.size()) {
     const ssize_t wrote =
         ::send(conn.socket.fd(), conn.outbox.data() + conn.outbox_offset,
@@ -332,7 +332,7 @@ bool Server::flush_outbox(Connection& conn) {
 void Server::queue_frame(Connection& conn, Opcode opcode, std::uint32_t request_id,
                          const std::vector<std::uint8_t>& payload) {
   {
-    std::lock_guard<std::mutex> lock(conn.mutex);
+    std::lock_guard<util::DebugMutex> lock(conn.mutex);
     append_frame(conn.outbox, opcode, request_id, payload);
   }
   frames_out_.fetch_add(1, std::memory_order_relaxed);
@@ -403,7 +403,7 @@ void Server::handle_classify(Connection& conn, const Frame& frame, bool batch) {
   // Admission happens on the connection's submitter thread, never here: a
   // submit() that waits for queue space (kBlock) must not stall the loop.
   {
-    std::lock_guard<std::mutex> lock(conn.mutex);
+    std::lock_guard<util::DebugMutex> lock(conn.mutex);
     conn.replies_in_flight.fetch_add(1, std::memory_order_release);
     conn.inbox.push_back(std::move(pending));
   }
@@ -414,7 +414,7 @@ void Server::submitter_loop(const std::shared_ptr<Connection>& conn) {
   for (;;) {
     PendingRequest pending;
     {
-      std::unique_lock<std::mutex> lock(conn->mutex);
+      std::unique_lock<util::DebugMutex> lock(conn->mutex);
       conn->cv.wait(lock, [&] {
         return conn->abandoned.load(std::memory_order_acquire) || !conn->inbox.empty() ||
                conn->input_closed;
@@ -476,7 +476,7 @@ void Server::submitter_loop(const std::shared_ptr<Connection>& conn) {
     }
     conn->requests.fetch_add(count, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(conn->mutex);
+      std::lock_guard<util::DebugMutex> lock(conn->mutex);
       conn->submitted.push_back(std::move(reply));
     }
     conn->harvest_cv.notify_one();
@@ -490,7 +490,7 @@ void Server::harvester_loop(const std::shared_ptr<Connection>& conn) {
   for (;;) {
     PendingReply reply;
     {
-      std::unique_lock<std::mutex> lock(conn->mutex);
+      std::unique_lock<util::DebugMutex> lock(conn->mutex);
       conn->harvest_cv.wait(lock, [&] {
         return conn->abandoned.load(std::memory_order_acquire) || !conn->submitted.empty() ||
                conn->submitter_done.load(std::memory_order_acquire);
@@ -544,17 +544,17 @@ void Server::retire(std::size_t index) {
   auto conn = connections_[index];
   connections_.erase(connections_.begin() + static_cast<std::ptrdiff_t>(index));
   {
-    std::lock_guard<std::mutex> lock(roster_mutex_);
+    std::lock_guard<util::DebugMutex> lock(roster_mutex_);
     roster_ = connections_;
   }
   {
-    std::lock_guard<std::mutex> lock(conn->mutex);
+    std::lock_guard<util::DebugMutex> lock(conn->mutex);
     conn->abandoned.store(true, std::memory_order_release);
     conn->socket.close();
   }
   conn->cv.notify_all();
   conn->harvest_cv.notify_all();
-  std::lock_guard<std::mutex> lock(zombies_mutex_);
+  std::lock_guard<util::DebugMutex> lock(zombies_mutex_);
   zombies_.push_back(std::move(conn));
 }
 
@@ -575,7 +575,7 @@ ServerStats Server::stats() const {
   out.shutdown_rejected = shutdown_rejected_.load(std::memory_order_relaxed);
 
   {
-    std::lock_guard<std::mutex> lock(roster_mutex_);
+    std::lock_guard<util::DebugMutex> lock(roster_mutex_);
     out.open_connections = static_cast<std::int64_t>(roster_.size());
     out.connections.reserve(roster_.size());
     for (const auto& conn : roster_) {

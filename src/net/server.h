@@ -61,6 +61,7 @@
 #include "src/net/socket.h"
 #include "src/net/wire.h"
 #include "src/serve/engine.h"
+#include "src/util/lockdep.h"
 
 namespace blurnet::net {
 
@@ -147,9 +148,10 @@ class Server {
     const std::uint64_t id;
     FrameDecoder decoder;
 
-    std::mutex mutex;            // guards inbox, submitted, outbox, flags below
-    std::condition_variable cv;  // submitter waits for inbox work / abandon
-    std::condition_variable harvest_cv;  // harvester waits for submitted work
+    // guards inbox, submitted, outbox, flags below
+    util::DebugMutex mutex BLURNET_LOCK_CLASS("net::Server::connection");
+    util::DebugConditionVariable cv;  // submitter waits for inbox work / abandon
+    util::DebugConditionVariable harvest_cv;  // harvester waits for submitted work
     std::deque<PendingRequest> inbox;   // decoded, not yet submitted
     std::deque<PendingReply> submitted;  // submitted, awaiting harvest
     std::vector<std::uint8_t> outbox;  // encoded frames awaiting write
@@ -214,11 +216,18 @@ class Server {
   // Connections are owned by shared_ptrs handed to both the loop and the
   // harvester; `connections_` (loop-only) holds the live set, `zombies_`
   // (mutex-guarded) the retired ones awaiting a join.
+  // Lock hierarchy (outermost first): lifecycle -> roster -> connection ->
+  // zombies, with the engine's locks (shards -> queue) below any of them —
+  // stats() and the submitter threads call into the engine, nothing in the
+  // engine calls back into the server. Locks on one level are never nested
+  // (e.g. two connections' mutexes are never held together). Enforced in
+  // Debug builds by util::DebugMutex (src/util/lockdep.h).
   std::vector<std::shared_ptr<Connection>> connections_;
-  mutable std::mutex zombies_mutex_;
+  mutable util::DebugMutex zombies_mutex_ BLURNET_LOCK_CLASS("net::Server::zombies");
   std::vector<std::shared_ptr<Connection>> zombies_;
 
-  std::mutex lifecycle_mutex_;  // serializes stop() callers
+  // serializes stop() callers
+  util::DebugMutex lifecycle_mutex_ BLURNET_LOCK_CLASS("net::Server::lifecycle");
   bool stopped_ = false;
 
   std::atomic<std::uint64_t> next_connection_id_{1};
@@ -238,7 +247,7 @@ class Server {
 
   // `connections_` is loop-thread-only, but stats() runs on caller threads;
   // this mutex guards the snapshot the loop maintains for it.
-  mutable std::mutex roster_mutex_;
+  mutable util::DebugMutex roster_mutex_ BLURNET_LOCK_CLASS("net::Server::roster");
   std::vector<std::shared_ptr<Connection>> roster_;
 };
 

@@ -12,7 +12,44 @@ using autograd::Variable;
 using tensor::Shape;
 using tensor::Tensor;
 
+void LisaCnnConfig::validate() const {
+  auto require_positive = [](int value, const char* field) {
+    if (value <= 0) {
+      throw std::invalid_argument(std::string("LisaCnnConfig: ") + field +
+                                  " must be positive");
+    }
+  };
+  // Symmetric k/2 padding assumes odd kernels; an even kernel silently
+  // shifts the feature maps, so reject it outright.
+  auto require_odd_kernel = [&](int value, const char* field) {
+    require_positive(value, field);
+    if (value % 2 == 0) {
+      throw std::invalid_argument(std::string("LisaCnnConfig: ") + field +
+                                  " must be odd (symmetric padding)");
+    }
+  };
+  require_positive(num_classes, "num_classes");
+  require_positive(image_size, "image_size");
+  require_positive(in_channels, "in_channels");
+  require_positive(conv1_filters, "conv1_filters");
+  require_positive(conv2_filters, "conv2_filters");
+  require_positive(conv3_filters, "conv3_filters");
+  require_odd_kernel(conv1_kernel, "conv1_kernel");
+  require_odd_kernel(conv2_kernel, "conv2_kernel");
+  require_odd_kernel(conv3_kernel, "conv3_kernel");
+  require_positive(conv1_stride, "conv1_stride");
+  require_positive(conv2_stride, "conv2_stride");
+  require_positive(conv3_stride, "conv3_stride");
+  if (learnable_depthwise_kernel != 0) {
+    require_odd_kernel(learnable_depthwise_kernel, "learnable_depthwise_kernel");
+  }
+  if (fixed_filter.placement != FilterPlacement::kNone) {
+    require_odd_kernel(fixed_filter.kernel, "fixed_filter.kernel");
+  }
+}
+
 LisaCnn::LisaCnn(LisaCnnConfig config) : config_(config) {
+  config.validate();
   util::Rng rng(config.init_seed);
 
   auto conv_weight = [&](int filters, int channels, int kernel) {
@@ -51,9 +88,6 @@ LisaCnn::LisaCnn(LisaCnnConfig config) : config_(config) {
         true);
   }
   if (config.fixed_filter.placement != FilterPlacement::kNone) {
-    if (config.fixed_filter.kernel <= 0 || config.fixed_filter.kernel % 2 == 0) {
-      throw std::invalid_argument("LisaCnn: fixed filter kernel must be odd and positive");
-    }
     fixed_kernel_ = signal::make_blur_kernel(config.fixed_filter.kernel,
                                              config.fixed_filter.kind);
   }

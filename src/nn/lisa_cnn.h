@@ -52,6 +52,11 @@ struct LisaCnnConfig {
   int learnable_depthwise_kernel = 0;
 
   std::uint64_t init_seed = 7;
+
+  /// Reject malformed configs with a descriptive std::invalid_argument
+  /// (non-positive sizes/filters, even conv kernels, a bad depthwise kernel).
+  /// Called by the LisaCnn constructor.
+  void validate() const;
 };
 
 struct ForwardResult {

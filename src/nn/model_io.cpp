@@ -28,11 +28,16 @@ void save_parameters(const std::string& path,
   writer.close();
 }
 
-void load_parameters(const std::string& path,
-                     std::vector<std::pair<std::string, autograd::Variable>>& params) {
-  util::BinaryReader reader(path);
-  if (reader.read_u32() != kMagic) throw std::runtime_error("load_parameters: bad magic in " + path);
-  if (reader.read_u32() != kVersion) throw std::runtime_error("load_parameters: bad version in " + path);
+namespace {
+
+void load_parameters_from(util::BinaryReader& reader, const std::string& source,
+                          std::vector<std::pair<std::string, autograd::Variable>>& params) {
+  if (reader.read_u32() != kMagic) {
+    throw std::runtime_error("load_parameters: bad magic in " + source);
+  }
+  if (reader.read_u32() != kVersion) {
+    throw std::runtime_error("load_parameters: bad version in " + source);
+  }
   const auto count = reader.read_u32();
   std::map<std::string, std::pair<tensor::Shape, std::vector<float>>> loaded;
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -45,14 +50,28 @@ void load_parameters(const std::string& path,
   for (auto& [name, variable] : params) {
     const auto it = loaded.find(name);
     if (it == loaded.end()) {
-      throw std::runtime_error("load_parameters: missing parameter " + name + " in " + path);
+      throw std::runtime_error("load_parameters: missing parameter " + name + " in " + source);
     }
     const auto& [shape, data] = it->second;
     if (shape != variable.value().shape()) {
-      throw std::runtime_error("load_parameters: shape mismatch for " + name + " in " + path);
+      throw std::runtime_error("load_parameters: shape mismatch for " + name + " in " + source);
     }
     variable.mutable_value() = tensor::Tensor(shape, data);
   }
+}
+
+}  // namespace
+
+void load_parameters(const std::string& path,
+                     std::vector<std::pair<std::string, autograd::Variable>>& params) {
+  util::BinaryReader reader(path);
+  load_parameters_from(reader, path, params);
+}
+
+void load_parameters(const std::uint8_t* data, std::size_t size,
+                     std::vector<std::pair<std::string, autograd::Variable>>& params) {
+  util::BinaryReader reader(data, size, "<memory checkpoint>");
+  load_parameters_from(reader, "<memory checkpoint>", params);
 }
 
 }  // namespace blurnet::nn

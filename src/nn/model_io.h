@@ -2,6 +2,8 @@
 //   magic "BLNT" | u32 version | u32 count | count × (name, shape, f32 data)
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,6 +18,12 @@ void save_parameters(const std::string& path,
 /// Load into existing parameters (matched by name; shapes must agree; every
 /// parameter in `params` must be present in the file).
 void load_parameters(const std::string& path,
+                     std::vector<std::pair<std::string, autograd::Variable>>& params);
+
+/// Same, from an in-memory checkpoint image (fuzzing, already-loaded bytes).
+/// Every malformed input — truncation, hostile counts, bad magic — throws
+/// std::runtime_error without unbounded allocation.
+void load_parameters(const std::uint8_t* data, std::size_t size,
                      std::vector<std::pair<std::string, autograd::Variable>>& params);
 
 }  // namespace blurnet::nn

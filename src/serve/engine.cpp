@@ -141,11 +141,11 @@ InferenceEngine::InferenceEngine(nn::LisaCnn model, nn::FixedFilterSpec defense,
 
 InferenceEngine::~InferenceEngine() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::lock_guard<util::DebugMutex> lock(queue_mutex_);
     stop_ = true;
   }
   {
-    std::lock_guard<std::mutex> lock(shards_mutex_);
+    std::lock_guard<util::DebugMutex> lock(shards_mutex_);
     for (auto& shard : shards_) {
       shard->cv.notify_all();
       shard->space_cv.notify_all();  // wake kBlock submitters into the stop check
@@ -196,13 +196,13 @@ void InferenceEngine::register_variant_locked(const std::string& name,
 
 void InferenceEngine::register_variant(const std::string& name,
                                        const nn::LisaCnnConfig& config, int replicas) {
-  std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::lock_guard<util::DebugMutex> lock(shards_mutex_);
   register_variant_locked(name, config, replicas);
 }
 
 void InferenceEngine::register_model(const std::string& name, const nn::LisaCnn& source,
                                      int replicas) {
-  std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::lock_guard<util::DebugMutex> lock(shards_mutex_);
   register_shard_locked(name, source, source.config(), replicas, /*from_base=*/false);
 }
 
@@ -213,7 +213,7 @@ void InferenceEngine::register_transform_variant(const std::string& name,
   // registration is exactly a plain weight-transfer variant of the base
   // config — the transform-off path stays bitwise the bare forward path.
   defense::TransformPtr transform = defense::make_transform(spec);
-  std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::lock_guard<util::DebugMutex> lock(shards_mutex_);
   register_shard_locked(name, model_, model_.config(), replicas, /*from_base=*/true,
                         std::move(transform));
 }
@@ -223,7 +223,7 @@ void InferenceEngine::register_pipeline_variant(const std::string& name,
                                                 int replicas) {
   // The stage is taken as-built (any InputTransform subclass); weights still
   // transfer from the base model, so refresh_variant() works as usual.
-  std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::lock_guard<util::DebugMutex> lock(shards_mutex_);
   register_shard_locked(name, model_, model_.config(), replicas, /*from_base=*/true,
                         std::move(transform));
 }
@@ -233,13 +233,13 @@ void InferenceEngine::register_transform_model(const std::string& name,
                                                const defense::TransformSpec& spec,
                                                int replicas) {
   defense::TransformPtr transform = defense::make_transform(spec);
-  std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::lock_guard<util::DebugMutex> lock(shards_mutex_);
   register_shard_locked(name, source, source.config(), replicas, /*from_base=*/false,
                         std::move(transform));
 }
 
 void InferenceEngine::alias_variant(const std::string& name, const std::string& existing) {
-  std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::lock_guard<util::DebugMutex> lock(shards_mutex_);
   if (name.empty()) throw std::invalid_argument("alias_variant: name must be non-empty");
   if (find_shard_locked(name) != nullptr) {
     throw std::invalid_argument("alias_variant: variant \"" + name +
@@ -294,7 +294,7 @@ InferenceEngine::VariantShard& InferenceEngine::require_shard_locked(
 }
 
 InferenceEngine::VariantShard& InferenceEngine::require_shard(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::lock_guard<util::DebugMutex> lock(shards_mutex_);
   return require_shard_locked(name);
 }
 
@@ -307,12 +307,12 @@ std::vector<std::string> InferenceEngine::variant_names_locked() const {
 }
 
 std::vector<std::string> InferenceEngine::variant_names() const {
-  std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::lock_guard<util::DebugMutex> lock(shards_mutex_);
   return variant_names_locked();
 }
 
 bool InferenceEngine::has_variant(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::lock_guard<util::DebugMutex> lock(shards_mutex_);
   return find_shard_locked(name) != nullptr;
 }
 
@@ -373,7 +373,7 @@ std::vector<Prediction> InferenceEngine::classify(const Tensor& images,
   Replica* replica;
   {
     // One acquisition covers both the name lookup and the routing pick.
-    std::lock_guard<std::mutex> lock(shards_mutex_);
+    std::lock_guard<util::DebugMutex> lock(shards_mutex_);
     replica = &route_locked(require_shard_locked(options.variant));
   }
   struct CallGuard {
@@ -412,7 +412,7 @@ std::future<Prediction> InferenceEngine::submit(Tensor image, Options options) {
   std::future<Prediction> future = request.promise.get_future();
   const auto capacity = static_cast<std::size_t>(queue_capacity_);
   {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
+    std::unique_lock<util::DebugMutex> lock(queue_mutex_);
     if (stop_) throw std::runtime_error("InferenceEngine::submit: engine is shutting down");
     // Workers are spawned lazily, per variant, on its first queued request:
     // classify()-only engines and never-submitted variants pay for nothing.
@@ -479,7 +479,7 @@ void InferenceEngine::worker_loop(VariantShard* shard, Replica* replica) {
     std::vector<Request> coalesced;
     int cap = max_batch_;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
+      std::unique_lock<util::DebugMutex> lock(queue_mutex_);
       shard->cv.wait(lock, [&] { return stop_ || !shard->pending.empty(); });
       // Empty is only reachable with stop_ set and this variant's queue
       // drained (a sibling replica may have taken the last batch).
@@ -545,7 +545,7 @@ VariantStats InferenceEngine::shard_stats(const VariantShard& shard) const {
   {
     // Brief queue-lock acquisition; safe after shards_mutex_ because no path
     // waits for shards_mutex_ while holding queue_mutex_.
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::lock_guard<util::DebugMutex> lock(queue_mutex_);
     stats.queue_depth = static_cast<std::int64_t>(shard.pending.size());
     stats.queue_peak = shard.queue_peak;
     stats.rejected = shard.rejected;
@@ -556,7 +556,7 @@ VariantStats InferenceEngine::shard_stats(const VariantShard& shard) const {
 }
 
 EngineStats InferenceEngine::stats() const {
-  std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::lock_guard<util::DebugMutex> lock(shards_mutex_);
   EngineStats stats;
   stats.variants.reserve(shards_.size());
   for (const auto& shard : shards_) {

@@ -68,6 +68,7 @@
 #include "src/nn/lisa_cnn.h"
 #include "src/serve/qos.h"
 #include "src/serve/replica.h"
+#include "src/util/lockdep.h"
 
 namespace blurnet::serve {
 
@@ -291,8 +292,8 @@ class InferenceEngine {
     // condition variables so a submit() wakes only this variant's workers and
     // the head lookup is O(1).
     std::deque<Request> pending;
-    std::condition_variable cv;        // workers wait here for requests
-    std::condition_variable space_cv;  // kBlock submitters wait here for slots
+    util::DebugConditionVariable cv;        // workers wait here for requests
+    util::DebugConditionVariable space_cv;  // kBlock submitters wait here for slots
     // kBlock admission is FIFO: each backpressured submit() takes a ticket and
     // only the queue's front may claim a freed slot, so slots go to waiters in
     // arrival order instead of whichever thread the scheduler wakes first. A
@@ -331,16 +332,23 @@ class InferenceEngine {
   int block_timeout_ms_ = 0;
   bool defense_enabled_ = false;
 
+  // Lock hierarchy (outermost first): shards_mutex_ -> queue_mutex_ ->
+  // LatencyRing/Replica stats leaves. stats() is the deepest path: it walks
+  // shards under shards_mutex_ and snapshots each shard's queue counters and
+  // latency ring. No path acquires shards_mutex_ while holding queue_mutex_
+  // (submit() routes under shards_mutex_, releases, then queues). Enforced in
+  // Debug builds by util::DebugMutex (src/util/lockdep.h).
+
   /// Guards shards_/aliases_ layout and the router's round-robin cursors.
   /// Shards are held by pointer so registration never invalidates replicas a
   /// worker or an in-flight classify() is using.
-  mutable std::mutex shards_mutex_;
+  mutable util::DebugMutex shards_mutex_ BLURNET_LOCK_CLASS("serve::Engine::shards");
   std::vector<std::unique_ptr<VariantShard>> shards_;
   /// Extra names resolving to an existing shard (e.g. "defended" -> base
   /// when the defense is disabled).
   std::vector<std::pair<std::string, VariantShard*>> aliases_;
 
-  mutable std::mutex queue_mutex_;
+  mutable util::DebugMutex queue_mutex_ BLURNET_LOCK_CLASS("serve::Engine::queue");
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

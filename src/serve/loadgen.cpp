@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "src/net/client.h"
+#include "src/util/lockdep.h"
 #include "src/util/rng.h"
 
 namespace blurnet::serve {
@@ -149,8 +150,8 @@ namespace {
 /// submission order; the harvester thread resolves them in that order and
 /// records completion − scheduled-arrival into a fixed ring.
 struct Harvest {
-  std::mutex mutex;
-  std::condition_variable cv;
+  util::DebugMutex mutex BLURNET_LOCK_CLASS("serve::LoadGenerator::harvest");
+  util::DebugConditionVariable cv;
   std::deque<std::pair<std::size_t, std::future<Prediction>>> inbox;
   bool done = false;
 
@@ -185,7 +186,7 @@ LoadReport LoadGenerator::run(const tensor::Tensor& image) {
       for (;;) {
         std::pair<std::size_t, std::future<Prediction>> item;
         {
-          std::unique_lock<std::mutex> lock(h.mutex);
+          std::unique_lock<util::DebugMutex> lock(h.mutex);
           h.cv.wait(lock, [&] { return h.done || !h.inbox.empty(); });
           if (h.inbox.empty()) return;  // done and drained
           item = std::move(h.inbox.front());
@@ -233,7 +234,7 @@ LoadReport LoadGenerator::run(const tensor::Tensor& image) {
       std::future<Prediction> future = engine_.submit(image.clone(), std::move(options));
       Harvest& h = harvests[m];
       {
-        std::lock_guard<std::mutex> lock(h.mutex);
+        std::lock_guard<util::DebugMutex> lock(h.mutex);
         h.inbox.emplace_back(i, std::move(future));
       }
       h.cv.notify_one();
@@ -243,7 +244,7 @@ LoadReport LoadGenerator::run(const tensor::Tensor& image) {
   }
   for (auto& h : harvests) {
     {
-      std::lock_guard<std::mutex> lock(h.mutex);
+      std::lock_guard<util::DebugMutex> lock(h.mutex);
       h.done = true;
     }
     h.cv.notify_one();
@@ -320,8 +321,8 @@ struct SocketRecord {
 /// One client connection plus its share of the pipelined schedule.
 struct SocketLane {
   std::unique_ptr<net::Client> client;
-  std::mutex mutex;
-  std::condition_variable cv;
+  util::DebugMutex mutex BLURNET_LOCK_CLASS("serve::LoadGenerator::lane");
+  util::DebugConditionVariable cv;
   std::deque<std::pair<std::size_t, std::uint32_t>> inbox;  // (schedule idx, request id)
   bool done = false;
   std::vector<SocketRecord> records;  // harvester-local until the join
@@ -364,7 +365,7 @@ LoadReport LoadGenerator::run_socket(const SocketTransport& transport,
       for (;;) {
         std::pair<std::size_t, std::uint32_t> item;
         {
-          std::unique_lock<std::mutex> lock(lane.mutex);
+          std::unique_lock<util::DebugMutex> lock(lane.mutex);
           lane.cv.wait(lock, [&] { return lane.done || !lane.inbox.empty(); });
           if (lane.inbox.empty()) return;  // done and drained
           item = std::move(lane.inbox.front());
@@ -407,14 +408,14 @@ LoadReport LoadGenerator::run_socket(const SocketTransport& transport,
       continue;
     }
     {
-      std::lock_guard<std::mutex> lock(lane.mutex);
+      std::lock_guard<util::DebugMutex> lock(lane.mutex);
       lane.inbox.emplace_back(i, request_id);
     }
     lane.cv.notify_one();
   }
   for (auto& lane : lanes) {
     {
-      std::lock_guard<std::mutex> lock(lane.mutex);
+      std::lock_guard<util::DebugMutex> lock(lane.mutex);
       lane.done = true;
     }
     lane.cv.notify_one();

@@ -14,7 +14,7 @@ LatencyRing::LatencyRing(std::size_t capacity) : capacity_(capacity) {
 }
 
 void LatencyRing::record(double micros) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<util::DebugMutex> lock(mutex_);
   if (samples_.size() < capacity_) {
     samples_.push_back(micros);
   } else {
@@ -28,7 +28,7 @@ LatencySnapshot LatencyRing::snapshot() const {
   std::vector<double> window;
   LatencySnapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<util::DebugMutex> lock(mutex_);
     window = samples_;
     snap.count = count_;
   }

@@ -17,6 +17,8 @@
 #include <mutex>
 #include <vector>
 
+#include "src/util/lockdep.h"
+
 namespace blurnet::serve {
 
 struct LatencySnapshot {
@@ -46,7 +48,8 @@ class LatencyRing {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
+  /// Leaf of the lock hierarchy: record()/snapshot() call out to nothing.
+  mutable util::DebugMutex mutex_ BLURNET_LOCK_CLASS("serve::LatencyRing");
   std::vector<double> samples_;  // ring buffer, size grows to capacity_ once
   std::size_t next_ = 0;
   std::int64_t count_ = 0;

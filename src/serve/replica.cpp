@@ -80,7 +80,7 @@ std::vector<Prediction> Replica::run(const Tensor& batch, int max_batch, bool qu
     }
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    std::lock_guard<util::DebugMutex> lock(stats_mutex_);
     stats_.images += n;
     if (queued) {
       stats_.requests += n;
@@ -92,7 +92,7 @@ std::vector<Prediction> Replica::run(const Tensor& batch, int max_batch, bool qu
 }
 
 ReplicaStats Replica::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  std::lock_guard<util::DebugMutex> lock(stats_mutex_);
   return stats_;
 }
 

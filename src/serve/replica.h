@@ -24,6 +24,7 @@
 #include "src/defense/input_transform.h"
 #include "src/nn/lisa_cnn.h"
 #include "src/util/arena.h"
+#include "src/util/lockdep.h"
 
 namespace blurnet::serve {
 
@@ -92,7 +93,8 @@ class Replica {
   nn::LisaCnn model_;
   defense::TransformPtr transform_;
   std::atomic<int> in_flight_{0};
-  mutable std::mutex stats_mutex_;
+  /// Leaf of the lock hierarchy (may be taken under the engine's shard lock).
+  mutable util::DebugMutex stats_mutex_ BLURNET_LOCK_CLASS("serve::Replica::stats");
   ReplicaStats stats_;
 };
 

@@ -1,0 +1,300 @@
+#include "src/util/lockdep.h"
+
+#if BLURNET_LOCKDEP
+
+#include <execinfo.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace blurnet::util {
+
+namespace {
+
+constexpr int kMaxFrames = 32;
+
+struct Stack {
+  void* frames[kMaxFrames];
+  int depth = 0;
+};
+
+Stack capture_stack() {
+  Stack s;
+  s.depth = ::backtrace(s.frames, kMaxFrames);
+  return s;
+}
+
+std::string render_stack(const Stack& s) {
+  std::string out;
+  char** symbols = ::backtrace_symbols(s.frames, s.depth);
+  for (int i = 0; i < s.depth; ++i) {
+    out += "    #";
+    out += std::to_string(i);
+    out += " ";
+    if (symbols != nullptr && symbols[i] != nullptr) {
+      out += symbols[i];
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%p", s.frames[i]);
+      out += buf;
+    }
+    out += "\n";
+  }
+  std::free(symbols);
+  return out;
+}
+
+/// A dependency edge held-class -> acquired-class, with the stack of the
+/// acquisition that first recorded it (the "prior site" of a later report).
+struct Edge {
+  Stack stack;
+};
+
+struct Graph {
+  std::mutex mutex;
+  std::vector<std::string> class_names;
+  std::unordered_map<std::string, int> by_name;
+  /// edges[a] holds the classes some thread acquired while holding class a.
+  std::vector<std::unordered_map<int, Edge>> edges;
+  LockdepHandler handler = nullptr;
+  std::size_t edge_count = 0;
+
+  int register_class(const std::string& name, bool shared) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (shared) {
+      const auto it = by_name.find(name);
+      if (it != by_name.end()) return it->second;
+    }
+    const int id = static_cast<int>(class_names.size());
+    class_names.push_back(name);
+    edges.emplace_back();
+    if (shared) by_name.emplace(name, id);
+    return id;
+  }
+
+  /// DFS: is `to` reachable from `from` over recorded edges? On success the
+  /// first edge taken out of `from` on the found path is returned through
+  /// `first_edge` — its stack is the prior site shown in the report.
+  bool reachable(int from, int to, const Edge** first_edge) {
+    std::vector<int> stack{from};
+    std::vector<char> seen(edges.size(), 0);
+    std::vector<const Edge*> via(edges.size(), nullptr);
+    seen[static_cast<std::size_t>(from)] = 1;
+    while (!stack.empty()) {
+      const int node = stack.back();
+      stack.pop_back();
+      for (const auto& [next, edge] : edges[static_cast<std::size_t>(node)]) {
+        if (seen[static_cast<std::size_t>(next)]) continue;
+        seen[static_cast<std::size_t>(next)] = 1;
+        // Track the first hop out of `from` that leads to this node.
+        via[static_cast<std::size_t>(next)] = (node == from) ? &edge : via[static_cast<std::size_t>(node)];
+        if (next == to) {
+          *first_edge = via[static_cast<std::size_t>(next)];
+          return true;
+        }
+        stack.push_back(next);
+      }
+    }
+    return false;
+  }
+};
+
+Graph& graph() {
+  // Leaked deliberately: worker threads may lock DebugMutexes during static
+  // destruction, after a normal static Graph would already be gone.
+  static Graph* g = new Graph();
+  return *g;
+}
+
+struct HeldLock {
+  int class_id;
+  const DebugMutex* instance;
+};
+
+// The thread's currently-held DebugMutexes, acquisition order. This must be
+// trivially destructible: exit() runs __call_tls_dtors before static
+// destructors, and static objects (the global ThreadPool, a static Engine in
+// a test) lock DebugMutexes while tearing down. A heap-backed container here
+// is a use-after-free in that window — ASan caught exactly that against
+// std::vector — so the held set is a fixed POD array that never registers a
+// TLS destructor and stays valid until the thread truly ends.
+constexpr std::size_t kMaxHeldLocks = 64;
+
+struct HeldSet {
+  HeldLock locks[kMaxHeldLocks];
+  std::size_t count = 0;
+
+  void push(int class_id, const DebugMutex* instance) {
+    if (count >= kMaxHeldLocks) {
+      std::fprintf(stderr,
+                   "blurnet lockdep: thread holds more than %zu locks at once; "
+                   "raise kMaxHeldLocks\n",
+                   kMaxHeldLocks);
+      std::fflush(stderr);
+      std::abort();
+    }
+    locks[count++] = {class_id, instance};
+  }
+
+  void remove(const DebugMutex* instance) {
+    for (std::size_t i = count; i > 0; --i) {
+      if (locks[i - 1].instance == instance) {
+        for (std::size_t j = i - 1; j + 1 < count; ++j) locks[j] = locks[j + 1];
+        --count;
+        return;
+      }
+    }
+  }
+};
+static_assert(std::is_trivially_destructible_v<HeldSet>,
+              "the held set must survive TLS destruction (see comment above)");
+
+thread_local HeldSet t_held;
+
+HeldSet& held() { return t_held; }
+
+/// True while dispatching a report: acquisitions inside the handler record
+/// nothing, so a handler that logs through a locked sink cannot recurse.
+thread_local bool t_in_report = false;
+
+void dispatch(LockdepReport report) {
+  LockdepHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(graph().mutex);
+    handler = graph().handler;
+  }
+  t_in_report = true;
+  if (handler != nullptr) {
+    handler(report);
+  } else {
+    std::fprintf(stderr, "%s", report.message.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+  t_in_report = false;
+}
+
+LockdepReport make_report(const char* kind, const std::string& acquiring,
+                          const std::string& held_name, const Stack& current,
+                          const Edge* prior) {
+  LockdepReport report;
+  report.kind = kind;
+  report.acquiring = acquiring;
+  report.held = held_name;
+  report.current_stack = render_stack(current);
+  if (prior != nullptr) report.prior_stack = render_stack(prior->stack);
+  report.message = "\n==== blurnet lockdep: potential deadlock (" + report.kind + ") ====\n";
+  report.message += "acquiring lock class [" + acquiring + "] while holding [" + held_name + "]\n";
+  report.message += "but the reverse ordering was already recorded.\n";
+  report.message += "\nacquisition closing the cycle (this thread):\n" + report.current_stack;
+  if (!report.prior_stack.empty()) {
+    report.message +=
+        "\nfirst acquisition on the existing [" + acquiring + "] -> ... -> [" + held_name +
+        "] path (recorded earlier):\n" + report.prior_stack;
+  }
+  report.message += "====\n";
+  return report;
+}
+
+/// Pre-acquisition check: record (held -> acquiring) edges, reporting the
+/// first one that would close a cycle. Runs before blocking on the mutex, so
+/// the hazard is reported even when the deadlock itself never fires.
+void check_order(int class_id) {
+  HeldSet& h = held();
+  if (h.count == 0 || t_in_report) return;
+
+  LockdepReport pending;
+  bool have_report = false;
+  {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    for (std::size_t i = 0; i < h.count; ++i) {
+      const HeldLock& held_lock = h.locks[i];
+      if (held_lock.class_id == class_id) {
+        pending = make_report("recursive-acquisition", g.class_names[static_cast<std::size_t>(class_id)],
+                              g.class_names[static_cast<std::size_t>(held_lock.class_id)],
+                              capture_stack(), nullptr);
+        pending.message =
+            "\n==== blurnet lockdep: recursive acquisition ====\n"
+            "acquiring lock class [" + pending.acquiring + "] while already holding an " +
+            "instance of the same class — same-class instances have no defined " +
+            "order against each other.\n\nacquisition (this thread):\n" +
+            pending.current_stack + "====\n";
+        have_report = true;
+        break;
+      }
+      auto& out = g.edges[static_cast<std::size_t>(held_lock.class_id)];
+      if (out.find(class_id) != out.end()) continue;  // edge already proven
+      const Edge* prior = nullptr;
+      if (g.reachable(class_id, held_lock.class_id, &prior)) {
+        pending = make_report("order-inversion", g.class_names[static_cast<std::size_t>(class_id)],
+                              g.class_names[static_cast<std::size_t>(held_lock.class_id)],
+                              capture_stack(), prior);
+        have_report = true;
+        break;
+      }
+      out.emplace(class_id, Edge{capture_stack()});
+      ++g.edge_count;
+    }
+  }
+  // The handler runs outside the graph lock: it may query edge counts, log,
+  // or longjmp out of a test without wedging every other DebugMutex.
+  if (have_report) dispatch(std::move(pending));
+}
+
+}  // namespace
+
+LockdepHandler lockdep_set_handler(LockdepHandler handler) {
+  std::lock_guard<std::mutex> lock(graph().mutex);
+  LockdepHandler previous = graph().handler;
+  graph().handler = handler;
+  return previous;
+}
+
+std::size_t lockdep_edge_count() {
+  std::lock_guard<std::mutex> lock(graph().mutex);
+  return graph().edge_count;
+}
+
+void lockdep_reset_edges() {
+  std::lock_guard<std::mutex> lock(graph().mutex);
+  for (auto& out : graph().edges) out.clear();
+  graph().edge_count = 0;
+}
+
+DebugMutex::DebugMutex() {
+  char name[32];
+  std::snprintf(name, sizeof name, "anon@%p", static_cast<void*>(this));
+  class_id_ = graph().register_class(name, /*shared=*/false);
+}
+
+DebugMutex::DebugMutex(const char* lock_class)
+    : class_id_(graph().register_class(lock_class, /*shared=*/true)) {}
+
+void DebugMutex::lock() {
+  check_order(class_id_);
+  mutex_.lock();
+  held().push(class_id_, this);
+}
+
+bool DebugMutex::try_lock() {
+  // No edge recording: a try_lock never blocks, so it can never be the
+  // waiting edge of a deadlock cycle. It still joins the held set — locks
+  // acquired under it do order against it.
+  if (!mutex_.try_lock()) return false;
+  held().push(class_id_, this);
+  return true;
+}
+
+void DebugMutex::unlock() {
+  held().remove(this);
+  mutex_.unlock();
+}
+
+}  // namespace blurnet::util
+
+#endif  // BLURNET_LOCKDEP

@@ -48,66 +48,96 @@ void BinaryWriter::close() {
   if (out_.fail()) throw std::runtime_error("BinaryWriter: write failed for " + path_);
 }
 
-BinaryReader::BinaryReader(const std::string& path)
-    : in_(path, std::ios::binary), path_(path) {
-  if (!in_) throw std::runtime_error("BinaryReader: cannot open " + path);
+BinaryReader::BinaryReader(const std::string& path) : name_(path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("BinaryReader: cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streampos end = in.tellg();
+  if (end < 0) throw std::runtime_error("BinaryReader: cannot size " + path);
+  in.seekg(0, std::ios::beg);
+  owned_.resize(static_cast<std::size_t>(end));
+  if (!owned_.empty()) {
+    in.read(reinterpret_cast<char*>(owned_.data()),
+            static_cast<std::streamsize>(owned_.size()));
+    if (!in) throw std::runtime_error("BinaryReader: short read of " + path);
+  }
+  data_ = owned_.empty() ? reinterpret_cast<const std::uint8_t*>("") : owned_.data();
+  size_ = owned_.size();
+}
+
+BinaryReader::BinaryReader(const void* data, std::size_t size, std::string name)
+    // Null data is only legal for an empty image; substitute a valid pointer
+    // so cursor arithmetic never offsets from null (UB even at offset zero).
+    : data_(data != nullptr ? static_cast<const std::uint8_t*>(data)
+                            : reinterpret_cast<const std::uint8_t*>("")),
+      size_(size),
+      name_(std::move(name)) {
+  if (data == nullptr && size != 0) {
+    throw std::runtime_error("BinaryReader: null data with nonzero size for " + name_);
+  }
 }
 
 void BinaryReader::require(bool ok, const char* what) {
-  if (!ok) throw std::runtime_error(std::string("BinaryReader: ") + what + " in " + path_);
+  if (!ok) throw std::runtime_error(std::string("BinaryReader: ") + what + " in " + name_);
+}
+
+const std::uint8_t* BinaryReader::take(std::size_t n, const char* what) {
+  require(n <= remaining(), what);
+  const std::uint8_t* at = data_ + cursor_;
+  cursor_ += n;
+  return at;
 }
 
 std::uint32_t BinaryReader::read_u32() {
-  std::uint32_t v = 0;
-  in_.read(reinterpret_cast<char*>(&v), sizeof v);
-  require(static_cast<bool>(in_), "truncated u32");
+  std::uint32_t v;
+  std::memcpy(&v, take(sizeof v, "truncated u32"), sizeof v);
   return v;
 }
 
 std::int64_t BinaryReader::read_i64() {
-  std::int64_t v = 0;
-  in_.read(reinterpret_cast<char*>(&v), sizeof v);
-  require(static_cast<bool>(in_), "truncated i64");
+  std::int64_t v;
+  std::memcpy(&v, take(sizeof v, "truncated i64"), sizeof v);
   return v;
 }
 
 float BinaryReader::read_f32() {
-  float v = 0;
-  in_.read(reinterpret_cast<char*>(&v), sizeof v);
-  require(static_cast<bool>(in_), "truncated f32");
+  float v;
+  std::memcpy(&v, take(sizeof v, "truncated f32"), sizeof v);
   return v;
 }
 
 std::string BinaryReader::read_string() {
   const auto n = read_u32();
-  std::string s(n, '\0');
-  in_.read(s.data(), n);
-  require(static_cast<bool>(in_), "truncated string");
-  return s;
+  // Checked against the bytes actually present before the allocation: a
+  // hostile length prefix cannot force a 4 GB std::string.
+  const std::uint8_t* p = take(n, "truncated string");
+  return std::string(reinterpret_cast<const char*>(p), n);
 }
 
 std::vector<float> BinaryReader::read_f32_array() {
   const auto n = read_i64();
   require(n >= 0, "negative array length");
+  require(static_cast<std::uint64_t>(n) <= remaining() / sizeof(float),
+          "array length exceeds the bytes present");
   std::vector<float> v(static_cast<std::size_t>(n));
-  in_.read(reinterpret_cast<char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(float)));
-  require(static_cast<bool>(in_), "truncated f32 array");
+  if (!v.empty()) {
+    std::memcpy(v.data(), take(v.size() * sizeof(float), "truncated f32 array"),
+                v.size() * sizeof(float));
+  }
   return v;
 }
 
 std::vector<std::int64_t> BinaryReader::read_i64_array() {
   const auto n = read_i64();
   require(n >= 0, "negative array length");
+  require(static_cast<std::uint64_t>(n) <= remaining() / sizeof(std::int64_t),
+          "array length exceeds the bytes present");
   std::vector<std::int64_t> v(static_cast<std::size_t>(n));
-  in_.read(reinterpret_cast<char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(std::int64_t)));
-  require(static_cast<bool>(in_), "truncated i64 array");
+  if (!v.empty()) {
+    std::memcpy(v.data(), take(v.size() * sizeof(std::int64_t), "truncated i64 array"),
+                v.size() * sizeof(std::int64_t));
+  }
   return v;
-}
-
-bool BinaryReader::at_end() {
-  return in_.peek() == std::char_traits<char>::eof();
 }
 
 }  // namespace blurnet::util

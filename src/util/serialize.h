@@ -31,9 +31,19 @@ class BinaryWriter {
   std::string path_;
 };
 
+/// Bounds-checked reader over a checkpoint's bytes. The file constructor
+/// slurps the whole file up front, so every length prefix is validated
+/// against the bytes actually present *before* anything is allocated — a
+/// hostile or corrupt count can produce only a clean std::runtime_error,
+/// never a multi-gigabyte allocation or a partial read. The memory
+/// constructor reads an in-memory image the same way (serving fuzzers and
+/// callers that already hold the bytes).
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
+  /// Read from `size` bytes at `data`, which must outlive the reader.
+  /// `name` labels error messages the way the file path otherwise would.
+  BinaryReader(const void* data, std::size_t size, std::string name = "<memory>");
 
   std::uint32_t read_u32();
   std::int64_t read_i64();
@@ -42,12 +52,19 @@ class BinaryReader {
   std::vector<float> read_f32_array();
   std::vector<std::int64_t> read_i64_array();
 
-  bool at_end();
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return size_ - cursor_; }
+  bool at_end() const { return cursor_ == size_; }
 
  private:
   void require(bool ok, const char* what);
-  std::ifstream in_;
-  std::string path_;
+  const std::uint8_t* take(std::size_t n, const char* what);
+
+  std::vector<std::uint8_t> owned_;  // file contents (file constructor only)
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cursor_ = 0;
+  std::string name_;
 };
 
 }  // namespace blurnet::util

@@ -37,13 +37,13 @@ void ThreadPool::spawn_workers(int count) {
 
 void ThreadPool::stop_workers() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<DebugMutex> lock(mutex_);
     stop_ = true;
   }
   job_cv_.notify_all();
   for (auto& worker : workers_) worker.join();
   workers_.clear();
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<DebugMutex> lock(mutex_);
   stop_ = false;
 }
 
@@ -56,7 +56,7 @@ void ThreadPool::ensure_parallelism(int parallelism) {
   // thread would self-deadlock on run_mutex_.
   if (t_in_run || t_on_worker_thread) return;
   // Wait out any in-flight job, and keep new producers inline while resizing.
-  std::lock_guard<std::mutex> busy(run_mutex_);
+  std::lock_guard<DebugMutex> busy(run_mutex_);
   if (parallelism_.load(std::memory_order_relaxed) == parallelism) return;
   stop_workers();
   parallelism_.store(parallelism);
@@ -64,14 +64,14 @@ void ThreadPool::ensure_parallelism(int parallelism) {
 }
 
 void ThreadPool::record_error() noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<DebugMutex> lock(mutex_);
   if (!job_error_) job_error_ = std::current_exception();
 }
 
 void ThreadPool::worker_loop() {
   t_on_worker_thread = true;
   std::uint64_t seen_generation = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<DebugMutex> lock(mutex_);
   for (;;) {
     job_cv_.wait(lock, [&] {
       return stop_ || (job_generation_ != seen_generation && job_fn_ != nullptr);
@@ -105,7 +105,7 @@ void ThreadPool::run(std::int64_t chunks, const std::function<void(std::int64_t)
     for (std::int64_t chunk = 0; chunk < chunks; ++chunk) fn(chunk);
     return;
   }
-  std::unique_lock<std::mutex> busy(run_mutex_, std::try_to_lock);
+  std::unique_lock<DebugMutex> busy(run_mutex_, std::try_to_lock);
   if (!busy.owns_lock() || workers_.empty()) {
     // Pool busy with a concurrent region, or no background workers: run
     // everything on the calling thread.
@@ -118,7 +118,7 @@ void ThreadPool::run(std::int64_t chunks, const std::function<void(std::int64_t)
   } in_run_scope;
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<DebugMutex> lock(mutex_);
     job_fn_ = &fn;
     job_chunks_ = chunks;
     next_chunk_.store(0, std::memory_order_relaxed);
@@ -148,7 +148,7 @@ void ThreadPool::run(std::int64_t chunks, const std::function<void(std::int64_t)
     }
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<DebugMutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return active_workers_ == 0; });
   job_fn_ = nullptr;  // late-waking workers see null and go back to sleep
   if (job_error_) {

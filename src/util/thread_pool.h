@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/lockdep.h"
+
 namespace blurnet::util {
 
 class ThreadPool {
@@ -58,10 +60,12 @@ class ThreadPool {
   void worker_loop();
   void record_error() noexcept;
 
+  // Lock hierarchy: run_mutex_ (producer serialization) above mutex_ (job
+  // state) — ensure_parallelism() and run() both take run first.
   // Guards job state and worker lifecycle; never held while running fn.
-  std::mutex mutex_;
-  std::condition_variable job_cv_;   // workers: new job available / stop
-  std::condition_variable done_cv_;  // producer: all arrived workers finished
+  DebugMutex mutex_ BLURNET_LOCK_CLASS("util::ThreadPool::state");
+  DebugConditionVariable job_cv_;   // workers: new job available / stop
+  DebugConditionVariable done_cv_;  // producer: all arrived workers finished
   std::vector<std::thread> workers_;
   std::atomic<int> parallelism_{1};
 
@@ -78,7 +82,7 @@ class ThreadPool {
 
   // Serializes producers: run() try-locks this and falls back to inline
   // execution when another parallel region is already using the workers.
-  std::mutex run_mutex_;
+  DebugMutex run_mutex_ BLURNET_LOCK_CLASS("util::ThreadPool::run");
 };
 
 }  // namespace blurnet::util

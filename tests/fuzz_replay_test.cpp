@@ -1,0 +1,122 @@
+// Corpus replay: every checked-in fuzz input runs through its driver in every
+// build configuration — gcc included, where the libFuzzer harnesses cannot be
+// built. The contract under test is the drivers' own (fuzz/drivers.h): a
+// corpus input produces a successful decode or the decoder's declared error,
+// never an uncaught exception, crash, or alloc bomb. New fuzzer-found crashes
+// get minimized and checked in under fuzz/corpus/<driver>/, which makes this
+// suite the regression lock for them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/drivers.h"
+
+namespace blurnet {
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef BLURNET_FUZZ_CORPUS_DIR
+#error "BLURNET_FUZZ_CORPUS_DIR must point at fuzz/corpus (set by CMakeLists.txt)"
+#endif
+
+using Driver = std::function<void(const std::uint8_t*, std::size_t)>;
+
+struct Harness {
+  const char* name;  // corpus subdirectory == fuzz_<name>.cpp
+  Driver driver;
+};
+
+const Harness kHarnesses[] = {
+    {"frame", fuzzing::drive_frame_decoder},
+    {"classify", fuzzing::drive_classify_request},
+    {"predictions", fuzzing::drive_predictions},
+    {"stats", fuzzing::drive_stats},
+    {"error", fuzzing::drive_error},
+    {"model", fuzzing::drive_model_load},
+    {"serialize", fuzzing::drive_serialize_reader},
+};
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+TEST(FuzzReplay, CorpusDirectoriesMatchHarnesses) {
+  // A renamed/added harness without a corpus directory (or vice versa) is a
+  // silent coverage hole; make it loud.
+  const fs::path root(BLURNET_FUZZ_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(root)) << root;
+  std::vector<std::string> expected;
+  for (const Harness& harness : kHarnesses) expected.push_back(harness.name);
+  for (const auto& entry : fs::directory_iterator(root)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    EXPECT_NE(std::find(expected.begin(), expected.end(), name), expected.end())
+        << "corpus directory " << name << " has no matching driver in this test";
+  }
+}
+
+TEST(FuzzReplay, EveryCorpusInputIsHandled) {
+  const fs::path root(BLURNET_FUZZ_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(root)) << root;
+  std::size_t total = 0;
+  for (const Harness& harness : kHarnesses) {
+    const fs::path dir = root / harness.name;
+    ASSERT_TRUE(fs::is_directory(dir)) << "missing corpus directory " << dir;
+    std::size_t in_dir = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      SCOPED_TRACE("corpus input: " + entry.path().string());
+      const std::vector<std::uint8_t> bytes = read_file(entry.path());
+      EXPECT_NO_THROW(harness.driver(bytes.data(), bytes.size()));
+      ++in_dir;
+      ++total;
+    }
+    EXPECT_GE(in_dir, 5u) << "suspiciously thin corpus for " << harness.name
+                          << " — did the corpus move or fail to check in?";
+  }
+  EXPECT_GE(total, 40u);
+}
+
+TEST(FuzzReplay, HostileLengthsRejectedWithoutAllocating) {
+  // The headline alloc-bomb regressions, inline (corpus files also cover
+  // them, but a named test documents the contract): counts promising
+  // gigabytes against a few payload bytes must throw, not allocate.
+  std::vector<std::pair<std::string, autograd::Variable>> params;
+  params.emplace_back("w", autograd::Variable::leaf(tensor::Tensor(tensor::Shape{2, 2})));
+
+  // Checkpoint whose f32-array length claims 2^60 elements.
+  std::vector<std::uint8_t> bomb;
+  const auto push32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bomb.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  const auto push64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bomb.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  push32(0x544E4C42);  // magic
+  push32(1);           // version
+  push32(1);           // one record
+  push32(1);           // name length
+  bomb.push_back('w');
+  push64(2);  // dims count
+  push64(2);
+  push64(2);
+  push64(std::uint64_t{1} << 60);  // f32 count: ~4.6 exabytes
+  EXPECT_THROW(nn::load_parameters(bomb.data(), bomb.size(), params), std::runtime_error);
+
+  // String length prefix of 4 GB against a 1-byte body.
+  util::BinaryReader reader("\xff\xff\xff\xffx", 5, "<test>");
+  EXPECT_THROW(reader.read_string(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace blurnet

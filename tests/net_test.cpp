@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstring>
 #include <future>
 #include <memory>
@@ -215,6 +217,31 @@ TEST(Wire, ClassifyRequestRoundTripsBitwise) {
   ASSERT_EQ(single_decoded.images.rank(), 3);
   for (std::int64_t i = 0; i < one.images.numel(); ++i) {
     EXPECT_EQ(single_decoded.images.data()[i], one.images.data()[i]) << "pixel " << i;
+  }
+}
+
+TEST(Wire, ClassifyRequestDecodesFromMisalignedBuffer) {
+  // The wire format gives no alignment guarantees: a payload sliced out of a
+  // TCP stream can start at any byte offset, so the f32 read path must go
+  // through memcpy, never a reinterpret_cast load. Shift the payload to an
+  // odd address and expect a bitwise-identical decode (ASan/UBSan builds turn
+  // an aligned-load shortcut here into a hard failure).
+  ClassifyRequest request;
+  request.variant = "defended";
+  request.images = random_batch(2, 9);
+  const auto bytes = encode_classify_request(request, /*batch=*/true);
+
+  std::vector<std::uint8_t> shifted(bytes.size() + 1);
+  shifted[0] = 0xA5;
+  std::copy(bytes.begin(), bytes.end(), shifted.begin() + 1);
+  const std::uint8_t* misaligned = shifted.data() + 1;
+  ASSERT_NE(reinterpret_cast<std::uintptr_t>(misaligned) % alignof(float), 0u);
+
+  const ClassifyRequest decoded = decode_classify_request(misaligned, bytes.size(), true);
+  EXPECT_EQ(decoded.variant, "defended");
+  ASSERT_EQ(decoded.images.numel(), request.images.numel());
+  for (std::int64_t i = 0; i < request.images.numel(); ++i) {
+    EXPECT_EQ(decoded.images.data()[i], request.images.data()[i]) << "pixel " << i;
   }
 }
 

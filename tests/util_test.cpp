@@ -3,11 +3,15 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <thread>
+#include <type_traits>
+#include <vector>
 
 #include "src/util/arena.h"
 #include "src/util/cli.h"
 #include "src/util/env.h"
+#include "src/util/lockdep.h"
 #include "src/util/parallel.h"
 #include "src/util/ppm.h"
 #include "src/util/rng.h"
@@ -407,6 +411,159 @@ TEST(ScratchAlloc, HeapFallbackIsCountedArenaPathIsNot) {
   // A warmed arena serves any number of scratch blocks heap-free.
   EXPECT_EQ(scratch_heap_allocations(), warmed);
 }
+
+#if BLURNET_LOCKDEP
+
+// Handlers are plain function pointers, so captured reports go through a
+// file-scope slot. Tests run single-threaded through these helpers.
+std::vector<LockdepReport>& captured_reports() {
+  static std::vector<LockdepReport> reports;
+  return reports;
+}
+
+void capture_report(const LockdepReport& report) {
+  captured_reports().push_back(report);
+}
+
+class LockdepCapture {
+ public:
+  LockdepCapture() : previous_(lockdep_set_handler(&capture_report)) {
+    captured_reports().clear();
+    lockdep_reset_edges();
+  }
+  ~LockdepCapture() {
+    lockdep_set_handler(previous_);
+    captured_reports().clear();
+    lockdep_reset_edges();
+  }
+
+ private:
+  LockdepHandler previous_;
+};
+
+TEST(Lockdep, SeededInversionIsDetectedWithBothStacks) {
+  LockdepCapture capture;
+  DebugMutex a BLURNET_LOCK_CLASS("lockdep_test::A");
+  DebugMutex b BLURNET_LOCK_CLASS("lockdep_test::B");
+
+  // Establish A -> B ...
+  a.lock();
+  b.lock();
+  b.unlock();
+  a.unlock();
+  ASSERT_TRUE(captured_reports().empty());
+
+  // ... then take them in the reverse order: the cycle is reported on the
+  // spot even though no thread is deadlocked.
+  b.lock();
+  a.lock();
+  a.unlock();
+  b.unlock();
+
+  ASSERT_EQ(captured_reports().size(), 1u);
+  const LockdepReport& report = captured_reports().front();
+  EXPECT_EQ(report.kind, "order-inversion");
+  EXPECT_EQ(report.acquiring, "lockdep_test::A");
+  EXPECT_EQ(report.held, "lockdep_test::B");
+  // Both acquisition sites: the stack closing the cycle now, and the stack
+  // recorded when the reverse edge was first taken.
+  EXPECT_FALSE(report.current_stack.empty());
+  EXPECT_FALSE(report.prior_stack.empty());
+  EXPECT_NE(report.message.find("lockdep_test::A"), std::string::npos);
+  EXPECT_NE(report.message.find("lockdep_test::B"), std::string::npos);
+}
+
+TEST(Lockdep, ConsistentHierarchyStaysQuiet) {
+  LockdepCapture capture;
+  DebugMutex outer BLURNET_LOCK_CLASS("lockdep_test::outer");
+  DebugMutex inner BLURNET_LOCK_CLASS("lockdep_test::inner");
+
+  auto take_in_order = [&] {
+    for (int i = 0; i < 10; ++i) {
+      std::lock_guard<DebugMutex> g_outer(outer);
+      std::lock_guard<DebugMutex> g_inner(inner);
+    }
+  };
+  take_in_order();
+  std::thread other(take_in_order);
+  other.join();
+
+  EXPECT_TRUE(captured_reports().empty());
+  // The whole exercise records exactly one class edge: outer -> inner.
+  EXPECT_EQ(lockdep_edge_count(), 1u);
+}
+
+TEST(Lockdep, SameClassNestingIsARecursionHazard) {
+  LockdepCapture capture;
+  // Two *instances* of one class: there is no defined order between them, so
+  // nesting them is reported even before any reverse path exists.
+  DebugMutex first BLURNET_LOCK_CLASS("lockdep_test::peer");
+  DebugMutex second BLURNET_LOCK_CLASS("lockdep_test::peer");
+
+  first.lock();
+  second.lock();
+  second.unlock();
+  first.unlock();
+
+  ASSERT_EQ(captured_reports().size(), 1u);
+  EXPECT_EQ(captured_reports().front().kind, "recursive-acquisition");
+}
+
+TEST(Lockdep, TryLockRecordsNoEdges) {
+  LockdepCapture capture;
+  DebugMutex a BLURNET_LOCK_CLASS("lockdep_test::try_a");
+  DebugMutex b BLURNET_LOCK_CLASS("lockdep_test::try_b");
+
+  a.lock();
+  ASSERT_TRUE(b.try_lock());  // non-blocking: can never be the blocked edge
+  b.unlock();
+  a.unlock();
+  EXPECT_EQ(lockdep_edge_count(), 0u);
+
+  // The reverse blocking order is therefore legal afterwards.
+  b.lock();
+  a.lock();
+  a.unlock();
+  b.unlock();
+  EXPECT_TRUE(captured_reports().empty());
+}
+
+// Regression (found by the ASan+UBSan CI job): exit() destroys thread_locals
+// BEFORE static objects, and static objects lock DebugMutexes while tearing
+// down — the global ThreadPool's stop_workers() does exactly that. When the
+// lockdep held set was a thread_local std::vector, that late lock() pushed
+// into a freed vector (heap-use-after-free after every suite had already
+// printed PASSED). The held set is now trivially destructible, so locking
+// after TLS teardown is safe; this static object re-creates the crash shape
+// at every util_test exit and ASan arbitrates.
+struct LocksDuringStaticDestruction {
+  DebugMutex mutex;
+  ~LocksDuringStaticDestruction() {
+    mutex.lock();
+    mutex.unlock();
+  }
+};
+
+TEST(Lockdep, LockingDuringStaticDestructionIsSafe) {
+  static LocksDuringStaticDestruction late_locker;
+  // Touch it under a held lock too, so the held set is exercised both now
+  // and in the destructor after this thread's TLS is gone.
+  late_locker.mutex.lock();
+  late_locker.mutex.unlock();
+}
+
+#else  // !BLURNET_LOCKDEP
+
+TEST(Lockdep, ReleaseAliasIsPlainStdMutex) {
+  // In Release the checker must vanish entirely: DebugMutex IS std::mutex
+  // (an alias, not a wrapper), so it costs nothing and cannot diverge in
+  // layout or semantics.
+  static_assert(std::is_same_v<DebugMutex, std::mutex>);
+  static_assert(std::is_same_v<DebugConditionVariable, std::condition_variable>);
+  EXPECT_EQ(sizeof(DebugMutex), sizeof(std::mutex));
+}
+
+#endif  // BLURNET_LOCKDEP
 
 }  // namespace
 }  // namespace blurnet::util
