@@ -12,6 +12,7 @@
 
 #include "src/defense/model_zoo.h"
 #include "src/eval/harness.h"
+#include "src/util/cpu_caps.h"
 #include "src/util/env.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
@@ -87,14 +88,18 @@ struct EvalEnv {
   std::string base_variant_;
 };
 
-/// Print the standard bench banner with the active scale.
+/// Print the standard bench banner with the active scale and the SIMD
+/// kernel target every dispatched hot loop will run on (resolving it here
+/// also surfaces a bad BLURNET_FORCE_KERNEL before any training starts).
 inline void banner(const std::string& title, const eval::ExperimentScale& scale) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf("scale: %d stop-sign images, %d targets, %d RP2 iterations, "
               "%d EOT pose%s/step (set BLURNET_FAST=1 / BLURNET_PAPER=1 / "
-              "BLURNET_EOT_POSES=K to change)\n\n",
+              "BLURNET_EOT_POSES=K to change)\n",
               scale.eval_images, scale.num_targets, scale.rp2_iterations, scale.eot_poses,
               scale.eot_poses == 1 ? "" : "s");
+  std::printf("kernel: %s (set BLURNET_FORCE_KERNEL=scalar|avx2|neon to override)\n\n",
+              util::kernel_target_name(util::active_kernel_target()));
 }
 
 /// Progress line after each completed protocol row.
@@ -120,7 +125,8 @@ inline void print_sweep_progress(const eval::SweepScheduler& scheduler) {
 
 /// Serving-stats footer: how many images each victim variant classified
 /// during the protocol (exact sums of the per-replica counters), with the
-/// variant's own replica count — victims may be sharded differently.
+/// variant's own replica count — victims may be sharded differently. Also
+/// restates the kernel target so a log tail identifies the numerics.
 inline void print_serving_stats(const eval::Harness& harness) {
   std::printf("served images per victim variant (name=images/replicas):");
   for (const auto& name : harness.victim_names()) {
@@ -128,7 +134,8 @@ inline void print_serving_stats(const eval::Harness& harness) {
                 static_cast<long long>(harness.images_served(name)),
                 harness.replica_count(name));
   }
-  std::printf("\n");
+  std::printf(" [kernel=%s]\n",
+              util::kernel_target_name(util::active_kernel_target()));
 }
 
 }  // namespace blurnet::bench

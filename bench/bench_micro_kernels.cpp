@@ -20,6 +20,7 @@
 #include "src/signal/fft.h"
 #include "src/signal/kernels.h"
 #include "src/tensor/ops.h"
+#include "src/util/cpu_caps.h"
 #include "src/util/parallel.h"
 #include "src/util/rng.h"
 
@@ -447,4 +448,17 @@ BENCHMARK(BM_EngineSubmitThroughput)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp the resolved SIMD kernel
+// target into the benchmark context so every emitted JSON carries a
+// top-level "kernel" field — scalar-vs-avx2 A/B runs stay distinguishable
+// after the fact. Resolving the target here also fails fast on a bad
+// BLURNET_FORCE_KERNEL before any timing starts.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "kernel", util::kernel_target_name(util::active_kernel_target()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

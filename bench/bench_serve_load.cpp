@@ -25,6 +25,7 @@
 #include "src/serve/engine.h"
 #include "src/serve/loadgen.h"
 #include "src/tensor/tensor.h"
+#include "src/util/cpu_caps.h"
 #include "src/util/env.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
@@ -165,7 +166,8 @@ int main() {
   const serve::EngineStats stats = engine.stats();
   std::ostringstream out;
   out << "{\n  \"requests_per_point\": " << requests << ",\n  \"seed\": " << seed
-      << ",\n  \"replicas\": " << replicas << ",\n  \"queue_capacity\": " << queue_cap
+      << ",\n  \"kernel\": \"" << util::kernel_target_name(util::active_kernel_target())
+      << "\",\n  \"replicas\": " << replicas << ",\n  \"queue_capacity\": " << queue_cap
       << ",\n  \"arrival\": \"" << arrival_name << "\",\n  \"policy\": \"" << policy_name
       << "\",\n  \"base_service_rps\": " << base_rps
       << ",\n  \"saturation_rps\": " << saturation_rps

@@ -26,6 +26,7 @@
 #include "src/serve/engine.h"
 #include "src/serve/loadgen.h"
 #include "src/tensor/tensor.h"
+#include "src/util/cpu_caps.h"
 #include "src/util/env.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
@@ -149,7 +150,8 @@ int main() {
   const net::ServerStats stats = server.stats();
   std::ostringstream out;
   out << "{\n  \"requests_per_point\": " << requests << ",\n  \"seed\": " << seed
-      << ",\n  \"replicas\": " << replicas << ",\n  \"queue_capacity\": " << queue_cap
+      << ",\n  \"kernel\": \"" << util::kernel_target_name(util::active_kernel_target())
+      << "\",\n  \"replicas\": " << replicas << ",\n  \"queue_capacity\": " << queue_cap
       << ",\n  \"connections\": " << connections
       << ",\n  \"base_service_rps\": " << base_rps
       << ",\n  \"saturation_rps\": " << saturation_rps

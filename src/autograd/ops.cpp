@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/kernels/dispatch.h"
 #include "src/linalg/gemm.h"
 #include "src/signal/dct.h"
 #include "src/tensor/ops.h"
@@ -422,6 +423,11 @@ Variable depthwise_conv2d_same(const Variable& x, const Variable& w, const Varia
     const float* padded = scratch.padded.data();
     Tensor out(x.shape());
     const float* wv = w.value().data();
+    // The per-row tap loop is kernel-dispatched; every target keeps the
+    // double accumulator and ascending (fy, fx) tap order, so results are
+    // bitwise identical across targets (and to the checked path).
+    const kernels::TapRowFn taps =
+        kernels::tap_row(util::active_kernel_target());
     util::parallel_for(n * c, [&](std::int64_t p0, std::int64_t p1) {
       for (std::int64_t p = p0; p < p1; ++p) {
         const std::int64_t ic = p % c;
@@ -429,16 +435,7 @@ Variable depthwise_conv2d_same(const Variable& x, const Variable& w, const Varia
         const float* ker = wv + ic * kh * kw;
         float* dst = out.data() + p * h * wdim;
         for (std::int64_t y = 0; y < h; ++y) {
-          for (std::int64_t xx = 0; xx < wdim; ++xx) {
-            double acc = 0.0;
-            for (int fy = 0; fy < kh; ++fy) {
-              const float* row = src + (y + fy) * wp + xx;
-              for (int fx = 0; fx < kw; ++fx) {
-                acc += static_cast<double>(ker[fy * kw + fx]) * row[fx];
-              }
-            }
-            dst[y * wdim + xx] = static_cast<float>(acc);
-          }
+          taps(src + y * wp, wp, ker, kh, kw, dst + y * wdim, wdim);
         }
       }
     }, /*min_chunk=*/1);
@@ -865,32 +862,19 @@ Variable affine_warp(const Variable& x, const std::vector<Affine2D>& transforms)
   }
   Tensor out(x.shape());
   const float* xv = x.value().data();
+  // The forward per-row gather+lerp is kernel-dispatched; every target
+  // evaluates the inverse map, weights, and tap sum in the same double op
+  // order with out-of-bounds taps contributing exact +0, so results are
+  // bitwise identical across targets. The backward scatter stays scalar.
+  const kernels::WarpRowFn warp =
+      kernels::warp_row(util::active_kernel_target());
   for (std::int64_t p = 0; p < n * c; ++p) {
     const Affine2D& t = transforms[static_cast<std::size_t>(p / c)];
+    const kernels::WarpCoeffs coeffs{t.m00, t.m01, t.tx, t.m10, t.m11, t.ty};
     const float* src = xv + p * h * w;
     float* dst = out.data() + p * h * w;
     for (std::int64_t y = 0; y < h; ++y) {
-      for (std::int64_t xx = 0; xx < w; ++xx) {
-        const double in_x = t.m00 * xx + t.m01 * y + t.tx;
-        const double in_y = t.m10 * xx + t.m11 * y + t.ty;
-        const std::int64_t x0 = static_cast<std::int64_t>(std::floor(in_x));
-        const std::int64_t y0 = static_cast<std::int64_t>(std::floor(in_y));
-        const double fx = in_x - x0;
-        const double fy = in_y - y0;
-        double acc = 0.0;
-        for (int dyi = 0; dyi <= 1; ++dyi) {
-          const std::int64_t sy = y0 + dyi;
-          if (sy < 0 || sy >= h) continue;
-          const double wy = dyi ? fy : 1.0 - fy;
-          for (int dxi = 0; dxi <= 1; ++dxi) {
-            const std::int64_t sx = x0 + dxi;
-            if (sx < 0 || sx >= w) continue;
-            const double wx = dxi ? fx : 1.0 - fx;
-            acc += wy * wx * src[sy * w + sx];
-          }
-        }
-        dst[y * w + xx] = static_cast<float>(acc);
-      }
+      warp(src, h, w, coeffs, y, dst + y * w);
     }
   }
   return make_op("affine_warp", std::move(out), {x},

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/kernels/dispatch.h"
 #include "src/signal/dct.h"
 #include "src/util/parallel.h"
 
@@ -21,6 +22,7 @@ struct TransformScratch {
   std::vector<float> padded;   // median: replicate-padded plane
   std::vector<float> window;   // median: the k*k samples under one pixel
   std::vector<double> block;   // dct-quant: one 8x8 block (pixel domain)
+  std::vector<double> coeff;   // dct-quant: the block's DCT coefficients
 };
 
 TransformScratch& transform_scratch() {
@@ -188,6 +190,20 @@ Tensor median_filter_nchw(const Tensor& x, int kernel) {
               padded[y * pw + xx] = src[sy * w + sx];
             }
           }
+          // 3x3 is the hot size (the paper's default): a dispatched
+          // min/max-network kernel computes the same order statistic as
+          // nth_element a full row at a time. Other sizes (and targets
+          // without a specialization) keep the window + nth_element path.
+          const kernels::Median3RowFn median3 =
+              kernel == 3 ? kernels::median3_row(util::active_kernel_target())
+                          : nullptr;
+          if (median3 != nullptr) {
+            for (std::int64_t y = 0; y < h; ++y) {
+              median3(padded + y * pw, padded + (y + 1) * pw,
+                      padded + (y + 2) * pw, dst + y * w, w);
+            }
+            continue;
+          }
           for (std::int64_t y = 0; y < h; ++y) {
             for (std::int64_t xx = 0; xx < w; ++xx) {
               float* window = scratch.window.data();
@@ -214,11 +230,19 @@ Tensor dct_quantize_nchw(const Tensor& x, int quality) {
   const std::vector<double> quant = scaled_quant_table(quality);
 
   Tensor out(x.shape());
+  // The 8x8 transform is kernel-dispatched: the specialized kernels use a
+  // shared runtime cosine table with the exact fold order of
+  // signal::dct2d/idct2d, so every target produces bitwise-identical
+  // blocks; targets without a specialization keep the generic path.
+  const util::KernelTarget target = util::active_kernel_target();
+  const kernels::Dct8x8Fn dct_fwd = kernels::dct8x8(target, /*inverse=*/false);
+  const kernels::Dct8x8Fn dct_inv = kernels::dct8x8(target, /*inverse=*/true);
   util::parallel_for(
       planes,
       [&](std::int64_t p0, std::int64_t p1) {
         auto& scratch = transform_scratch();
         scratch.block.resize(kBlock * kBlock);
+        scratch.coeff.resize(kBlock * kBlock);
         for (std::int64_t p = p0; p < p1; ++p) {
           const float* src = batch.data() + p * h * w;
           float* dst = out.data() + p * h * w;
@@ -235,13 +259,27 @@ Tensor dct_quantize_nchw(const Tensor& x, int quality) {
                       static_cast<double>(src[sy * w + sx]) * 255.0 - 128.0;
                 }
               }
-              auto coeff = signal::dct2d(scratch.block, kBlock, kBlock);
-              for (int i = 0; i < kBlock * kBlock; ++i) {
-                const double q = quant[static_cast<std::size_t>(i)];
-                coeff[static_cast<std::size_t>(i)] =
-                    std::round(coeff[static_cast<std::size_t>(i)] / q) * q;
+              const double* rebuilt = nullptr;
+              std::vector<double> rebuilt_vec;  // generic-path storage
+              if (dct_fwd != nullptr) {
+                dct_fwd(scratch.block.data(), scratch.coeff.data());
+                for (int i = 0; i < kBlock * kBlock; ++i) {
+                  const double q = quant[static_cast<std::size_t>(i)];
+                  scratch.coeff[static_cast<std::size_t>(i)] =
+                      std::round(scratch.coeff[static_cast<std::size_t>(i)] / q) * q;
+                }
+                dct_inv(scratch.coeff.data(), scratch.block.data());
+                rebuilt = scratch.block.data();
+              } else {
+                auto coeff = signal::dct2d(scratch.block, kBlock, kBlock);
+                for (int i = 0; i < kBlock * kBlock; ++i) {
+                  const double q = quant[static_cast<std::size_t>(i)];
+                  coeff[static_cast<std::size_t>(i)] =
+                      std::round(coeff[static_cast<std::size_t>(i)] / q) * q;
+                }
+                rebuilt_vec = signal::idct2d(coeff, kBlock, kBlock);
+                rebuilt = rebuilt_vec.data();
               }
-              const auto rebuilt = signal::idct2d(coeff, kBlock, kBlock);
               for (int y = 0; y < kBlock; ++y) {
                 const std::int64_t oy = by + y;
                 if (oy >= h) break;

@@ -1,0 +1,116 @@
+// Per-ISA kernel tables behind util::active_kernel_target().
+//
+// Each hot loop has one portable entry point here that returns a function
+// pointer (or a small descriptor) for a given target. Scalar
+// implementations live in dispatch.cpp and are the reference numerics;
+// the ISA translation units (simd_kernels_avx2.cpp / simd_kernels_neon.cpp,
+// the only files allowed to touch raw intrinsics — enforced by
+// tools/lint.py) register themselves behind BLURNET_HAVE_*_KERNELS.
+//
+// Numerics, per kernel:
+//   * gemm_microkernel — float32 ascending-k fold per output element. The
+//     scalar entry is two-rounding mul+add; AVX2/NEON use hardware FMA
+//     (one rounding per term). Within one target results are bitwise
+//     deterministic; across targets GEMM low bits may differ. The fused
+//     targets are bitwise-modelled by linalg::sgemm_reference_fused.
+//   * everything else (tap rows, warp rows, median3, dct8x8) reproduces
+//     the scalar double-accumulation order exactly and is bitwise equal
+//     to scalar on every target.
+//
+// A kernel accessor may return nullptr for a target with no specialized
+// implementation (e.g. warp on neon): callers must fall back to their
+// scalar path. gemm_microkernel() always returns a usable descriptor.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/cpu_caps.h"
+
+namespace blurnet::kernels {
+
+// ---- GEMM microtile ---------------------------------------------------------
+
+/// Microtile column width; must match linalg::kNr (the B pack width).
+inline constexpr std::int64_t kGemmNr = 8;
+
+/// Upper bound on GemmMicrokernel::mr across all targets; drivers size
+/// their writeback accumulator as float[kGemmMaxMr * kGemmNr].
+inline constexpr std::int64_t kGemmMaxMr = 8;
+
+/// Register-blocked microtile: acc[mr][kGemmNr] (row-major, overwritten —
+/// the kernel zero-initializes) = sum over kk<kc of
+/// ap[kk*mr + i] * b[kk*ldb + j].
+/// `ap` is a packed A panel (mr floats per k step, zero-padded rows);
+/// `b` is either a packed kGemmNr-wide panel (ldb == kGemmNr) or a
+/// direct row-major slice of B (ldb == original ldb, full tiles only).
+struct GemmMicrokernel {
+  std::int64_t mr;  ///< microtile rows; the driver packs A panels this tall
+  bool fused;       ///< true: hardware FMA accumulation (avx2/neon)
+  void (*fn)(std::int64_t kc, const float* ap, const float* b,
+             std::int64_t ldb, float* acc);
+};
+
+/// Never null; scalar has mr == linalg::kMr (4), fused targets mr == 8 (avx2)
+/// or 4 (neon).
+const GemmMicrokernel& gemm_microkernel(util::KernelTarget target);
+
+// ---- convolution tap rows ---------------------------------------------------
+
+/// dst[i] = (float) sum over (fy<kh, fx<kw), ascending, of
+///          (double)ker[fy*kw + fx] * src[fy*stride + i + fx]
+/// for i in [0, count). Exactly the interior loop of signal::filter_plane
+/// and the padded depthwise fast path: double accumulator, taps in
+/// ascending (fy, fx) order, one final round to float.
+using TapRowFn = void (*)(const float* src, std::int64_t stride,
+                          const float* ker, int kh, int kw, float* dst,
+                          std::int64_t count);
+
+/// Never null.
+TapRowFn tap_row(util::KernelTarget target);
+
+// ---- affine warp rows -------------------------------------------------------
+
+/// Row-major 2x3 inverse-map coefficients: source coords of output pixel
+/// (xx, y) are in_x = m00*xx + m01*y + tx, in_y = m10*xx + m11*y + ty,
+/// evaluated in double in exactly that association order.
+struct WarpCoeffs {
+  double m00, m01, tx;
+  double m10, m11, ty;
+};
+
+/// Bilinear gather+lerp for one output row y of a [h, w] plane:
+/// dst[xx] = (float) sum of wy*wx*src[sy*w + sx] over the 4 taps in
+/// (dy, dx) ascending order, out-of-bounds taps skipped (contribute +0).
+using WarpRowFn = void (*)(const float* src, std::int64_t h, std::int64_t w,
+                           const WarpCoeffs& t, std::int64_t y, float* dst);
+
+/// Never null.
+WarpRowFn warp_row(util::KernelTarget target);
+
+// ---- 3x3 median rows --------------------------------------------------------
+
+/// dst[i] = median of the 9 floats {r0,r1,r2}[i..i+2] for i in [0, count).
+/// r0/r1/r2 are rows of a replicate-padded plane (each at least count+2
+/// floats long). Exact order statistic for finite inputs (min/max sorting
+/// network), matching std::nth_element.
+using Median3RowFn = void (*)(const float* r0, const float* r1,
+                              const float* r2, float* dst,
+                              std::int64_t count);
+
+/// nullptr for targets without a specialization (callers keep the
+/// nth_element path).
+Median3RowFn median3_row(util::KernelTarget target);
+
+// ---- 8x8 DCT-II -------------------------------------------------------------
+
+/// Forward/inverse 8x8 type-II DCT on doubles, rows then columns, with
+/// the exact fold order and cosine values of signal::dct2d/idct2d (the
+/// cosine table is built once at runtime with the same libm calls, so
+/// results are bitwise equal to the loop-computed scalar path).
+using Dct8x8Fn = void (*)(const double* in, double* out);
+
+/// nullptr for targets without a specialization (callers keep the
+/// generic signal::dct2d path).
+Dct8x8Fn dct8x8(util::KernelTarget target, bool inverse);
+
+}  // namespace blurnet::kernels

@@ -1,8 +1,10 @@
 #include "src/linalg/gemm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
+#include "src/kernels/dispatch.h"
 #include "src/util/parallel.h"
 
 namespace blurnet::linalg {
@@ -57,48 +59,41 @@ void pack_b_panel(Trans trans, const float* b, std::int64_t ldb,
   }
 }
 
-// Pack op(A)[i0 .. i0+mc, kb .. kb+kc) into kMr-tall row panels:
-//   packed[(it * kc + kk) * kMr + ii] = op(A)[i0 + it*kMr + ii, kb + kk]
-// zero filled past the last valid row.
+// Pack op(A)[i0 .. i0+mc, kb .. kb+kc) into mr-tall row panels:
+//   packed[(it * kc + kk) * mr + ii] = op(A)[i0 + it*mr + ii, kb + kk]
+// zero filled past the last valid row. `mr` is the microtile height of the
+// active kernel target (kMr for scalar/neon, 8 for avx2).
 void pack_a_panel(Trans trans, const float* a, std::int64_t lda,
                   std::int64_t i0, std::int64_t mc, std::int64_t kb,
-                  std::int64_t kc, float* packed) {
-  const std::int64_t tiles = (mc + kMr - 1) / kMr;
+                  std::int64_t kc, std::int64_t mr, float* packed) {
+  const std::int64_t tiles = (mc + mr - 1) / mr;
   for (std::int64_t it = 0; it < tiles; ++it) {
-    const std::int64_t r0 = i0 + it * kMr;
-    const std::int64_t rn = std::min<std::int64_t>(kMr, i0 + mc - r0);
-    float* dst = packed + it * kc * kMr;
+    const std::int64_t r0 = i0 + it * mr;
+    const std::int64_t rn = std::min<std::int64_t>(mr, i0 + mc - r0);
+    float* dst = packed + it * kc * mr;
     for (std::int64_t kk = 0; kk < kc; ++kk) {
-      float* col = dst + kk * kMr;
+      float* col = dst + kk * mr;
       for (std::int64_t ii = 0; ii < rn; ++ii) {
         col[ii] = load_a(trans, a, lda, r0 + ii, kb + kk);
       }
-      std::fill(col + rn, col + kMr, 0.0f);
+      std::fill(col + rn, col + mr, 0.0f);
     }
   }
 }
 
-// kMr x kNr register microtile: acc = sum_{kk < kc} ap[:,kk] * b-row[kk,:].
-// ap is one packed A tile (kMr floats per kk); the B tile is read ldb-strided
+// The mr x kNr register microtile itself lives behind the kernel dispatch
+// (kernels::gemm_microkernel): acc = sum_{kk < kc} ap[:,kk] * b-row[kk,:].
+// ap is one packed A tile (mr floats per kk); the B tile is read ldb-strided
 // — either from a packed panel (ldb == kNr) or directly from a row-major B
 // whose kNr-wide slice is contiguous per kk (the NN/TN fast path that skips
-// packing B altogether). Each acc element is a strict ascending-k float fold
-// — the documented accumulation contract — identical for both B layouts, and
-// the j-lanes vectorize cleanly.
-inline void micro_kernel(std::int64_t kc, const float* ap, const float* b_tile,
-                         std::int64_t ldb, float acc[kMr][kNr]) {
-  for (std::int64_t i = 0; i < kMr; ++i) {
-    for (std::int64_t j = 0; j < kNr; ++j) acc[i][j] = 0.0f;
-  }
-  for (std::int64_t kk = 0; kk < kc; ++kk) {
-    const float* arow = ap + kk * kMr;
-    const float* brow = b_tile + kk * ldb;
-    for (std::int64_t i = 0; i < kMr; ++i) {
-      const float av = arow[i];
-      for (std::int64_t j = 0; j < kNr; ++j) acc[i][j] += av * brow[j];
-    }
-  }
-}
+// packing B altogether). Each acc element is a strict ascending-k fold —
+// the documented accumulation contract — identical for both B layouts.
+// Scalar folds with separate mul+add; the avx2/neon tiles fold with fused
+// multiply-add (one rounding per term), the documented per-target numerics
+// modelled exactly by sgemm_reference_fused.
+static_assert(kNr == kernels::kGemmNr, "B pack width must match the microtiles");
+static_assert(kMc % kernels::kGemmMaxMr == 0,
+              "panel rows must hold whole microtiles for every target");
 
 }  // namespace
 
@@ -114,6 +109,14 @@ void sgemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
     }
     return;
   }
+
+  // Resolved once per call: the microtile height shapes the A packing and
+  // the parallel chunking below, and both depend only on the target — so
+  // within one target every chunk boundary (and result) stays bitwise
+  // identical for any worker count.
+  const kernels::GemmMicrokernel& mk =
+      kernels::gemm_microkernel(util::active_kernel_target());
+  const std::int64_t mr = mk.mr;
 
   for (std::int64_t jc = 0; jc < n; jc += kNc) {
     const std::int64_t nc = std::min(kNc, n - jc);
@@ -151,18 +154,18 @@ void sgemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
       // whole problem is small (the dense head's m == batch) so it still
       // fans out — so chunk boundaries, and therefore results, are identical
       // for any worker count.
-      const std::int64_t panel_tiles = kMc / kMr;
-      const std::int64_t total_tiles = (m + kMr - 1) / kMr;
+      const std::int64_t panel_tiles = kMc / mr;
+      const std::int64_t total_tiles = (m + mr - 1) / mr;
       const std::int64_t chunk_tiles = total_tiles >= 2 * panel_tiles ? panel_tiles : 2;
       util::parallel_for(total_tiles, [&](std::int64_t t0, std::int64_t t1) {
         auto& scratch = pack_scratch();
         for (std::int64_t tp = t0; tp < t1; tp += panel_tiles) {
-          const std::int64_t i0 = tp * kMr;
+          const std::int64_t i0 = tp * mr;
           const std::int64_t mc =
-              std::min(m, std::min(t1, tp + panel_tiles) * kMr) - i0;
-          const std::int64_t m_tiles = (mc + kMr - 1) / kMr;
-          scratch.a.resize(static_cast<std::size_t>(m_tiles * kc * kMr));
-          pack_a_panel(trans_a, a, lda, i0, mc, kb, kc, scratch.a.data());
+              std::min(m, std::min(t1, tp + panel_tiles) * mr) - i0;
+          const std::int64_t m_tiles = (mc + mr - 1) / mr;
+          scratch.a.resize(static_cast<std::size_t>(m_tiles * kc * mr));
+          pack_a_panel(trans_a, a, lda, i0, mc, kb, kc, mr, scratch.a.data());
 
           for (std::int64_t jt = 0; jt < n_tiles; ++jt) {
             const std::int64_t j0 = jc + jt * kNr;
@@ -173,16 +176,17 @@ void sgemm(Trans trans_a, Trans trans_b, std::int64_t m, std::int64_t n,
                                       : packed_b + (direct_b ? 0 : jt * kc * kNr);
             const std::int64_t b_stride = (direct_b && full) ? ldb : kNr;
             for (std::int64_t it = 0; it < m_tiles; ++it) {
-              const std::int64_t r0 = i0 + it * kMr;
-              const std::int64_t rn = std::min<std::int64_t>(kMr, i0 + mc - r0);
-              float acc[kMr][kNr];
-              micro_kernel(kc, scratch.a.data() + it * kc * kMr, b_tile, b_stride, acc);
+              const std::int64_t r0 = i0 + it * mr;
+              const std::int64_t rn = std::min<std::int64_t>(mr, i0 + mc - r0);
+              float acc[kernels::kGemmMaxMr * kNr];
+              mk.fn(kc, scratch.a.data() + it * kc * mr, b_tile, b_stride, acc);
               for (std::int64_t ii = 0; ii < rn; ++ii) {
                 float* crow = c + (r0 + ii) * ldc + j0;
+                const float* arow = acc + ii * kNr;
                 if (store) {
-                  for (std::int64_t jj = 0; jj < jn; ++jj) crow[jj] = acc[ii][jj];
+                  for (std::int64_t jj = 0; jj < jn; ++jj) crow[jj] = arow[jj];
                 } else {
-                  for (std::int64_t jj = 0; jj < jn; ++jj) crow[jj] += acc[ii][jj];
+                  for (std::int64_t jj = 0; jj < jn; ++jj) crow[jj] += arow[jj];
                 }
               }
             }
@@ -210,6 +214,38 @@ void sgemm_reference(Trans trans_a, Trans trans_b, std::int64_t m,
         for (std::int64_t kk = 0; kk < kc; ++kk) {
           acc += load_a(trans_a, a, lda, i, kb + kk) *
                  load_b(trans_b, b, ldb, kb + kk, j);
+        }
+        if (store) {
+          *out = acc;
+          store = false;
+        } else {
+          *out += acc;
+        }
+      }
+      if (store) *out = 0.0f;  // k == 0, overwrite mode
+    }
+  }
+}
+
+void sgemm_reference_fused(Trans trans_a, Trans trans_b, std::int64_t m,
+                           std::int64_t n, std::int64_t k, const float* a,
+                           std::int64_t lda, const float* b, std::int64_t ldb,
+                           float* c, std::int64_t ldc, bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      // Same fold structure as sgemm_reference, but each term is folded in
+      // with std::fma — correctly-rounded fused multiply-add, the exact
+      // per-term rounding of the avx2/neon microtiles — so this models the
+      // fused targets bit for bit.
+      float* out = c + i * ldc + j;
+      bool store = !accumulate;
+      for (std::int64_t kb = 0; kb < k; kb += kKc) {
+        const std::int64_t kc = std::min(kKc, k - kb);
+        float acc = 0.0f;
+        for (std::int64_t kk = 0; kk < kc; ++kk) {
+          acc = std::fma(load_a(trans_a, a, lda, i, kb + kk),
+                         load_b(trans_b, b, ldb, kb + kk, j), acc);
         }
         if (store) {
           *out = acc;

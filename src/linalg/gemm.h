@@ -11,6 +11,12 @@
 //     at fixed kKc boundaries (a per-block register fold, blocks then added
 //     to C in ascending block order). The fold therefore depends only on k,
 //     never on m, n, the batch composition, or the worker count;
+//   * the microtile is runtime-dispatched per util::active_kernel_target()
+//     (see src/kernels/dispatch.h): the scalar tile folds with separate
+//     mul+add roundings (matching sgemm_reference), the avx2/neon tiles
+//     fold with fused multiply-add (matching sgemm_reference_fused). Low
+//     bits may therefore differ *across* targets; within one target every
+//     result is bitwise deterministic;
 //   * no zero-skip shortcuts: 0 * NaN and 0 * Inf propagate NaN as IEEE
 //     demands (the naive loops this kernel replaced silently dropped them);
 //   * transpose handling happens entirely in the pack step, so
@@ -34,6 +40,8 @@ namespace blurnet::linalg {
 enum class Trans { kNo, kYes };
 
 // Blocking parameters, exposed so tests can target partial-tile edges.
+// kMr is the *scalar* microtile height; the avx2 target runs an 8-row tile
+// (kernels::gemm_microkernel(target).mr), and kMc is a multiple of both.
 inline constexpr std::int64_t kMr = 4;    ///< microtile rows (register block)
 inline constexpr std::int64_t kNr = 8;    ///< microtile cols (register block)
 inline constexpr std::int64_t kMc = 32;   ///< A panel rows (parallel grain)
@@ -66,13 +74,21 @@ inline void sgemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
   sgemm(Trans::kYes, Trans::kNo, m, n, k, a, m, b, n, c, n, accumulate);
 }
 
-/// Naive triple-loop reference with the same numeric contract (float
-/// ascending-k fold split at kKc boundaries, no zero-skip). Serial, kept as
-/// the ground truth the microkernel is tested against; not used on any hot
-/// path.
+/// Naive triple-loop reference with the same numeric contract as the
+/// *scalar* microtile (float ascending-k fold split at kKc boundaries,
+/// separate mul+add roundings, no zero-skip). Serial, kept as the ground
+/// truth the scalar target is tested against; not used on any hot path.
 void sgemm_reference(Trans trans_a, Trans trans_b, std::int64_t m,
                      std::int64_t n, std::int64_t k, const float* a,
                      std::int64_t lda, const float* b, std::int64_t ldb,
                      float* c, std::int64_t ldc, bool accumulate);
+
+/// Same fold structure, but each term folded with std::fma — the
+/// correctly-rounded fused multiply-add the avx2/neon microtiles use — so
+/// it is the bitwise ground truth for the fused dispatch targets.
+void sgemm_reference_fused(Trans trans_a, Trans trans_b, std::int64_t m,
+                           std::int64_t n, std::int64_t k, const float* a,
+                           std::int64_t lda, const float* b, std::int64_t ldb,
+                           float* c, std::int64_t ldc, bool accumulate);
 
 }  // namespace blurnet::linalg

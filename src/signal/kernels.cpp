@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/kernels/dispatch.h"
 #include "src/linalg/operators.h"
 #include "src/util/parallel.h"
 
@@ -66,17 +67,16 @@ void filter_plane(const float* src, float* dst, std::int64_t h, std::int64_t w,
   for (int i = 0; i < kh * kw; ++i) total_mass += kernel[i];
 
   // Interior pass: every tap is in bounds, no renormalization bookkeeping.
-  for (std::int64_t y = pad_h; y < h - pad_h; ++y) {
-    for (std::int64_t x = pad_w; x < w - pad_w; ++x) {
-      double acc = 0.0;
-      const float* window = src + (y - pad_h) * w + (x - pad_w);
-      for (int fy = 0; fy < kh; ++fy) {
-        const float* row = window + fy * w;
-        for (int fx = 0; fx < kw; ++fx) {
-          acc += static_cast<double>(kernel[fy * kw + fx]) * row[fx];
-        }
-      }
-      dst[y * w + x] = static_cast<float>(acc);
+  // The per-row tap loop is kernel-dispatched (scalar and SIMD targets share
+  // the double accumulator and ascending (fy, fx) tap order, so the result
+  // is bitwise identical across targets).
+  const std::int64_t interior_w = w - 2 * pad_w;
+  if (interior_w > 0) {
+    const kernels::TapRowFn taps =
+        kernels::tap_row(util::active_kernel_target());
+    for (std::int64_t y = pad_h; y < h - pad_h; ++y) {
+      taps(src + (y - pad_h) * w, w, kernel, kh, kw, dst + y * w + pad_w,
+           interior_w);
     }
   }
 

@@ -10,6 +10,7 @@
 #include "src/signal/kernels.h"
 #include "src/tensor/ops.h"
 #include "src/util/rng.h"
+#include "tests/test_helpers.h"
 
 namespace blurnet::autograd {
 namespace {
@@ -457,6 +458,58 @@ TEST(Ops, BroadcastBatchTilesAndSumsGrad) {
 TEST(Ops, FlattenShapes) {
   auto x = Variable::constant(Tensor::zeros(Shape::nchw(2, 3, 4, 4)));
   EXPECT_EQ(flatten2d(x).shape(), Shape::mat(2, 48));
+}
+
+// The affine-warp row kernel and the depthwise tap loop are dispatched, but
+// every target replicates the scalar op order (including how out-of-bounds
+// taps are skipped), so the forwards must be bitwise identical across all
+// available targets.
+TEST(KernelDispatch, AffineWarpForwardBitwiseIdenticalAcrossTargets) {
+  util::Rng rng(91);
+  // 17-wide hits the 4-lane SIMD body plus a tail; the rotation pushes taps
+  // out of bounds along every edge, and the far shift makes all taps OOB.
+  auto x = Variable::constant(Tensor::randn(Shape::nchw(2, 2, 9, 17), rng));
+  Affine2D rot = Affine2D::rotation_scale_about_center(0.35, 1.2, 0.7, -0.4, 9, 17);
+  Affine2D far_shift;
+  far_shift.tx = 40.0;
+  std::vector<Affine2D> transforms{rot, far_shift};
+  for (const Affine2D& t : transforms) {
+    std::vector<float> scalar_out;
+    for (const auto target : blurnet::testing::available_kernel_targets()) {
+      blurnet::testing::ScopedKernelTarget scoped(target);
+      const auto y = affine_warp(x, t);
+      if (target == util::KernelTarget::kScalar) {
+        scalar_out.assign(y.value().data(), y.value().data() + y.value().numel());
+        continue;
+      }
+      for (std::int64_t i = 0; i < y.value().numel(); ++i) {
+        ASSERT_EQ(y.value()[i], scalar_out[static_cast<std::size_t>(i)])
+            << util::kernel_target_name(target) << " elem " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, DepthwiseInferenceBitwiseIdenticalAcrossTargets) {
+  util::Rng rng(92);
+  auto x = Variable::constant(Tensor::randn(Shape::nchw(2, 3, 8, 21), rng));
+  Tensor kernel(Shape{3, 3, 3});
+  for (std::int64_t i = 0; i < kernel.numel(); ++i)
+    kernel[i] = static_cast<float>(rng.normal());
+  std::vector<float> scalar_out;
+  for (const auto target : blurnet::testing::available_kernel_targets()) {
+    blurnet::testing::ScopedKernelTarget scoped(target);
+    NoGradGuard no_grad;  // reach the dispatched inference fast path
+    const auto y = depthwise_conv2d_same(x, Variable::constant(kernel), Variable());
+    if (target == util::KernelTarget::kScalar) {
+      scalar_out.assign(y.value().data(), y.value().data() + y.value().numel());
+      continue;
+    }
+    for (std::int64_t i = 0; i < y.value().numel(); ++i) {
+      ASSERT_EQ(y.value()[i], scalar_out[static_cast<std::size_t>(i)])
+          << util::kernel_target_name(target) << " elem " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
+#include <vector>
 
 #include "src/autograd/ops.h"
 #include "src/defense/input_transform.h"
@@ -294,6 +295,38 @@ TEST(InputTransform, ApplyAcceptsChwAndMatchesBatchBitwise) {
       EXPECT_EQ(single.shape(), image.shape()) << spec.name();
       for (std::int64_t k = 0; k < stride; ++k) {
         ASSERT_EQ(single[k], whole[i * stride + k]) << spec.name() << " image " << i;
+      }
+    }
+  }
+}
+
+// The median-of-9 min/max network and the table-driven 8x8 DCT are
+// kernel-dispatched; both reproduce the scalar paths exactly (the median
+// network computes the exact 5th order statistic, the SIMD DCT keeps the
+// scalar fold order), so the transforms must be bitwise identical across
+// every available dispatch target.
+TEST(KernelDispatch, InputTransformsBitwiseIdenticalAcrossTargets) {
+  util::Rng rng(13);
+  // 18x21: not a multiple of the 8-wide median vector width or the 8x8 DCT
+  // block, so both partial tiles and the scalar tails get exercised.
+  const Tensor x = Tensor::rand_uniform(Shape::nchw(2, 3, 18, 21), rng);
+  const TransformSpec specs[] = {TransformSpec::median(3), TransformSpec::median(5),
+                                 TransformSpec::dct_quant(50),
+                                 TransformSpec::dct_quant(95)};
+  for (const auto& spec : specs) {
+    const InputTransform transform(spec);
+    std::vector<float> scalar_out;
+    for (const auto target : blurnet::testing::available_kernel_targets()) {
+      blurnet::testing::ScopedKernelTarget scoped(target);
+      const Tensor out = transform.apply(x);
+      if (target == util::KernelTarget::kScalar) {
+        scalar_out.assign(out.data(), out.data() + out.numel());
+        continue;
+      }
+      for (std::int64_t i = 0; i < out.numel(); ++i) {
+        ASSERT_EQ(out[i], scalar_out[static_cast<std::size_t>(i)])
+            << spec.name() << " on " << util::kernel_target_name(target)
+            << " elem " << i;
       }
     }
   }

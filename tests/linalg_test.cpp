@@ -8,6 +8,7 @@
 #include "src/autograd/gradcheck.h"
 #include "src/autograd/ops.h"
 #include "src/autograd/variable.h"
+#include "src/kernels/dispatch.h"
 #include "src/linalg/gemm.h"
 #include "src/linalg/matrix.h"
 #include "src/linalg/operators.h"
@@ -15,6 +16,7 @@
 #include "src/tensor/ops.h"
 #include "src/util/parallel.h"
 #include "src/util/rng.h"
+#include "tests/test_helpers.h"
 
 namespace blurnet::linalg {
 namespace {
@@ -251,10 +253,14 @@ std::vector<std::tuple<std::int64_t, std::int64_t, std::int64_t>> gemm_shapes() 
   };
 }
 
-// Every trans variant must match the serial naive reference elementwise. The
-// shared accumulation contract (float fold, ascending k, split at kKc) makes
-// the comparison exact, not approximate.
-TEST(Gemm, MicrokernelMatchesReferenceAcrossShapes) {
+// Every trans variant must match the matching serial naive reference
+// elementwise and exactly: sgemm_reference for the scalar target (separate
+// mul+add roundings), sgemm_reference_fused for the fused avx2/neon
+// microtiles. The shared accumulation contract (ascending k, split at kKc)
+// makes the comparison exact, not approximate, under every target.
+void expect_gemm_matches_reference(const char* label) {
+  const bool fused =
+      kernels::gemm_microkernel(util::active_kernel_target()).fused;
   for (const auto& [m, n, k] : gemm_shapes()) {
     const Tensor a = random_tensor(m, k, static_cast<std::uint64_t>(m * 100 + k));
     const Tensor at = tensor::transpose2d(a);
@@ -271,17 +277,29 @@ TEST(Gemm, MicrokernelMatchesReferenceAcrossShapes) {
           }
         }
         sgemm(ta, tb, m, n, k, pa, lda, pb, ldb, got.data(), n, accumulate);
-        sgemm_reference(ta, tb, m, n, k, pa, lda, pb, ldb, want.data(), n, accumulate);
+        if (fused) {
+          sgemm_reference_fused(ta, tb, m, n, k, pa, lda, pb, ldb, want.data(),
+                                n, accumulate);
+        } else {
+          sgemm_reference(ta, tb, m, n, k, pa, lda, pb, ldb, want.data(), n,
+                          accumulate);
+        }
         for (std::int64_t i = 0; i < m * n; ++i) {
-          ASSERT_EQ(got[i], want[i]) << tag << " shape (" << m << "," << n << ","
-                                     << k << ") acc=" << accumulate << " elem " << i;
+          ASSERT_EQ(got[i], want[i])
+              << label << " " << tag << " shape (" << m << "," << n << "," << k
+              << ") acc=" << accumulate << " elem " << i;
         }
       };
       run_pair(Trans::kNo, Trans::kNo, a.data(), k, b.data(), n, "NN");
       run_pair(Trans::kNo, Trans::kYes, a.data(), k, bt.data(), k, "NT");
       run_pair(Trans::kYes, Trans::kNo, at.data(), m, b.data(), n, "TN");
+      if (::testing::Test::HasFatalFailure()) return;
     }
   }
+}
+
+TEST(Gemm, MicrokernelMatchesReferenceAcrossShapes) {
+  expect_gemm_matches_reference("native");
 }
 
 TEST(Gemm, EmptyProblemsAreWellDefined) {
@@ -342,10 +360,10 @@ TEST(Gemm, TransposeIdentityIsBitwise) {
   }
 }
 
-// Chunk boundaries depend only on (m, kMc), so any BLURNET_WORKERS value
-// must produce bit-identical output — the same determinism contract the
-// serving engine proves across replica counts.
-TEST(Gemm, BitwiseDeterministicAcrossWorkerCounts) {
+// Chunk boundaries depend only on (m, kMc, the dispatch target), so any
+// BLURNET_WORKERS value must produce bit-identical output — the same
+// determinism contract the serving engine proves across replica counts.
+void expect_gemm_worker_count_determinism(const char* label) {
   const std::int64_t m = 70, n = 45, k = 300;
   const Tensor a = random_tensor(m, k, 11);
   const Tensor b = random_tensor(k, n, 12);
@@ -359,12 +377,17 @@ TEST(Gemm, BitwiseDeterministicAcrossWorkerCounts) {
     const Tensor tn = tensor::matmul_tn(tensor::transpose2d(a), b);
     const Tensor nt = tensor::matmul_nt(a, tensor::transpose2d(b));
     for (std::int64_t i = 0; i < nn1.numel(); ++i) {
-      ASSERT_EQ(nn1[i], nn[i]) << "NN, workers=" << workers << " elem " << i;
-      ASSERT_EQ(tn1[i], tn[i]) << "TN, workers=" << workers << " elem " << i;
-      ASSERT_EQ(nt1[i], nt[i]) << "NT, workers=" << workers << " elem " << i;
+      ASSERT_EQ(nn1[i], nn[i]) << label << " NN, workers=" << workers << " elem " << i;
+      ASSERT_EQ(tn1[i], tn[i]) << label << " TN, workers=" << workers << " elem " << i;
+      ASSERT_EQ(nt1[i], nt[i]) << label << " NT, workers=" << workers << " elem " << i;
     }
+    if (::testing::Test::HasFatalFailure()) break;
   }
   util::reset_parallel_workers();
+}
+
+TEST(Gemm, BitwiseDeterministicAcrossWorkerCounts) {
+  expect_gemm_worker_count_determinism("native");
 }
 
 // Autograd gradcheck routed through the microkernel, at shapes that hit
@@ -385,6 +408,78 @@ TEST(Gemm, GradcheckThroughMicrokernel) {
       [&](const Variable& x) { return autograd::sum_squares(autograd::matmul(a_const, x)); },
       b0);
   EXPECT_TRUE(right.passed) << "max_rel_error=" << right.max_rel_error;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel dispatch (src/kernels/dispatch.h): re-run the GEMM exactness and
+// determinism contracts under every forced target available on this host.
+// ---------------------------------------------------------------------------
+
+using blurnet::testing::available_kernel_targets;
+using blurnet::testing::ScopedKernelTarget;
+
+TEST(KernelDispatch, GemmMatchesMatchingReferenceUnderEveryTarget) {
+  for (const auto target : available_kernel_targets()) {
+    ScopedKernelTarget guard(target);
+    expect_gemm_matches_reference(util::kernel_target_name(target));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelDispatch, GemmWorkerCountDeterminismUnderEveryTarget) {
+  for (const auto target : available_kernel_targets()) {
+    ScopedKernelTarget guard(target);
+    expect_gemm_worker_count_determinism(util::kernel_target_name(target));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelDispatch, GemmNanAndInfPropagateUnderEveryTarget) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  for (const auto target : available_kernel_targets()) {
+    ScopedKernelTarget guard(target);
+    for (const float poison : {nan, inf}) {
+      const Tensor a(Shape::mat(1, 2), {0.0f, 0.0f});
+      const Tensor b(Shape::mat(2, 1), {poison, 1.0f});
+      const Tensor nn = tensor::matmul(a, b);
+      EXPECT_TRUE(std::isnan(nn[0]))
+          << util::kernel_target_name(target) << ", poison=" << poison;
+    }
+  }
+}
+
+// The documented cross-target contract: fused targets may differ from the
+// scalar fold only in accumulation rounding. A standard forward-error bound
+// for a length-k float fold is ~k*eps*sum|a||b| per element; the difference
+// of two such folds stays within twice that. Anything larger would mean a
+// dispatch bug (wrong tap, wrong tile edge), not rounding.
+TEST(KernelDispatch, FusedTargetsStayWithinFoldErrorBoundOfScalar) {
+  const std::int64_t m = 33, n = 21, k = 300;
+  const Tensor a = random_tensor(m, k, 41);
+  const Tensor b = random_tensor(k, n, 42);
+  Tensor scalar_ref(Shape::mat(m, n));
+  sgemm_reference(Trans::kNo, Trans::kNo, m, n, k, a.data(), k, b.data(), n,
+                  scalar_ref.data(), n, false);
+  for (const auto target : available_kernel_targets()) {
+    ScopedKernelTarget guard(target);
+    Tensor got(Shape::mat(m, n));
+    sgemm(Trans::kNo, Trans::kNo, m, n, k, a.data(), k, b.data(), n,
+          got.data(), n, false);
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        double abs_sum = 0.0;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          abs_sum += std::fabs(static_cast<double>(a[i * k + kk])) *
+                     std::fabs(static_cast<double>(b[kk * n + j]));
+        }
+        const double bound = 4.0 * static_cast<double>(k) *
+                             std::numeric_limits<float>::epsilon() * abs_sum;
+        ASSERT_NEAR(got[i * n + j], scalar_ref[i * n + j], bound)
+            << util::kernel_target_name(target) << " elem (" << i << "," << j << ")";
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "src/signal/dct.h"
 #include "src/signal/fft.h"
 #include "src/signal/kernels.h"
 #include "src/signal/spectrum.h"
+#include "src/util/parallel.h"
 #include "src/util/rng.h"
+#include "tests/test_helpers.h"
 
 namespace blurnet::signal {
 namespace {
@@ -254,6 +258,58 @@ TEST(Kernels, PerChannelFilterUsesDistinctKernels) {
   const auto out = filter2d_per_channel(x, kernels);
   EXPECT_FLOAT_EQ(out.at4(0, 0, 2, 2), 2.0f);
   EXPECT_FLOAT_EQ(out.at4(0, 1, 2, 2), 0.5f);
+}
+
+// The filter tap loop is kernel-dispatched, but every target replicates the
+// scalar double-accumulator tap order, so filtering must be bitwise identical
+// across all available dispatch targets — and across worker counts within
+// each target.
+TEST(KernelDispatch, FilterBitwiseIdenticalAcrossTargets) {
+  util::Rng rng(77);
+  // Width 13 with a 5x5 kernel leaves an interior of 9 — wide enough to hit
+  // the SIMD body and a partial tail; 1 row exercises the all-border case.
+  for (const auto hw : {std::pair<int, int>{13, 13}, {6, 31}, {1, 9}}) {
+    const auto x = tensor::Tensor::randn(
+        tensor::Shape::nchw(2, 3, hw.first, hw.second), rng);
+    for (const int size : {3, 5}) {
+      const auto kernel = make_blur_kernel(size, KernelKind::kGaussian);
+      std::vector<float> scalar_out;
+      for (const auto target : blurnet::testing::available_kernel_targets()) {
+        blurnet::testing::ScopedKernelTarget scoped(target);
+        const auto out = filter2d_depthwise(x, kernel);
+        if (target == util::KernelTarget::kScalar) {
+          scalar_out.assign(out.data(), out.data() + out.numel());
+          continue;
+        }
+        for (std::int64_t i = 0; i < out.numel(); ++i) {
+          ASSERT_EQ(out[i], scalar_out[static_cast<std::size_t>(i)])
+              << util::kernel_target_name(target) << " " << hw.first << "x"
+              << hw.second << " size " << size << " elem " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, FilterWorkerCountDeterminismPerTarget) {
+  util::Rng rng(78);
+  const auto x = tensor::Tensor::randn(tensor::Shape::nchw(3, 4, 11, 17), rng);
+  const auto kernel = make_blur_kernel(3, KernelKind::kGaussian);
+  for (const auto target : blurnet::testing::available_kernel_targets()) {
+    blurnet::testing::ScopedKernelTarget scoped(target);
+    util::set_parallel_workers(1);
+    const auto baseline = filter2d_depthwise(x, kernel);
+    for (const int workers : {2, 4}) {
+      util::set_parallel_workers(workers);
+      const auto out = filter2d_depthwise(x, kernel);
+      for (std::int64_t i = 0; i < out.numel(); ++i) {
+        ASSERT_EQ(out[i], baseline[i])
+            << util::kernel_target_name(target) << " workers=" << workers
+            << " elem " << i;
+      }
+    }
+    util::reset_parallel_workers();
+  }
 }
 
 }  // namespace

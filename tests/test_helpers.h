@@ -1,12 +1,37 @@
 // Shared fixtures: a tiny synthetic dataset and a lightly trained classifier,
-// built once per test binary (training even a tiny model takes seconds).
+// built once per test binary (training even a tiny model takes seconds), plus
+// helpers for sweeping the SIMD kernel dispatch targets.
 #pragma once
+
+#include <vector>
 
 #include "src/data/dataset.h"
 #include "src/defense/trainer.h"
 #include "src/nn/lisa_cnn.h"
+#include "src/util/cpu_caps.h"
 
 namespace blurnet::testing {
+
+/// Every dispatch target this host/binary can actually run (kScalar always
+/// included), for KernelDispatch sweeps.
+inline std::vector<util::KernelTarget> available_kernel_targets() {
+  std::vector<util::KernelTarget> out;
+  for (const auto t : {util::KernelTarget::kScalar, util::KernelTarget::kAvx2,
+                       util::KernelTarget::kNeon}) {
+    if (util::kernel_target_available(t)) out.push_back(t);
+  }
+  return out;
+}
+
+/// Forces a dispatch target for one scope; the destructor restores env/probe
+/// resolution (so a BLURNET_FORCE_KERNEL CI run keeps its forced target).
+class ScopedKernelTarget {
+ public:
+  explicit ScopedKernelTarget(util::KernelTarget t) { util::set_kernel_target(t); }
+  ~ScopedKernelTarget() { util::reset_kernel_target(); }
+  ScopedKernelTarget(const ScopedKernelTarget&) = delete;
+  ScopedKernelTarget& operator=(const ScopedKernelTarget&) = delete;
+};
 
 inline nn::LisaCnnConfig tiny_model_config() {
   nn::LisaCnnConfig config;

@@ -20,6 +20,12 @@ linters cannot express:
                       engine teardown).
   naked-new           no naked new/delete in src/serve + src/net — ownership
                       goes through containers and smart pointers.
+  simd-confinement    raw SIMD intrinsics (_mm*/vfmaq_* calls, immintrin.h /
+                      arm_neon.h includes) live only in the per-ISA kernel
+                      translation units (*_kernels_avx2.cpp, *_kernels_neon.cpp)
+                      — everything else goes through kernels/dispatch.h, which
+                      is what keeps the scalar fallback path buildable and the
+                      dispatch contract auditable.
 
 Comments and string literals are stripped before matching, so prose like
 "no new classify requests" never trips a rule. A finding can be suppressed
@@ -251,6 +257,44 @@ def check_banned(path: Path, text: str, rel: str) -> list:
 
 
 # ---------------------------------------------------------------------------
+# simd-confinement
+
+# Files allowed to use raw intrinsics: the per-ISA kernel TUs.
+SIMD_TU = re.compile(r"_kernels_(avx2|neon)\.cpp$")
+
+# Intrinsic fingerprints: x86 _mm/_mm256 calls, NEON v*q_* calls, and the
+# ISA headers themselves (an include anywhere else would let intrinsics
+# leak past the dispatch layer unnoticed).
+SIMD_PATTERNS = [
+    re.compile(r"\b_mm\d*_\w+\s*\("),
+    re.compile(r"\bv(?:fma|mla|ld1|st1|dup|min|max|add|mul|cvt|get|set)q?\w*_\w+\s*\("),
+    re.compile(r"#\s*include\s*<(immintrin|arm_neon)\.h>"),
+]
+
+
+def check_simd_confinement(path: Path, text: str, rel: str) -> list:
+    if SIMD_TU.search(rel):
+        return []
+    findings = []
+    lines = strip_comments_and_strings(text).split("\n")
+    raw_lines = text.split("\n")
+    for idx, line in enumerate(lines):
+        for pattern in SIMD_PATTERNS:
+            if pattern.search(line) and not allowed(raw_lines[idx], "simd-confinement"):
+                findings.append(
+                    Finding(
+                        "simd-confinement",
+                        path,
+                        idx + 1,
+                        "raw SIMD intrinsic outside a *_kernels_{avx2,neon}.cpp "
+                        "translation unit — route through kernels/dispatch.h",
+                    )
+                )
+                break
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # driver
 
 
@@ -261,6 +305,7 @@ def lint_file(path: Path, rel: str, text: str) -> list:
     if any(rel.startswith(d + "/") for d in DECODE_DIRS):
         findings += check_reserve_bounds(path, text)
     findings += check_banned(path, text, rel)
+    findings += check_simd_confinement(path, text, rel)
     return findings
 
 
@@ -386,6 +431,39 @@ SELF_TESTS = [
         "allow-marker-suppresses",
         "src/serve/good3.cpp",
         "Widget* f() { return new Widget(); }  // lint:allow(naked-new) pool slab\n",
+        None,
+    ),
+    (
+        "avx2-intrinsic-outside-kernel-tu",
+        "src/linalg/gemm.cpp",
+        "void micro(float* c, __m256 a, __m256 b) {\n"
+        "  _mm256_storeu_ps(c, _mm256_fmadd_ps(a, b, _mm256_loadu_ps(c)));\n}\n",
+        "simd-confinement",
+    ),
+    (
+        "immintrin-include-outside-kernel-tu",
+        "src/signal/kernels.cpp",
+        "#include <immintrin.h>\n",
+        "simd-confinement",
+    ),
+    (
+        "neon-intrinsic-outside-kernel-tu",
+        "src/autograd/ops.cpp",
+        "float32x4_t f(float32x4_t a, float32x4_t b) { return vminq_f32(a, b); }\n",
+        "simd-confinement",
+    ),
+    (
+        "intrinsics-in-kernel-tu-are-clean",
+        "src/kernels/simd_kernels_avx2.cpp",
+        "#include <immintrin.h>\n"
+        "void micro(float* c, __m256 a, __m256 b) {\n"
+        "  _mm256_storeu_ps(c, _mm256_fmadd_ps(a, b, _mm256_loadu_ps(c)));\n}\n",
+        None,
+    ),
+    (
+        "intrinsic-comment-mention-is-clean",
+        "src/linalg/gemm.cpp",
+        "// the avx2 TU accumulates with _mm256_fmadd_ps(a, b, c)\nvoid f();\n",
         None,
     ),
 ]
